@@ -1,0 +1,42 @@
+//! CPU and GPU baselines for the paper's hardware comparison (Table I).
+//!
+//! The paper compares its FPGA inference against "an Intel Xeon CPU with 13
+//! GB of RAM \[and\] an NVIDIA A100 GPU with 40 GB of video RAM", reporting
+//! per-item forward-pass times of 991.58 µs (CPU) and 741.35 µs (GPU) with
+//! very wide 95% intervals (§IV, Table I). Neither device is available
+//! here, and more fundamentally the *mechanism* behind those numbers is not
+//! raw FLOPs — a 7.5K-parameter LSTM step is ~21 KFLOPs, nanoseconds on
+//! either device — but **per-operation framework dispatch and kernel-launch
+//! overhead**, which dominates tiny sequential models driven one timestep
+//! at a time.
+//!
+//! This crate therefore models the baselines at that level:
+//!
+//! - [`cpu`] — a framework-dispatch model: per-op scheduling overhead ×
+//!   ops per LSTM step, with log-normal jitter (OS scheduling, cache state).
+//! - [`gpu`] — a kernel-launch model: CUDA launch + synchronization +
+//!   PCIe transfer costs per step, same jitter family.
+//! - [`native`] — *real* wall-clock measurement of this repository's own
+//!   f64 LSTM forward pass on the host CPU, as a sanity floor showing the
+//!   arithmetic itself is microseconds-scale.
+//! - [`stats`] — mean / σ / 95% interval, matching the paper's convention
+//!   (their interval is mean ± 1.96σ of the *distribution*, not the
+//!   standard error — its width says so).
+//!
+//! Calibration targets (documented in DESIGN.md §5 and EXPERIMENTS.md):
+//! CPU mean ≈ 991.6 µs, σ ≈ 395 µs; GPU mean ≈ 741.4 µs, σ ≈ 177 µs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod gpu;
+pub mod native;
+pub mod power;
+pub mod stats;
+
+pub use cpu::CpuExecutionModel;
+pub use gpu::GpuExecutionModel;
+pub use native::measure_native_forward;
+pub use power::DevicePower;
+pub use stats::Summary;

@@ -1,0 +1,71 @@
+//! Real wall-clock measurement of the native Rust forward pass.
+//!
+//! The execution models in [`crate::cpu`]/[`crate::gpu`] simulate
+//! *framework-driven* baselines. This module measures the actual f64
+//! forward pass of this repository's own LSTM on the host CPU — no
+//! framework, no dispatch overhead — demonstrating the paper's underlying
+//! point: the arithmetic of a 7.5K-parameter step costs microseconds or
+//! less, so framework overhead is what the CSD offload eliminates.
+
+use std::time::Instant;
+
+use csd_nn::SequenceClassifier;
+
+use crate::stats::Summary;
+
+/// Measures the per-item (per-sequence-element) forward-pass time of
+/// `model` over `sequence`, repeated `iters` times, in µs.
+///
+/// Returns wall-clock statistics of `total_forward_time / sequence_len`
+/// per iteration. Results depend on the machine running the benchmark;
+/// they serve as a floor, not a reproduction target.
+///
+/// # Panics
+///
+/// Panics if `iters == 0`, the sequence is empty, or a token is out of
+/// vocabulary.
+pub fn measure_native_forward(
+    model: &SequenceClassifier,
+    sequence: &[usize],
+    iters: usize,
+) -> Summary {
+    assert!(iters > 0, "need at least one iteration");
+    assert!(!sequence.is_empty(), "empty sequence");
+    // Warm-up pass so lazy allocations and caches don't pollute sample 0.
+    let mut sink = model.predict_proba(sequence);
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        sink += model.predict_proba(sequence);
+        let elapsed = start.elapsed();
+        samples.push(elapsed.as_secs_f64() * 1e6 / sequence.len() as f64);
+    }
+    // Keep the result observable so the optimizer cannot elide the loop.
+    assert!(sink.is_finite());
+    Summary::from_samples(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csd_nn::ModelConfig;
+
+    #[test]
+    fn native_forward_is_fast_and_positive() {
+        let model = SequenceClassifier::new(ModelConfig::paper(), 3);
+        let seq: Vec<usize> = (0..100).map(|i| i % 278).collect();
+        let s = measure_native_forward(&model, &seq, 10);
+        assert!(s.mean > 0.0);
+        // Plain Rust per-item time sits far below the framework baselines
+        // even in debug builds.
+        assert!(s.mean < 991.0, "native mean {} µs", s.mean);
+        assert_eq!(s.n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_rejected() {
+        let model = SequenceClassifier::new(ModelConfig::tiny(4), 0);
+        let _ = measure_native_forward(&model, &[], 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests for the baseline execution models and statistics.
+
+use csd_baselines::{CpuExecutionModel, DevicePower, GpuExecutionModel, Summary};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    /// Summary invariants: mean within [min, max], CI brackets the mean,
+    /// ci_low never negative.
+    #[test]
+    fn summary_invariants(samples in prop::collection::vec(0.01f64..10_000.0, 1..200)) {
+        let s = Summary::from_samples(&samples);
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(s.mean >= min - 1e-9 && s.mean <= max + 1e-9);
+        prop_assert!(s.ci_low <= s.mean && s.mean <= s.ci_high);
+        prop_assert!(s.ci_low >= 0.0);
+        prop_assert!((s.half_width() - 1.96 * s.std).abs() < 1e-12);
+        prop_assert_eq!(s.n, samples.len());
+    }
+
+    /// The CPU model's sample mean converges to its configured mean, and
+    /// every sample is positive, for any seed.
+    #[test]
+    fn cpu_model_mean_preserving(seed in any::<u64>()) {
+        let m = CpuExecutionModel::xeon_framework();
+        let s = m.measure(4_000, seed);
+        prop_assert!((s.mean - m.mean_us()).abs() / m.mean_us() < 0.05, "{s}");
+        prop_assert!(s.ci_low >= 0.0);
+    }
+
+    /// GPU model likewise, and it stays below the CPU in expectation.
+    #[test]
+    fn gpu_model_mean_preserving(seed in any::<u64>()) {
+        let g = GpuExecutionModel::a100_framework();
+        let s = g.measure(4_000, seed);
+        prop_assert!((s.mean - g.mean_us()).abs() / g.mean_us() < 0.05, "{s}");
+        prop_assert!(s.mean < CpuExecutionModel::xeon_framework().mean_us());
+    }
+
+    /// Individual samples are always finite and positive.
+    #[test]
+    fn samples_positive(seed in any::<u64>(), n in 1usize..200) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cpu = CpuExecutionModel::xeon_framework();
+        let gpu = GpuExecutionModel::a100_framework();
+        for _ in 0..n {
+            let c = cpu.sample_us(&mut rng);
+            let g = gpu.sample_us(&mut rng);
+            prop_assert!(c.is_finite() && c > 0.0);
+            prop_assert!(g.is_finite() && g > 0.0);
+        }
+    }
+
+    /// Energy attribution is linear and nonnegative.
+    #[test]
+    fn energy_linear(us in 0.0f64..100_000.0) {
+        for p in [DevicePower::xeon_silver_4114(), DevicePower::a100_light_load()] {
+            let e = p.energy_uj(us);
+            prop_assert!(e >= 0.0);
+            prop_assert!((p.energy_uj(2.0 * us) - 2.0 * e).abs() < 1e-6 * (1.0 + e));
+        }
+    }
+}

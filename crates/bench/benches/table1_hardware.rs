@@ -1,0 +1,49 @@
+//! Table I companion bench: the FPGA latency-model row and the CPU/GPU
+//! execution models, with a *real* wall-clock measurement of the native
+//! Rust forward pass as the sanity floor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use csd_accel::{table1_fpga_row, CsdInferenceEngine, OptimizationLevel};
+use csd_baselines::{measure_native_forward, CpuExecutionModel, GpuExecutionModel};
+use csd_bench::{bench_sequence, EXPERIMENT_SEED};
+use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};
+
+fn bench_table1(c: &mut Criterion) {
+    let fpga = table1_fpga_row();
+    let cpu = CpuExecutionModel::xeon_framework().measure(10_000, EXPERIMENT_SEED);
+    let gpu = GpuExecutionModel::a100_framework().measure(10_000, EXPERIMENT_SEED ^ 1);
+    eprintln!("[table 1] FPGA {fpga:.5} µs | CPU {cpu} | GPU {gpu}");
+    eprintln!(
+        "[table 1] speedup vs GPU {:.1}x (paper 344.6x), vs CPU {:.1}x",
+        gpu.mean / fpga,
+        cpu.mean / fpga
+    );
+
+    let model = SequenceClassifier::new(ModelConfig::paper(), 23);
+    let seq = bench_sequence();
+    let native = measure_native_forward(&model, &seq, 50);
+    eprintln!("[table 1] native Rust f64 per-item floor: {native}");
+
+    let weights = ModelWeights::from_model(&model);
+    let engine = CsdInferenceEngine::new(&weights, OptimizationLevel::FixedPoint);
+
+    let mut group = c.benchmark_group("table1");
+    group.bench_function("native_f64_forward_100_items", |b| {
+        b.iter(|| black_box(model.predict_proba(black_box(&seq))))
+    });
+    group.bench_function("fixed_point_engine_100_items", |b| {
+        b.iter(|| black_box(engine.classify(black_box(&seq))))
+    });
+    group.bench_function("cpu_model_sampling", |b| {
+        b.iter(|| black_box(CpuExecutionModel::xeon_framework().measure(100, 7)))
+    });
+    group.bench_function("gpu_model_sampling", |b| {
+        b.iter(|| black_box(GpuExecutionModel::a100_framework().measure(100, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

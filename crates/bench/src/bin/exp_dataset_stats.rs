@@ -1,0 +1,64 @@
+//! Regenerates the **§IV dataset statistics**: 29K sequences of length
+//! 100, 46% ransomware (13,340 ransomware / 15,660 benign windows).
+//!
+//! Builds the full paper-scale corpus; pass `--small` to check the
+//! machinery on a 1/20-scale corpus instead.
+//!
+//! ```text
+//! cargo run --release -p csd-bench --bin exp_dataset_stats -- [--small]
+//! ```
+
+use csd_bench::{print_header, print_row, EXPERIMENT_SEED};
+use csd_ransomware::{DatasetBuilder, WINDOW_LEN};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let (r_target, b_target, scale_note) = if small {
+        (
+            DatasetBuilder::PAPER_RANSOMWARE / 20,
+            DatasetBuilder::PAPER_BENIGN / 20,
+            " (1/20 scale)",
+        )
+    } else {
+        (
+            DatasetBuilder::PAPER_RANSOMWARE,
+            DatasetBuilder::PAPER_BENIGN,
+            "",
+        )
+    };
+    eprintln!("building corpus{scale_note} ...");
+    let ds = DatasetBuilder::new(EXPERIMENT_SEED)
+        .ransomware_windows(r_target)
+        .benign_windows(b_target)
+        .build();
+
+    print_header(&format!("§IV dataset statistics{scale_note}"));
+    print_row("total sequences", "29,000", &ds.len().to_string());
+    print_row(
+        "ransomware sequences",
+        "13,340",
+        &ds.ransomware_count().to_string(),
+    );
+    print_row(
+        "benign sequences",
+        "15,660",
+        &(ds.len() - ds.ransomware_count()).to_string(),
+    );
+    print_row(
+        "ransomware fraction",
+        "46%",
+        &format!("{:.1}%", ds.ransomware_fraction() * 100.0),
+    );
+    let all_len_100 = ds.entries().iter().all(|e| e.sequence.len() == WINDOW_LEN);
+    print_row(
+        "window length",
+        "100",
+        &format!("100 (uniform: {all_len_100})"),
+    );
+
+    // CSV layout check: n + 1 columns as §III-A describes.
+    let csv = ds.to_csv();
+    let cols = csv.lines().next().map(|l| l.split(',').count()).unwrap_or(0);
+    print_row("CSV columns (n + 1)", "101", &cols.to_string());
+    println!("\nCSV bytes: {} (use Dataset::to_csv to export)", csv.len());
+}

@@ -1,0 +1,81 @@
+//! **Extension experiment**: energy per inference item — quantifying the
+//! paper's §I claim that CSD offload "decreases energy consumption".
+//!
+//! Energy = attributed device power × per-item time. FPGA power comes
+//! from the resource-based model over the actual kernel floorplan; the
+//! CPU/GPU use standard device-level attribution (deliberately favourable
+//! to the GPU — see `csd_baselines::power`).
+//!
+//! ```text
+//! cargo run --release -p csd-bench --bin exp_energy
+//! ```
+
+use csd_accel::kernels::{gates, hidden, preprocess, GateKind, LstmDims};
+use csd_accel::timing::kernel_budget;
+use csd_accel::{table1_fpga_row, OptimizationLevel};
+use csd_baselines::{CpuExecutionModel, DevicePower, GpuExecutionModel};
+use csd_bench::{print_header, print_row, EXPERIMENT_SEED};
+use csd_hls::{Clock, DeviceProfile, PowerModel, ResourceEstimate};
+
+fn main() {
+    let dims = LstmDims::paper();
+    let device = DeviceProfile::alveo_u200();
+    let clock = Clock::default_kernel_clock();
+    let level = OptimizationLevel::FixedPoint;
+
+    // The design's total resource occupancy: preprocess + 4 CUs + hidden.
+    let small = kernel_budget(&device, 10);
+    let gate_budget = kernel_budget(&device, 20);
+    let mut resources = ResourceEstimate::zero();
+    resources += preprocess::spec(level, &dims).estimate(&small).resources;
+    for kind in GateKind::ALL {
+        resources += gates::spec(kind, level, &dims)
+            .estimate(&gate_budget)
+            .resources;
+    }
+    resources += hidden::spec(level, &dims).estimate(&small).resources;
+
+    let fpga_power = PowerModel::smartssd();
+    let fpga_w = fpga_power.total_w(&resources, clock);
+    let fpga_us = table1_fpga_row();
+    let fpga_uj = fpga_power.energy_uj(&resources, clock, fpga_us);
+
+    let cpu = CpuExecutionModel::xeon_framework().measure(10_000, EXPERIMENT_SEED);
+    let gpu = GpuExecutionModel::a100_framework().measure(10_000, EXPERIMENT_SEED ^ 1);
+    let cpu_power = DevicePower::xeon_silver_4114();
+    let gpu_power = DevicePower::a100_light_load();
+    let cpu_uj = cpu_power.energy_uj(cpu.mean);
+    let gpu_uj = gpu_power.energy_uj(gpu.mean);
+
+    print_header("Energy per inference item (extension; paper gives no figures)");
+    print_row(
+        "FPGA design power (occupied fabric)",
+        "-",
+        &format!("{fpga_w:.1} W"),
+    );
+    print_row("FPGA energy / item", "-", &format!("{fpga_uj:.2} µJ"));
+    print_row(
+        &format!("CPU energy / item ({} W)", cpu_power.busy_w),
+        "-",
+        &format!("{cpu_uj:.0} µJ"),
+    );
+    print_row(
+        &format!("GPU energy / item ({} W)", gpu_power.busy_w),
+        "-",
+        &format!("{gpu_uj:.0} µJ"),
+    );
+    println!();
+    print_row(
+        "energy advantage vs CPU",
+        "-",
+        &format!("{:.0}x", cpu_uj / fpga_uj),
+    );
+    print_row(
+        "energy advantage vs GPU",
+        "-",
+        &format!("{:.0}x", gpu_uj / fpga_uj),
+    );
+    println!(
+        "\ndesign occupancy: {resources}\nnote: GPU attribution (120 W) is deliberately favourable to the GPU."
+    );
+}

@@ -1,0 +1,102 @@
+//! **Extension experiment**: mitigation value — how many files in-storage
+//! detection actually saves.
+//!
+//! The paper's motivation (§I, §IV) is that a detector living next to the
+//! data "could immediately thwart any subsequent encryption". This
+//! experiment makes that concrete: train a detector, stream fresh
+//! detonations of every family through the [`StreamMonitor`], and convert
+//! each alert position into files-saved using the trace's damage timeline.
+//!
+//! ```text
+//! cargo run --release -p csd-bench --bin exp_mitigation
+//! ```
+
+use csd_accel::{CsdInferenceEngine, MonitorConfig, OptimizationLevel, StreamMonitor};
+use csd_bench::{detection_task, train_detector, EXPERIMENT_SEED};
+use csd_nn::ModelWeights;
+use csd_ransomware::{
+    ApiVocabulary, DamageTimeline, FamilyProfile, Sandbox, Variant, WindowsVersion,
+};
+
+fn main() {
+    eprintln!("training the detector ...");
+    let task = detection_task(460, 540, EXPERIMENT_SEED ^ 0x717);
+    let (model, _, report) = train_detector(&task, 20, EXPERIMENT_SEED);
+    eprintln!("detector quality (held-out sources): {report}");
+
+    let engine = CsdInferenceEngine::new(
+        &ModelWeights::from_model(&model),
+        OptimizationLevel::FixedPoint,
+    );
+    let vocab = ApiVocabulary::windows();
+    // Fresh detonations the detector has never seen (different sandbox
+    // seed and run index from the corpus builder's).
+    let sandbox = Sandbox::new(0xBEEF);
+
+    println!("\n=== Mitigation value per family (freeze writes at first alert) ===");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>12} {:>14}",
+        "family", "alert@call", "total files", "files lost", "files saved", "latency (µs)"
+    );
+    println!("{}", "-".repeat(76));
+    let mut total_files = 0usize;
+    let mut total_saved = 0usize;
+    let mut detected = 0usize;
+    let families = FamilyProfile::all();
+    for family in &families {
+        let variant = Variant::new(family.clone(), family.variants - 1);
+        let trace = sandbox.detonate_run(&variant, WindowsVersion::Win11, 7);
+        let timeline = DamageTimeline::from_trace(&trace, &vocab);
+        let mut monitor = StreamMonitor::new(
+            engine.clone(),
+            MonitorConfig {
+                votes_needed: 1,
+                vote_horizon: 1,
+                ..MonitorConfig::default()
+            },
+        );
+        match monitor.observe_all(&trace) {
+            Some(alert) => {
+                detected += 1;
+                let lost = timeline.files_lost_by(alert.at_call);
+                let saved = timeline.files_saved_by(alert.at_call);
+                total_files += timeline.total_files();
+                total_saved += saved;
+                println!(
+                    "{:<12} {:>10} {:>12} {:>12} {:>12} {:>14.1}",
+                    family.name,
+                    alert.at_call,
+                    timeline.total_files(),
+                    lost,
+                    saved,
+                    alert.inference_us
+                );
+            }
+            None => {
+                total_files += timeline.total_files();
+                println!(
+                    "{:<12} {:>10} {:>12} {:>12} {:>12} {:>14}",
+                    family.name,
+                    "missed",
+                    timeline.total_files(),
+                    timeline.total_files(),
+                    0,
+                    "-"
+                );
+            }
+        }
+    }
+    println!("{}", "-".repeat(76));
+    println!(
+        "detected {detected}/{} families; {total_saved}/{total_files} files saved ({:.1}%)",
+        families.len(),
+        100.0 * total_saved as f64 / total_files.max(1) as f64
+    );
+    println!(
+        "\nfor contrast, a host-side detector at the GPU's 741 µs/item would spend"
+    );
+    println!(
+        "{:.1} ms of inference before the same 100-call alert — while the sweep runs.",
+        100.0 * 741.35 / 1_000.0
+    );
+}

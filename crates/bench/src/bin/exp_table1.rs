@@ -1,0 +1,50 @@
+//! Regenerates **Table I**: traditional DL hardware comparison — the
+//! optimized FPGA design vs the framework-driven CPU and GPU baselines.
+//!
+//! ```text
+//! cargo run --release -p csd-bench --bin exp_table1
+//! ```
+
+use csd_accel::table1_fpga_row;
+use csd_baselines::{CpuExecutionModel, GpuExecutionModel};
+use csd_bench::{print_header, print_row, EXPERIMENT_SEED};
+
+fn main() {
+    let trials = 10_000;
+    let fpga_us = table1_fpga_row();
+    let cpu = CpuExecutionModel::xeon_framework().measure(trials, EXPERIMENT_SEED);
+    let gpu = GpuExecutionModel::a100_framework().measure(trials, EXPERIMENT_SEED ^ 1);
+
+    print_header("Table I — per-item forward-pass execution time");
+    print_row("FPGA (µs)", "2.15133", &format!("{fpga_us:.5}"));
+    print_row("FPGA 95% CI", "N/A (hw emulation)", "N/A (latency model)");
+    print_row("CPU (µs)", "991.57750", &format!("{:.5}", cpu.mean));
+    print_row(
+        "CPU 95% CI",
+        "217.46576 - 1765.68923",
+        &format!("{:.5} - {:.5}", cpu.ci_low, cpu.ci_high),
+    );
+    print_row("GPU (µs)", "741.35336", &format!("{:.5}", gpu.mean));
+    print_row(
+        "GPU 95% CI",
+        "394.45317 - 1088.25355",
+        &format!("{:.5} - {:.5}", gpu.ci_low, gpu.ci_high),
+    );
+    println!();
+    print_row(
+        "FPGA speedup over GPU",
+        "344.6x",
+        &format!("{:.1}x", gpu.mean / fpga_us),
+    );
+    print_row(
+        "FPGA speedup over CPU",
+        "460.9x",
+        &format!("{:.1}x", cpu.mean / fpga_us),
+    );
+    print_row(
+        "GPU speedup over CPU",
+        "1.34x",
+        &format!("{:.2}x", cpu.mean / gpu.mean),
+    );
+    println!("\nordering check: FPGA << GPU < CPU, speedup vs GPU in the hundreds.");
+}

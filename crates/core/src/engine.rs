@@ -1,0 +1,351 @@
+//! The end-to-end CSD inference engine.
+//!
+//! [`CsdInferenceEngine`] executes the five-kernel design functionally:
+//! per sequence item, `kernel_preprocess` produces the embedding, the four
+//! `kernel_gates` CUs compute their gates (optionally on real parallel
+//! threads, mirroring the hardware CUs), and `kernel_hidden_state` folds
+//! them into `(C_t, h_t)`; after the last item the FC head emits the
+//! classification — all in f64 for the float levels or in 10^6-scaled
+//! fixed point for [`OptimizationLevel::FixedPoint`].
+
+use csd_fxp::Fx6;
+use csd_nn::ModelWeights;
+use csd_tensor::Vector;
+use serde::{Deserialize, Serialize};
+
+use crate::kernels::{gates, hidden, preprocess, GateKind};
+use crate::opt::OptimizationLevel;
+use crate::weights::QuantizedWeights;
+
+/// The outcome of classifying one sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Classification {
+    /// `P(positive | sequence)` — ransomware probability in the use case.
+    pub probability: f64,
+    /// Hard decision at threshold 0.5.
+    pub is_positive: bool,
+}
+
+/// The CSD-resident classifier.
+#[derive(Debug, Clone)]
+pub struct CsdInferenceEngine {
+    weights: QuantizedWeights,
+    level: OptimizationLevel,
+    parallel_cus: bool,
+}
+
+impl CsdInferenceEngine {
+    /// Builds an engine from exported model weights at the given
+    /// optimization level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight arrays are inconsistent with their config.
+    pub fn new(weights: &ModelWeights, level: OptimizationLevel) -> Self {
+        Self {
+            weights: QuantizedWeights::from_model_weights(weights),
+            level,
+            parallel_cus: false,
+        }
+    }
+
+    /// Runs the four gate CUs on real OS threads, mirroring the parallel
+    /// hardware CUs (§III-C). Functionally identical to the serial path.
+    pub fn with_parallel_cus(mut self, parallel: bool) -> Self {
+        self.parallel_cus = parallel;
+        self
+    }
+
+    /// The optimization level the engine executes at.
+    pub fn level(&self) -> OptimizationLevel {
+        self.level
+    }
+
+    /// The ingested (and quantized) weights.
+    pub fn weights(&self) -> &QuantizedWeights {
+        &self.weights
+    }
+
+    /// Classifies one sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence or out-of-vocabulary token.
+    pub fn classify(&self, seq: &[usize]) -> Classification {
+        assert!(!seq.is_empty(), "empty sequence");
+        let probability = if self.level.is_fixed_point() {
+            self.forward_fx(seq)
+        } else {
+            self.forward_f64(seq)
+        };
+        Classification {
+            probability,
+            is_positive: probability >= 0.5,
+        }
+    }
+
+    /// Classifies many sequences, fanning them across worker threads —
+    /// the data-center background-scanning workload (§I: "execute the
+    /// classifier continuously in the background"). Results are returned
+    /// in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch, an empty sequence, or an
+    /// out-of-vocabulary token.
+    pub fn classify_batch(&self, sequences: &[Vec<usize>]) -> Vec<Classification> {
+        assert!(!sequences.is_empty(), "empty batch");
+        let threads = std::thread::available_parallelism()
+            .map_or(4, |n| n.get())
+            .min(sequences.len());
+        let chunk = sequences.len().div_ceil(threads);
+        let mut out = Vec::with_capacity(sequences.len());
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = sequences
+                .chunks(chunk)
+                .map(|batch| {
+                    s.spawn(move |_| {
+                        batch
+                            .iter()
+                            .map(|seq| self.classify(seq))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("batch worker panicked"));
+            }
+        })
+        .expect("batch scope");
+        out
+    }
+
+    /// The final hidden state in f64 (for parity tests against the
+    /// offline model).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence or out-of-vocabulary token.
+    pub fn final_hidden_f64(&self, seq: &[usize]) -> Vec<f64> {
+        assert!(!seq.is_empty(), "empty sequence");
+        if self.level.is_fixed_point() {
+            let (_, h) = self.run_fx_states(seq);
+            h.to_f64_vec()
+        } else {
+            let (_, h) = self.run_f64_states(seq);
+            h.to_f64_vec()
+        }
+    }
+
+    fn forward_f64(&self, seq: &[usize]) -> f64 {
+        let (_, h) = self.run_f64_states(seq);
+        hidden::classify_f64(&h, &self.weights.fc_w_f64, self.weights.fc_b_f64)
+    }
+
+    fn run_f64_states(&self, seq: &[usize]) -> (Vector<f64>, Vector<f64>) {
+        let hdim = self.weights.dims().hidden;
+        let mut c = Vector::zeros(hdim);
+        let mut h = Vector::zeros(hdim);
+        for &item in seq {
+            let x = preprocess::run_f64(&self.weights.embedding_f64, item);
+            // §III-C: each CU receives its own copies of x_t and h_{t−1}.
+            let xs = preprocess::fanout(&x);
+            let hs = hidden::fanout_h(&h);
+            let g = self.run_gate_cus_f64(&hs, &xs);
+            let (c_next, h_next) = hidden::run_f64(&g[0], &g[1], &g[3], &g[2], &c);
+            c = c_next;
+            h = h_next;
+        }
+        (c, h)
+    }
+
+    fn run_gate_cus_f64(&self, hs: &[Vector<f64>; 4], xs: &[Vector<f64>; 4]) -> [Vector<f64>; 4] {
+        let w = &self.weights;
+        let cu = |kind: GateKind, slot: usize| {
+            gates::run_f64(
+                kind,
+                &w.gate_w_f64[kind.index()],
+                &w.gate_b_f64[kind.index()],
+                &hs[slot],
+                &xs[slot],
+            )
+        };
+        if self.parallel_cus {
+            let mut out: [Option<Vector<f64>>; 4] = [None, None, None, None];
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = GateKind::ALL
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, &kind)| s.spawn(move |_| cu(kind, slot)))
+                    .collect();
+                for (slot, hdl) in handles.into_iter().enumerate() {
+                    out[slot] = Some(hdl.join().expect("gate CU panicked"));
+                }
+            })
+            .expect("CU scope");
+            out.map(|v| v.expect("all CUs ran"))
+        } else {
+            std::array::from_fn(|slot| cu(GateKind::ALL[slot], slot))
+        }
+    }
+
+    fn forward_fx(&self, seq: &[usize]) -> f64 {
+        let (_, h) = self.run_fx_states(seq);
+        hidden::classify_fx(&h, &self.weights.fc_w_fx, self.weights.fc_b_fx).to_f64()
+    }
+
+    fn run_fx_states(&self, seq: &[usize]) -> (Vector<Fx6>, Vector<Fx6>) {
+        let hdim = self.weights.dims().hidden;
+        let mut c: Vector<Fx6> = Vector::zeros(hdim);
+        let mut h: Vector<Fx6> = Vector::zeros(hdim);
+        for &item in seq {
+            let x = preprocess::run_fx(&self.weights.embedding_fx, item);
+            let xs = preprocess::fanout(&x);
+            let hs = hidden::fanout_h(&h);
+            let w = &self.weights;
+            let cu = |kind: GateKind, slot: usize| {
+                gates::run_fx(
+                    kind,
+                    &w.gate_w_fx[kind.index()],
+                    &w.gate_b_fx[kind.index()],
+                    &hs[slot],
+                    &xs[slot],
+                )
+            };
+            let g: [Vector<Fx6>; 4] = if self.parallel_cus {
+                let mut out: [Option<Vector<Fx6>>; 4] = [None, None, None, None];
+                crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> = GateKind::ALL
+                        .iter()
+                        .enumerate()
+                        .map(|(slot, &kind)| s.spawn(move |_| cu(kind, slot)))
+                        .collect();
+                    for (slot, hdl) in handles.into_iter().enumerate() {
+                        out[slot] = Some(hdl.join().expect("gate CU panicked"));
+                    }
+                })
+                .expect("CU scope");
+                out.map(|v| v.expect("all CUs ran"))
+            } else {
+                std::array::from_fn(|slot| cu(GateKind::ALL[slot], slot))
+            };
+            let (c_next, h_next) = hidden::run_fx(&g[0], &g[1], &g[3], &g[2], &c);
+            c = c_next;
+            h = h_next;
+        }
+        (c, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csd_nn::{ModelConfig, SequenceClassifier};
+
+    fn model() -> SequenceClassifier {
+        SequenceClassifier::new(ModelConfig::paper(), 21)
+    }
+
+    fn seq(n: usize) -> Vec<usize> {
+        (0..n).map(|i| (i * 37 + 11) % 278).collect()
+    }
+
+    #[test]
+    fn float_engine_matches_offline_model_exactly() {
+        let m = model();
+        let w = ModelWeights::from_model(&m);
+        for level in [OptimizationLevel::Vanilla, OptimizationLevel::IiOptimized] {
+            let engine = CsdInferenceEngine::new(&w, level);
+            let s = seq(50);
+            assert!(
+                (engine.classify(&s).probability - m.predict_proba(&s)).abs() < 1e-9,
+                "{level}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_engine_tracks_offline_model() {
+        let m = model();
+        let engine =
+            CsdInferenceEngine::new(&ModelWeights::from_model(&m), OptimizationLevel::FixedPoint);
+        for n in [1, 10, 100] {
+            let s = seq(n);
+            let p_fx = engine.classify(&s).probability;
+            let p_f64 = m.predict_proba(&s);
+            assert!(
+                (p_fx - p_f64).abs() < 0.02,
+                "len {n}: fixed {p_fx} vs f64 {p_f64}"
+            );
+        }
+    }
+
+    #[test]
+    fn hidden_state_parity_within_quantization_drift() {
+        let m = model();
+        let engine =
+            CsdInferenceEngine::new(&ModelWeights::from_model(&m), OptimizationLevel::FixedPoint);
+        let s = seq(100);
+        let h_fx = engine.final_hidden_f64(&s);
+        let h_f64 = m.final_hidden(&s);
+        for (a, b) in h_fx.iter().zip(h_f64.iter()) {
+            assert!((a - b).abs() < 0.01, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn parallel_cus_identical_to_serial() {
+        let m = model();
+        let w = ModelWeights::from_model(&m);
+        let s = seq(40);
+        for level in OptimizationLevel::ALL {
+            let serial = CsdInferenceEngine::new(&w, level).classify(&s);
+            let parallel = CsdInferenceEngine::new(&w, level)
+                .with_parallel_cus(true)
+                .classify(&s);
+            assert_eq!(serial, parallel, "{level}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial_classification() {
+        let m = model();
+        let engine =
+            CsdInferenceEngine::new(&ModelWeights::from_model(&m), OptimizationLevel::FixedPoint);
+        let batch: Vec<Vec<usize>> = (0..13)
+            .map(|k| (0..60).map(|i| (i * 11 + k * 3) % 278).collect())
+            .collect();
+        let parallel = engine.classify_batch(&batch);
+        for (seq, got) in batch.iter().zip(&parallel) {
+            assert_eq!(*got, engine.classify(seq));
+        }
+        assert_eq!(parallel.len(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_rejected() {
+        let m = model();
+        let engine =
+            CsdInferenceEngine::new(&ModelWeights::from_model(&m), OptimizationLevel::Vanilla);
+        let _ = engine.classify_batch(&[]);
+    }
+
+    #[test]
+    fn decision_threshold() {
+        let m = model();
+        let engine =
+            CsdInferenceEngine::new(&ModelWeights::from_model(&m), OptimizationLevel::FixedPoint);
+        let c = engine.classify(&seq(30));
+        assert_eq!(c.is_positive, c.probability >= 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_rejected() {
+        let m = model();
+        let engine =
+            CsdInferenceEngine::new(&ModelWeights::from_model(&m), OptimizationLevel::Vanilla);
+        let _ = engine.classify(&[]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Multi-device scaling.
+//!
+//! §II: the SmartSSD "represents a scalable solution that overcomes
+//! traditional constraints related to space, power, and cost, allowing
+//! for the installation of multiple devices within a single node".
+//! [`CsdFleet`] models that deployment: `N` devices, each running the
+//! same programmed model, with sequences partitioned across them — the
+//! background-scanning workload (§I) at rack scale.
+
+use csd_device::{Nanos, RuntimeError};
+use csd_nn::ModelWeights;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Classification;
+use crate::host::HostProgram;
+use crate::opt::OptimizationLevel;
+
+/// The outcome of a fleet scan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetScan {
+    /// Per-sequence classifications, in input order.
+    pub classifications: Vec<Classification>,
+    /// Simulated wall time: the slowest device's elapsed time (devices run
+    /// concurrently).
+    pub elapsed: Nanos,
+    /// Per-device elapsed times.
+    pub per_device: Vec<Nanos>,
+}
+
+impl FleetScan {
+    /// Number of sequences flagged positive.
+    pub fn positives(&self) -> usize {
+        self.classifications
+            .iter()
+            .filter(|c| c.is_positive)
+            .count()
+    }
+}
+
+/// A node with several SmartSSDs programmed with the same model.
+#[derive(Debug)]
+pub struct CsdFleet {
+    devices: Vec<HostProgram>,
+}
+
+impl CsdFleet {
+    /// Boots `n` devices with `weights` at `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first device-boot error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(
+        n: usize,
+        weights: &ModelWeights,
+        level: OptimizationLevel,
+    ) -> Result<Self, RuntimeError> {
+        assert!(n > 0, "a fleet needs at least one device");
+        let devices = (0..n)
+            .map(|_| HostProgram::new(weights, level))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { devices })
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `false`: fleets are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Scans `sequences`, partitioning them round-robin across devices.
+    /// Devices run concurrently; each serializes its own share.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first device error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sequences` is empty or any sequence is empty.
+    pub fn scan(&mut self, sequences: &[Vec<usize>]) -> Result<FleetScan, RuntimeError> {
+        assert!(!sequences.is_empty(), "nothing to scan");
+        let n = self.devices.len();
+        let mut classifications = vec![None; sequences.len()];
+        let mut per_device = vec![Nanos::ZERO; n];
+        for (i, seq) in sequences.iter().enumerate() {
+            let d = i % n;
+            let run = self.devices[d].classify_from_ssd(seq)?;
+            per_device[d] += run.elapsed;
+            classifications[i] = Some(run.classification);
+        }
+        let elapsed = per_device.iter().copied().fold(Nanos::ZERO, Nanos::max);
+        Ok(FleetScan {
+            classifications: classifications
+                .into_iter()
+                .map(|c| c.expect("every sequence scanned"))
+                .collect(),
+            elapsed,
+            per_device,
+        })
+    }
+
+    /// Pushes retrained weights to every device (the fleet-wide CTI
+    /// update).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first device error; devices updated before the failure
+    /// keep the new model (callers should retry until `Ok`).
+    pub fn update_weights(&mut self, weights: &ModelWeights) -> Result<(), RuntimeError> {
+        for d in &mut self.devices {
+            d.update_weights(weights)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csd_nn::{ModelConfig, SequenceClassifier};
+
+    fn weights() -> ModelWeights {
+        ModelWeights::from_model(&SequenceClassifier::new(ModelConfig::paper(), 12))
+    }
+
+    fn sequences(n: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|k| (0..100).map(|i| (i * 7 + k * 13) % 278).collect())
+            .collect()
+    }
+
+    #[test]
+    fn fleet_matches_single_device_results() {
+        let w = weights();
+        let seqs = sequences(8);
+        let mut one = CsdFleet::new(1, &w, OptimizationLevel::FixedPoint).expect("boot");
+        let mut four = CsdFleet::new(4, &w, OptimizationLevel::FixedPoint).expect("boot");
+        let a = one.scan(&seqs).expect("scan");
+        let b = four.scan(&seqs).expect("scan");
+        assert_eq!(a.classifications, b.classifications);
+    }
+
+    #[test]
+    fn scaling_reduces_wall_time() {
+        let w = weights();
+        let seqs = sequences(12);
+        let elapsed = |n: usize| {
+            CsdFleet::new(n, &w, OptimizationLevel::FixedPoint)
+                .expect("boot")
+                .scan(&seqs)
+                .expect("scan")
+                .elapsed
+        };
+        let t1 = elapsed(1);
+        let t4 = elapsed(4);
+        assert!(t4 < t1, "4 devices {t4} vs 1 device {t1}");
+        // Near-linear: within 2× of ideal (per-run P2P latency amortizes
+        // imperfectly).
+        assert!(t4.as_nanos() * 2 >= t1.as_nanos() / 4);
+    }
+
+    #[test]
+    fn round_robin_balances_load() {
+        let w = weights();
+        let mut fleet = CsdFleet::new(3, &w, OptimizationLevel::FixedPoint).expect("boot");
+        let scan = fleet.scan(&sequences(9)).expect("scan");
+        // Each device served 3 equal sequences: times match.
+        assert_eq!(scan.per_device.len(), 3);
+        let first = scan.per_device[0];
+        for &t in &scan.per_device {
+            assert_eq!(t, first);
+        }
+    }
+
+    #[test]
+    fn fleet_wide_cti_update() {
+        let w = weights();
+        let retrained =
+            ModelWeights::from_model(&SequenceClassifier::new(ModelConfig::paper(), 13));
+        let seqs = sequences(4);
+        let mut fleet = CsdFleet::new(2, &w, OptimizationLevel::FixedPoint).expect("boot");
+        let before = fleet.scan(&seqs).expect("scan");
+        fleet.update_weights(&retrained).expect("update");
+        let after = fleet.scan(&seqs).expect("scan");
+        assert_ne!(before.classifications, after.classifications);
+    }
+
+    #[test]
+    fn positives_counter() {
+        let w = weights();
+        let mut fleet = CsdFleet::new(2, &w, OptimizationLevel::FixedPoint).expect("boot");
+        let scan = fleet.scan(&sequences(6)).expect("scan");
+        let manual = scan
+            .classifications
+            .iter()
+            .filter(|c| c.is_positive)
+            .count();
+        assert_eq!(scan.positives(), manual);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_fleet_rejected() {
+        let _ = CsdFleet::new(0, &weights(), OptimizationLevel::Vanilla);
+    }
+}

@@ -1,0 +1,377 @@
+//! The host program against the simulated SmartSSD.
+//!
+//! §III-A: "the host program that is responsible for general control flow,
+//! initiating data transfers, and managing the interaction with the FPGA
+//! ingests this text file amid initializing the FPGA." [`HostProgram`]
+//! performs exactly those steps on the [`csd_device`] runtime: parse the
+//! weight file, quantize, allocate device buffers on the two DDR banks,
+//! migrate the parameters, load sequence data from the SSD peer-to-peer,
+//! and drive the per-item kernel schedule — returning both the
+//! classification (computed bit-faithfully by the engine) and the
+//! simulated device time.
+
+use csd_device::{
+    BufferHandle, DeviceRuntime, KernelHandle, Nanos, RuntimeError, SmartSsd,
+};
+use csd_nn::ModelWeights;
+
+use crate::bitstream::{link, Xclbin};
+use crate::engine::{Classification, CsdInferenceEngine};
+use crate::kernels::GateKind;
+use crate::opt::OptimizationLevel;
+
+/// The result of one device-timed sequence classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceRun {
+    /// The classification (identical to the engine's).
+    pub classification: Classification,
+    /// Simulated device time from enqueue to final-kernel completion.
+    pub elapsed: Nanos,
+    /// Bytes loaded from NAND peer-to-peer for this run.
+    pub p2p_bytes: u64,
+}
+
+/// The host program: one programmed FPGA session.
+#[derive(Debug)]
+pub struct HostProgram {
+    runtime: DeviceRuntime,
+    engine: CsdInferenceEngine,
+    weight_buf: BufferHandle,
+    seq_buf: BufferHandle,
+    k_pre: KernelHandle,
+    k_gates: [KernelHandle; 4],
+    k_hidden: KernelHandle,
+    model_version: u64,
+}
+
+impl HostProgram {
+    /// Parses the paper's weight text file and initializes the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error message for a malformed file, or a runtime
+    /// error description if device setup fails.
+    pub fn from_weight_file(text: &str, level: OptimizationLevel) -> Result<Self, String> {
+        let weights = ModelWeights::from_text(text).map_err(|e| e.to_string())?;
+        Self::new(&weights, level).map_err(|e| e.to_string())
+    }
+
+    /// Initializes the device from already-parsed weights: links the
+    /// five-kernel design for the u200 testbed (the `v++` step) and
+    /// programs the resulting image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if buffer allocation fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design fails to link — impossible on the u200
+    /// floorplan this constructor targets; use [`crate::bitstream::link`]
+    /// plus [`Self::program`] for custom devices.
+    pub fn new(weights: &ModelWeights, level: OptimizationLevel) -> Result<Self, RuntimeError> {
+        let engine = CsdInferenceEngine::new(weights, level);
+        let dims = engine.weights().dims();
+        let device = SmartSsd::new_u200_testbed();
+        let image = link(level, &dims, device.fpga())
+            .expect("the five-kernel design links on the u200 testbed");
+        Self::program_engine(device, image, engine)
+    }
+
+    /// Programs a pre-linked [`Xclbin`] image with the given weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if buffer allocation fails, or
+    /// [`RuntimeError::ShapeMismatch`] when the weights' dimensions do not
+    /// match the image's compiled loop bounds.
+    pub fn program(
+        weights: &ModelWeights,
+        image: Xclbin,
+    ) -> Result<Self, RuntimeError> {
+        let engine = CsdInferenceEngine::new(weights, image.level);
+        if engine.weights().dims() != image.dims {
+            return Err(RuntimeError::ShapeMismatch);
+        }
+        // Pick the SmartSSD flavour whose fabric matches the image.
+        let device = if image.device == csd_hls::DeviceProfile::kintex_ku15p() {
+            SmartSsd::new_smartssd()
+        } else {
+            SmartSsd::new_u200_testbed()
+        };
+        Self::program_engine(device, image, engine)
+    }
+
+    fn program_engine(
+        device: SmartSsd,
+        image: Xclbin,
+        engine: CsdInferenceEngine,
+    ) -> Result<Self, RuntimeError> {
+        let mut runtime = DeviceRuntime::new(device);
+
+        // Weights on bank 0, sequence data on bank 1 (two-bank policy).
+        let weight_buf = runtime.alloc_buffer(0, engine.weights().device_bytes())?;
+        let seq_buf = runtime.alloc_buffer(1, 4096)?;
+        runtime.migrate_to_device(weight_buf)?;
+
+        // Register the kernel instances with their per-item durations
+        // straight from the linked image.
+        let micros = |name: &str| Nanos::from_micros(image.per_item_us(name));
+        let k_pre = runtime.register_kernel("kernel_preprocess", micros("kernel_preprocess"));
+        let k_gates = GateKind::ALL.map(|kind| {
+            let name = format!("kernel_gates[{kind:?}]");
+            let d = micros(&name);
+            runtime.register_kernel(name, d)
+        });
+        let k_hidden =
+            runtime.register_kernel("kernel_hidden_state", micros("kernel_hidden_state"));
+
+        Ok(Self {
+            runtime,
+            engine,
+            weight_buf,
+            seq_buf,
+            k_pre,
+            k_gates,
+            k_hidden,
+            model_version: 1,
+        })
+    }
+
+    /// The currently-deployed model version (1 after boot; bumped by
+    /// every [`Self::update_weights`]).
+    pub fn model_version(&self) -> u64 {
+        self.model_version
+    }
+
+    /// Hot-swaps the deployed model with retrained weights — the §III-A
+    /// operational loop: "it is advisable to update the FPGA-based model
+    /// with a version that has been retrained on new ransomware strains
+    /// once they are uncovered in Cyber Threat Intelligence (CTI) feeds".
+    /// The kernel bitstream is compiled once; only the parameter buffers
+    /// move, so the update is a single weight migration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ShapeMismatch`] when the new weights do not
+    /// match the compiled kernel dimensions (the FPGA structure "remains
+    /// fixed regardless of changes in the number of parameters" — to
+    /// change shape, rebuild the [`HostProgram`]), or a migration error.
+    pub fn update_weights(&mut self, weights: &ModelWeights) -> Result<Nanos, RuntimeError> {
+        let new_engine = CsdInferenceEngine::new(weights, self.engine.level());
+        if new_engine.weights().dims() != self.engine.weights().dims() {
+            return Err(RuntimeError::ShapeMismatch);
+        }
+        let done = self.runtime.migrate_to_device(self.weight_buf)?;
+        self.engine = new_engine;
+        self.model_version += 1;
+        Ok(done)
+    }
+
+    /// The functional engine backing this session.
+    pub fn engine(&self) -> &CsdInferenceEngine {
+        &self.engine
+    }
+
+    /// Engages the mitigation: freezes SSD writes so "subsequent
+    /// encryption by the malware" (§IV) cannot land — the action a
+    /// [`crate::monitor::StreamMonitor`] alert triggers.
+    pub fn quarantine(&mut self) {
+        self.runtime.freeze_writes();
+    }
+
+    /// Releases the quarantine after remediation.
+    pub fn release_quarantine(&mut self) {
+        self.runtime.thaw_writes();
+    }
+
+    /// A write attempt against the protected storage (e.g. the ransomware
+    /// sealing another encrypted file); returns `None` when the quarantine
+    /// rejected it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    pub fn attempt_victim_write(&mut self, bytes: u64) -> Option<Nanos> {
+        self.runtime.attempt_host_write(bytes)
+    }
+
+    /// Classifies a sequence stored on the SSD: loads it P2P into FPGA
+    /// DRAM, drives the per-item kernel schedule, and returns the result
+    /// with simulated timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if an enqueue fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence or out-of-vocabulary token.
+    pub fn classify_from_ssd(&mut self, seq: &[usize]) -> Result<DeviceRun, RuntimeError> {
+        assert!(!seq.is_empty(), "empty sequence");
+        let start = self.runtime.now();
+        let before_p2p = self.runtime.summary().p2p_bytes;
+        let bytes = (seq.len() * std::mem::size_of::<u64>()) as u64;
+        self.runtime.p2p_load(self.seq_buf, bytes)?;
+        for _item in seq {
+            // Parameters were migrated once at boot and live in on-chip
+            // buffers; per item, only the sequence data is re-read.
+            // Kernels overlap across items (§III-C's pipeline): each
+            // circuit serializes with itself, so the steady-state item
+            // rate is set by the slowest kernel.
+            self.runtime.enqueue(self.k_pre, &[self.seq_buf])?;
+            for k in self.k_gates {
+                self.runtime.enqueue(k, &[])?;
+            }
+            self.runtime.enqueue(self.k_hidden, &[])?;
+        }
+        let end = self.runtime.wait_all();
+        let classification = self.engine.classify(seq);
+        Ok(DeviceRun {
+            classification,
+            elapsed: end - start,
+            p2p_bytes: self.runtime.summary().p2p_bytes - before_p2p,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csd_nn::{ModelConfig, SequenceClassifier};
+
+    fn weights() -> ModelWeights {
+        ModelWeights::from_model(&SequenceClassifier::new(ModelConfig::paper(), 4))
+    }
+
+    fn seq() -> Vec<usize> {
+        (0..100).map(|i| (7 * i) % 278).collect()
+    }
+
+    #[test]
+    fn weight_file_roundtrip_boots_the_device() {
+        let text = weights().to_text();
+        let mut host =
+            HostProgram::from_weight_file(&text, OptimizationLevel::FixedPoint).expect("boot");
+        let run = host.classify_from_ssd(&seq()).expect("run");
+        assert!(run.elapsed > Nanos::ZERO);
+        assert!((0.0..=1.0).contains(&run.classification.probability));
+    }
+
+    #[test]
+    fn bad_weight_file_is_rejected() {
+        let err = HostProgram::from_weight_file("garbage", OptimizationLevel::Vanilla)
+            .expect_err("must fail");
+        assert!(err.contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn classification_matches_pure_engine() {
+        let w = weights();
+        let mut host = HostProgram::new(&w, OptimizationLevel::FixedPoint).expect("boot");
+        let engine = CsdInferenceEngine::new(&w, OptimizationLevel::FixedPoint);
+        let s = seq();
+        let run = host.classify_from_ssd(&s).expect("run");
+        assert_eq!(run.classification, engine.classify(&s));
+    }
+
+    #[test]
+    fn sequence_data_travels_p2p() {
+        let mut host = HostProgram::new(&weights(), OptimizationLevel::FixedPoint).expect("boot");
+        let run = host.classify_from_ssd(&seq()).expect("run");
+        assert_eq!(run.p2p_bytes, 100 * 8);
+    }
+
+    #[test]
+    fn optimized_level_is_faster_on_device() {
+        let w = weights();
+        let s = seq();
+        let mut vanilla = HostProgram::new(&w, OptimizationLevel::Vanilla).expect("boot");
+        let mut fixed = HostProgram::new(&w, OptimizationLevel::FixedPoint).expect("boot");
+        let tv = vanilla.classify_from_ssd(&s).expect("run").elapsed;
+        let tf = fixed.classify_from_ssd(&s).expect("run").elapsed;
+        assert!(tf < tv, "fixed {tf} vs vanilla {tv}");
+    }
+
+    #[test]
+    fn quarantine_blocks_encryption_writes() {
+        let mut host = HostProgram::new(&weights(), OptimizationLevel::FixedPoint).expect("boot");
+        assert!(host.attempt_victim_write(16 * 1024).is_some());
+        host.quarantine();
+        assert!(host.attempt_victim_write(16 * 1024).is_none());
+        assert!(host.attempt_victim_write(4096).is_none());
+        host.release_quarantine();
+        assert!(host.attempt_victim_write(4096).is_some());
+    }
+
+    #[test]
+    fn program_rejects_mismatched_dimensions() {
+        let image = crate::bitstream::link(
+            OptimizationLevel::FixedPoint,
+            &crate::kernels::LstmDims::paper(),
+            &csd_hls::DeviceProfile::alveo_u200(),
+        )
+        .expect("links");
+        let wrong =
+            ModelWeights::from_model(&SequenceClassifier::new(ModelConfig::tiny(30), 2));
+        assert_eq!(
+            HostProgram::program(&wrong, image).unwrap_err(),
+            RuntimeError::ShapeMismatch
+        );
+    }
+
+    #[test]
+    fn smartssd_image_runs_slower_than_u200() {
+        // The deployment fabric (KU15P) is smaller, so the same design
+        // clamps harder and each item takes longer on-device.
+        let w = weights();
+        let dims = crate::kernels::LstmDims::paper();
+        let s = seq();
+        let elapsed_on = |device: csd_hls::DeviceProfile| {
+            let image = crate::bitstream::link(OptimizationLevel::FixedPoint, &dims, &device)
+                .expect("links");
+            let mut host = HostProgram::program(&w, image).expect("program");
+            host.classify_from_ssd(&s).expect("run").elapsed
+        };
+        let smart = elapsed_on(csd_hls::DeviceProfile::kintex_ku15p());
+        let u200 = elapsed_on(csd_hls::DeviceProfile::alveo_u200());
+        assert!(smart >= u200, "{smart} vs {u200}");
+    }
+
+    #[test]
+    fn cti_weight_update_swaps_the_model() {
+        let old = weights();
+        let retrained =
+            ModelWeights::from_model(&SequenceClassifier::new(ModelConfig::paper(), 99));
+        let mut host = HostProgram::new(&old, OptimizationLevel::FixedPoint).expect("boot");
+        assert_eq!(host.model_version(), 1);
+        let s = seq();
+        let before = host.engine().classify(&s);
+        host.update_weights(&retrained).expect("update");
+        assert_eq!(host.model_version(), 2);
+        let after = host.engine().classify(&s);
+        assert_ne!(before, after, "new weights must change behaviour");
+        // And matches a fresh engine on the retrained weights.
+        let fresh = CsdInferenceEngine::new(&retrained, OptimizationLevel::FixedPoint);
+        assert_eq!(after, fresh.classify(&s));
+    }
+
+    #[test]
+    fn update_rejects_shape_changes() {
+        let mut host = HostProgram::new(&weights(), OptimizationLevel::FixedPoint).expect("boot");
+        let other_shape =
+            ModelWeights::from_model(&SequenceClassifier::new(ModelConfig::tiny(50), 1));
+        let err = host.update_weights(&other_shape).unwrap_err();
+        assert_eq!(err, RuntimeError::ShapeMismatch);
+        assert_eq!(host.model_version(), 1, "failed update must not bump");
+    }
+
+    #[test]
+    fn successive_runs_accumulate_time() {
+        let mut host = HostProgram::new(&weights(), OptimizationLevel::FixedPoint).expect("boot");
+        let a = host.classify_from_ssd(&seq()).expect("run").elapsed;
+        let b = host.classify_from_ssd(&seq()).expect("run").elapsed;
+        // Same work each run (modulo resource-timeline carryover).
+        assert!(b.as_nanos() <= 2 * a.as_nanos());
+    }
+}

@@ -1,0 +1,216 @@
+//! Mixed-precision inference — the paper's §VI future-work direction,
+//! implemented.
+//!
+//! "Mixed precision procedures are commonly utilized in deep learning
+//! models to enhance computational speed and efficiency by performing
+//! operations in lower precision where high precision is not necessary,
+//! and in higher precision where greater accuracy is required. As such,
+//! exploring mixed precision alternatives on CSDs would be a notable
+//! endeavour." (§VI)
+//!
+//! The natural split for this design: the *gate matrix-vector products*
+//! (1,280 multiplies per item — the resource- and latency-critical part)
+//! run at a **low** decimal scale, while the *recurrent state path*
+//! (`C_t`, `h_t`, the FC head — where errors accumulate across 100
+//! timesteps) runs at a **high** scale. Values cross the boundary via
+//! [`csd_fxp::Fixed::rescale`].
+//!
+//! [`MixedPrecisionEngine`] implements that split with `Fixed<LOW>` gates
+//! and `Fixed<HIGH>` state, and reports the accuracy cost so the
+//! trade-off is measurable (`exp_mixed`).
+
+use csd_fxp::{sigmoid_fx_lut, softsign_fx, Fixed};
+use csd_nn::ModelWeights;
+use csd_tensor::{Matrix, Vector};
+
+use crate::engine::Classification;
+use crate::kernels::{GateKind, LstmDims};
+use crate::weights::QuantizedWeights;
+
+/// A CSD engine with low-precision gate arithmetic and high-precision
+/// state arithmetic.
+///
+/// `LOW`/`HIGH` are decimal scale exponents; the paper's uniform design
+/// corresponds to `LOW = HIGH = 6`.
+#[derive(Debug, Clone)]
+pub struct MixedPrecisionEngine<const LOW: u32, const HIGH: u32> {
+    dims: LstmDims,
+    embedding: Matrix<Fixed<LOW>>,
+    gate_w: [Matrix<Fixed<LOW>>; 4],
+    gate_b: [Vector<Fixed<LOW>>; 4],
+    fc_w: Vector<Fixed<HIGH>>,
+    fc_b: Fixed<HIGH>,
+}
+
+impl<const LOW: u32, const HIGH: u32> MixedPrecisionEngine<LOW, HIGH> {
+    /// Quantizes exported weights at the two scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight arrays are inconsistent with their config.
+    pub fn new(weights: &ModelWeights) -> Self {
+        let q = QuantizedWeights::from_model_weights(weights);
+        let dims = q.dims();
+        let (h, z) = (dims.hidden, dims.z());
+        Self {
+            dims,
+            embedding: Matrix::from_f64_flat(
+                dims.vocab,
+                dims.embed,
+                &q.embedding_f64.to_f64_flat(),
+            ),
+            gate_w: std::array::from_fn(|g| {
+                Matrix::from_f64_flat(h, z, &q.gate_w_f64[g].to_f64_flat())
+            }),
+            gate_b: std::array::from_fn(|g| {
+                Vector::from_f64_slice(&q.gate_b_f64[g].to_f64_vec())
+            }),
+            fc_w: Vector::from_f64_slice(&q.fc_w_f64.to_f64_vec()),
+            fc_b: Fixed::from_f64(q.fc_b_f64),
+        }
+    }
+
+    /// The model dimensions.
+    pub fn dims(&self) -> LstmDims {
+        self.dims
+    }
+
+    /// Classifies one sequence with the mixed pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence or out-of-vocabulary token.
+    pub fn classify(&self, seq: &[usize]) -> Classification {
+        assert!(!seq.is_empty(), "empty sequence");
+        let hdim = self.dims.hidden;
+        let mut c: Vector<Fixed<HIGH>> = Vector::zeros(hdim);
+        let mut h: Vector<Fixed<HIGH>> = Vector::zeros(hdim);
+        for &item in seq {
+            assert!(item < self.dims.vocab, "item {item} out of vocabulary");
+            let x = Vector::from(self.embedding.row(item).to_vec());
+            // h enters the gate stage at LOW precision.
+            let h_low: Vector<Fixed<LOW>> =
+                h.iter().map(|v| v.rescale::<LOW>()).collect();
+            let z = h_low.concat(&x);
+            let mut gates: [Vector<Fixed<HIGH>>; 4] =
+                std::array::from_fn(|_| Vector::zeros(hdim));
+            for kind in GateKind::ALL {
+                let g = kind.index();
+                let pre = self.gate_w[g].matvec(&z).add(&self.gate_b[g]);
+                // Gate outputs cross back to HIGH precision before the
+                // activation so the state path stays accurate.
+                gates[g] = pre
+                    .iter()
+                    .map(|v| {
+                        let wide = v.rescale::<HIGH>();
+                        if kind.is_candidate() {
+                            softsign_fx(wide)
+                        } else {
+                            sigmoid_fx_lut(wide)
+                        }
+                    })
+                    .collect();
+            }
+            let [i, f, cbar, o] = [
+                &gates[GateKind::Input.index()],
+                &gates[GateKind::Forget.index()],
+                &gates[GateKind::Candidate.index()],
+                &gates[GateKind::Output.index()],
+            ];
+            c = f.hadamard(&c).add(&i.hadamard(cbar));
+            h = o.hadamard(&c.map(softsign_fx));
+        }
+        let logit = Fixed::<HIGH>::dot(self.fc_w.as_slice(), h.as_slice())
+            .checked_add(self.fc_b)
+            .expect("fc logit overflow");
+        let probability = sigmoid_fx_lut(logit).to_f64();
+        Classification {
+            probability,
+            is_positive: probability >= 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CsdInferenceEngine;
+    use crate::opt::OptimizationLevel;
+    use csd_nn::{ModelConfig, SequenceClassifier};
+
+    fn weights() -> ModelWeights {
+        ModelWeights::from_model(&SequenceClassifier::new(ModelConfig::paper(), 77))
+    }
+
+    fn seq(n: usize) -> Vec<usize> {
+        (0..n).map(|i| (i * 29 + 3) % 278).collect()
+    }
+
+    #[test]
+    fn uniform_66_matches_the_fx6_engine_closely() {
+        let w = weights();
+        let mixed = MixedPrecisionEngine::<6, 6>::new(&w);
+        let uniform = CsdInferenceEngine::new(&w, OptimizationLevel::FixedPoint);
+        for n in [5usize, 50, 100] {
+            let s = seq(n);
+            let a = mixed.classify(&s).probability;
+            let b = uniform.classify(&s).probability;
+            assert!((a - b).abs() < 1e-3, "n={n}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn low4_high8_tracks_f64_reference() {
+        let model = SequenceClassifier::new(ModelConfig::paper(), 78);
+        let w = ModelWeights::from_model(&model);
+        let mixed = MixedPrecisionEngine::<4, 8>::new(&w);
+        let s = seq(100);
+        let drift = (mixed.classify(&s).probability - model.predict_proba(&s)).abs();
+        assert!(drift < 0.05, "drift {drift}");
+    }
+
+    #[test]
+    fn precision_ladder_reduces_drift() {
+        // Averaged over several sequences, more gate precision tracks the
+        // f64 reference at least as well.
+        let model = SequenceClassifier::new(ModelConfig::paper(), 79);
+        let w = ModelWeights::from_model(&model);
+        let drift_for = |probe: &dyn Fn(&[usize]) -> f64| -> f64 {
+            (0..8)
+                .map(|k| {
+                    let s: Vec<usize> = (0..100).map(|i| (i * 17 + k * 31) % 278).collect();
+                    (probe(&s) - model.predict_proba(&s)).abs()
+                })
+                .sum::<f64>()
+                / 8.0
+        };
+        let e3 = MixedPrecisionEngine::<3, 8>::new(&w);
+        let e6 = MixedPrecisionEngine::<6, 8>::new(&w);
+        let d3 = drift_for(&|s| e3.classify(s).probability);
+        let d6 = drift_for(&|s| e6.classify(s).probability);
+        assert!(d6 <= d3 + 1e-6, "scale 6 drift {d6} vs scale 3 drift {d3}");
+        assert!(d6 < 0.01, "uniform-ish drift {d6}");
+    }
+
+    #[test]
+    fn decisions_match_reference_model() {
+        let model = SequenceClassifier::new(ModelConfig::paper(), 80);
+        let w = ModelWeights::from_model(&model);
+        let mixed = MixedPrecisionEngine::<4, 8>::new(&w);
+        let mut agree = 0;
+        for k in 0..10u64 {
+            let s: Vec<usize> = (0..100).map(|i| ((i as u64 * 13 + k * 7) % 278) as usize).collect();
+            if mixed.classify(&s).is_positive == model.predict(&s) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 9, "agreement {agree}/10");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_rejected() {
+        let mixed = MixedPrecisionEngine::<4, 8>::new(&weights());
+        let _ = mixed.classify(&[]);
+    }
+}

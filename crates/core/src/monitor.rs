@@ -1,0 +1,429 @@
+//! The online detection wrapper: from per-window classification to a
+//! deployable monitor.
+//!
+//! The paper's use case is *continuous* protection — "data centers can
+//! execute the classifier continuously in the background" (§I) with
+//! "real-time mitigation upon detecting the presence of ransomware" (§I).
+//! That needs more than a window classifier: a component that consumes
+//! API calls one at a time as the host emits them, maintains the rolling
+//! window, classifies at each stride, and debounces alerts so a single
+//! borderline window (an encrypted-backup burst, say) does not quarantine
+//! a workload.
+//!
+//! [`StreamMonitor`] implements that loop around a
+//! [`CsdInferenceEngine`], with k-of-n vote debouncing and inference-time
+//! accounting from the pipeline schedule.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::CsdInferenceEngine;
+use crate::schedule::PipelineSchedule;
+
+/// Configuration for the streaming monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Rolling-window length (the paper uses 100).
+    pub window_len: usize,
+    /// Classify every `stride` calls once the window is full.
+    pub stride: usize,
+    /// Raise an alert when `votes_needed` of the last `vote_horizon`
+    /// classifications were positive (1-of-1 = alert on first hit).
+    pub votes_needed: usize,
+    /// Number of recent classifications considered for voting.
+    pub vote_horizon: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            window_len: 100,
+            stride: 10,
+            votes_needed: 2,
+            vote_horizon: 3,
+        }
+    }
+}
+
+/// A raised alert.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Index of the API call whose window completed the vote.
+    pub at_call: usize,
+    /// Probability of the triggering window.
+    pub probability: f64,
+    /// Cumulative on-device inference time spent until the alert, in µs
+    /// (from the steady-state pipeline schedule).
+    pub inference_us: f64,
+}
+
+/// Streaming ransomware monitor around a CSD engine.
+#[derive(Debug, Clone)]
+pub struct StreamMonitor {
+    engine: CsdInferenceEngine,
+    config: MonitorConfig,
+    window: VecDeque<usize>,
+    calls_seen: usize,
+    since_classify: usize,
+    votes: VecDeque<bool>,
+    classifications: usize,
+    alerted: Option<Alert>,
+    per_item_us: f64,
+}
+
+impl StreamMonitor {
+    /// Wraps `engine` with the given `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len`, `stride`, `votes_needed`, or `vote_horizon`
+    /// is zero, or `votes_needed > vote_horizon`.
+    pub fn new(engine: CsdInferenceEngine, config: MonitorConfig) -> Self {
+        assert!(config.window_len > 0, "window length must be positive");
+        assert!(config.stride > 0, "stride must be positive");
+        assert!(config.votes_needed > 0, "votes_needed must be positive");
+        assert!(
+            config.votes_needed <= config.vote_horizon,
+            "cannot need more votes than the horizon holds"
+        );
+        let per_item_us = PipelineSchedule::for_level(engine.level()).steady_item_us;
+        Self {
+            engine,
+            config,
+            window: VecDeque::with_capacity(config.window_len),
+            calls_seen: 0,
+            since_classify: 0,
+            votes: VecDeque::with_capacity(config.vote_horizon),
+            classifications: 0,
+            alerted: None,
+            per_item_us,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> MonitorConfig {
+        self.config
+    }
+
+    /// Number of API calls observed so far.
+    pub fn calls_seen(&self) -> usize {
+        self.calls_seen
+    }
+
+    /// Number of window classifications performed so far.
+    pub fn classifications(&self) -> usize {
+        self.classifications
+    }
+
+    /// The alert, if one has been raised (alerts latch: the first one is
+    /// the mitigation trigger).
+    pub fn alert(&self) -> Option<Alert> {
+        self.alerted
+    }
+
+    /// Feeds one API call; returns a newly-raised alert, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-vocabulary token.
+    pub fn observe(&mut self, call: usize) -> Option<Alert> {
+        self.calls_seen += 1;
+        if self.window.len() == self.config.window_len {
+            self.window.pop_front();
+        }
+        self.window.push_back(call);
+        if self.alerted.is_some() || self.window.len() < self.config.window_len {
+            return None;
+        }
+        self.since_classify += 1;
+        let first_full = self.classifications == 0;
+        if !first_full && self.since_classify < self.config.stride {
+            return None;
+        }
+        self.since_classify = 0;
+        let seq: Vec<usize> = self.window.iter().copied().collect();
+        let verdict = self.engine.classify(&seq);
+        self.classifications += 1;
+        if self.votes.len() == self.config.vote_horizon {
+            self.votes.pop_front();
+        }
+        self.votes.push_back(verdict.is_positive);
+        let positive_votes = self.votes.iter().filter(|&&v| v).count();
+        if positive_votes >= self.config.votes_needed {
+            let alert = Alert {
+                at_call: self.calls_seen,
+                probability: verdict.probability,
+                inference_us: self.classifications as f64
+                    * self.config.window_len as f64
+                    * self.per_item_us,
+            };
+            self.alerted = Some(alert);
+            return Some(alert);
+        }
+        None
+    }
+
+    /// Feeds a batch of calls, returning the first alert raised.
+    pub fn observe_all(&mut self, calls: &[usize]) -> Option<Alert> {
+        for &c in calls {
+            if let Some(a) = self.observe(c) {
+                return Some(a);
+            }
+        }
+        None
+    }
+
+    /// Resets the monitor for a new stream (keeps the engine).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.votes.clear();
+        self.calls_seen = 0;
+        self.since_classify = 0;
+        self.classifications = 0;
+        self.alerted = None;
+    }
+}
+
+/// A pool of per-process monitors sharing one engine — the data-center
+/// deployment shape: the CSD protects a host running many processes, and
+/// each process's API stream gets its own rolling window and vote state.
+#[derive(Debug, Clone)]
+pub struct MonitorPool {
+    engine: CsdInferenceEngine,
+    config: MonitorConfig,
+    streams: std::collections::HashMap<u64, StreamMonitor>,
+}
+
+impl MonitorPool {
+    /// Creates a pool; each new process id lazily gets a monitor with
+    /// `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid `config` (see [`StreamMonitor::new`]).
+    pub fn new(engine: CsdInferenceEngine, config: MonitorConfig) -> Self {
+        // Validate the config once, eagerly.
+        let _probe = StreamMonitor::new(engine.clone(), config);
+        Self {
+            engine,
+            config,
+            streams: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Number of processes currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Feeds one API call observed in process `pid`; returns a
+    /// newly-raised alert for that process, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-vocabulary token.
+    pub fn observe(&mut self, pid: u64, call: usize) -> Option<Alert> {
+        let monitor = self
+            .streams
+            .entry(pid)
+            .or_insert_with(|| StreamMonitor::new(self.engine.clone(), self.config));
+        monitor.observe(call)
+    }
+
+    /// The alert state of process `pid`, if tracked.
+    pub fn alert_for(&self, pid: u64) -> Option<Alert> {
+        self.streams.get(&pid).and_then(StreamMonitor::alert)
+    }
+
+    /// Process ids with latched alerts.
+    pub fn alerted_pids(&self) -> Vec<u64> {
+        let mut pids: Vec<u64> = self
+            .streams
+            .iter()
+            .filter(|(_, m)| m.alert().is_some())
+            .map(|(&pid, _)| pid)
+            .collect();
+        pids.sort_unstable();
+        pids
+    }
+
+    /// Drops a finished process's state.
+    pub fn retire(&mut self, pid: u64) {
+        self.streams.remove(&pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::OptimizationLevel;
+    use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};
+
+    /// A model biased hard positive/negative by construction: weights come
+    /// from a trained-ish seed, so we drive the monitor with a model the
+    /// tests control via a threshold trick — instead use real sequences
+    /// where a fresh model produces *some* verdict and we assert the
+    /// mechanics (windowing, strides, voting, latching), which are
+    /// engine-agnostic.
+    fn monitor(config: MonitorConfig) -> StreamMonitor {
+        let model = SequenceClassifier::new(ModelConfig::tiny(16), 9);
+        let engine = CsdInferenceEngine::new(
+            &ModelWeights::from_model(&model),
+            OptimizationLevel::FixedPoint,
+        );
+        StreamMonitor::new(engine, config)
+    }
+
+    fn small_config() -> MonitorConfig {
+        MonitorConfig {
+            window_len: 8,
+            stride: 4,
+            votes_needed: 1,
+            vote_horizon: 1,
+        }
+    }
+
+    #[test]
+    fn no_classification_before_window_fills() {
+        let mut m = monitor(small_config());
+        for c in 0..7usize {
+            m.observe(c % 16);
+        }
+        assert_eq!(m.classifications(), 0);
+        m.observe(7 % 16);
+        assert_eq!(m.classifications(), 1, "first full window classifies");
+    }
+
+    #[test]
+    fn stride_controls_classification_rate() {
+        let mut m = monitor(MonitorConfig {
+            votes_needed: 1,
+            vote_horizon: 1,
+            ..small_config()
+        });
+        // Feed 28 calls: windows complete at call 8, then every 4 calls.
+        let calls: Vec<usize> = (0..28).map(|i| i % 16).collect();
+        for &c in &calls {
+            if m.alert().is_none() {
+                m.observe(c);
+            }
+        }
+        if m.alert().is_none() {
+            // (8) + (12,16,20,24,28) → 6 classifications.
+            assert_eq!(m.classifications(), 6);
+        }
+    }
+
+    #[test]
+    fn voting_debounces_single_positives() {
+        // votes_needed 2 of horizon 3: one positive window cannot alert.
+        let mut m = monitor(MonitorConfig {
+            window_len: 8,
+            stride: 4,
+            votes_needed: 2,
+            vote_horizon: 3,
+        });
+        let mut first_alert_classifications = None;
+        for i in 0..200usize {
+            if let Some(_a) = m.observe(i % 16) {
+                first_alert_classifications = Some(m.classifications());
+                break;
+            }
+        }
+        if let Some(n) = first_alert_classifications {
+            assert!(n >= 2, "an alert needs at least two positive windows");
+        }
+    }
+
+    #[test]
+    fn alerts_latch() {
+        let mut m = monitor(small_config());
+        let mut alerts = 0;
+        for i in 0..400usize {
+            if m.observe(i % 3).is_some() {
+                alerts += 1;
+            }
+        }
+        assert!(alerts <= 1, "alerts must latch");
+        if alerts == 1 {
+            assert!(m.alert().is_some());
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = monitor(small_config());
+        for i in 0..50usize {
+            m.observe(i % 16);
+        }
+        m.reset();
+        assert_eq!(m.calls_seen(), 0);
+        assert_eq!(m.classifications(), 0);
+        assert!(m.alert().is_none());
+    }
+
+    #[test]
+    fn alert_carries_inference_accounting() {
+        let mut m = monitor(small_config());
+        let alert = m.observe_all(&(0..400).map(|i| i % 2).collect::<Vec<_>>());
+        if let Some(a) = alert {
+            assert!(a.inference_us > 0.0);
+            assert!(a.at_call >= m.config().window_len);
+        }
+    }
+
+    #[test]
+    fn pool_isolates_process_streams() {
+        let model = SequenceClassifier::new(ModelConfig::tiny(16), 9);
+        let engine = CsdInferenceEngine::new(
+            &ModelWeights::from_model(&model),
+            OptimizationLevel::FixedPoint,
+        );
+        let mut pool = MonitorPool::new(engine, small_config());
+        // Interleave two processes: each stream fills its own window.
+        for i in 0..200usize {
+            pool.observe(1, i % 16);
+            pool.observe(2, (i + 5) % 16);
+        }
+        assert_eq!(pool.tracked(), 2);
+        // Per-process alert state is independent and consistent.
+        for pid in [1u64, 2] {
+            let direct = pool.alert_for(pid);
+            assert_eq!(pool.alerted_pids().contains(&pid), direct.is_some());
+        }
+        pool.retire(1);
+        assert_eq!(pool.tracked(), 1);
+        assert!(pool.alert_for(1).is_none());
+    }
+
+    #[test]
+    fn pool_matches_single_monitor_per_stream() {
+        let model = SequenceClassifier::new(ModelConfig::tiny(16), 9);
+        let engine = CsdInferenceEngine::new(
+            &ModelWeights::from_model(&model),
+            OptimizationLevel::FixedPoint,
+        );
+        let calls: Vec<usize> = (0..150).map(|i| (i * 7) % 16).collect();
+        let mut single = StreamMonitor::new(engine.clone(), small_config());
+        let single_alert = single.observe_all(&calls);
+        let mut pool = MonitorPool::new(engine, small_config());
+        let mut pool_alert = None;
+        for &c in &calls {
+            if pool_alert.is_none() {
+                pool_alert = pool.observe(7, c);
+            }
+        }
+        assert_eq!(single_alert, pool_alert);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot need more votes")]
+    fn invalid_vote_config_rejected() {
+        let _ = monitor(MonitorConfig {
+            votes_needed: 4,
+            vote_horizon: 3,
+            ..small_config()
+        });
+    }
+}

@@ -1,0 +1,281 @@
+//! Host-side weight ingest and 10^6 quantization.
+//!
+//! §III-D: "We multiply the floating-point values of weights, biases, and
+//! embeddings by this factor before the host initialization shown in
+//! Fig. 2, converting them to integers while preserving significant
+//! digits." [`QuantizedWeights`] performs that conversion from the
+//! [`csd_nn::ModelWeights`] export, keeping both the float and the
+//! fixed-point views so every optimization level can execute functionally.
+
+use csd_fxp::Fx6;
+use csd_nn::ModelWeights;
+use csd_tensor::{Matrix, Vector};
+use serde::{Deserialize, Serialize};
+
+use crate::kernels::LstmDims;
+
+/// The full parameter set in kernel-ready layout: per-gate `H × Z`
+/// matrices over `[h | x]` columns (TF gate order `i f c o`), in both f64
+/// and 10^6-scaled fixed point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedWeights {
+    dims: LstmDims,
+    /// Embedding table, float view.
+    pub embedding_f64: Matrix<f64>,
+    /// Embedding table, quantized view (the buffer DMA'd to FPGA DRAM).
+    pub embedding_fx: Matrix<Fx6>,
+    /// Per-gate combined weights, float view.
+    pub gate_w_f64: [Matrix<f64>; 4],
+    /// Per-gate combined weights, quantized view.
+    pub gate_w_fx: [Matrix<Fx6>; 4],
+    /// Per-gate biases, float view.
+    pub gate_b_f64: [Vector<f64>; 4],
+    /// Per-gate biases, quantized view.
+    pub gate_b_fx: [Vector<Fx6>; 4],
+    /// FC head weights, float view.
+    pub fc_w_f64: Vector<f64>,
+    /// FC head weights, quantized view.
+    pub fc_w_fx: Vector<Fx6>,
+    /// FC head bias, float view.
+    pub fc_b_f64: f64,
+    /// FC head bias, quantized view.
+    pub fc_b_fx: Fx6,
+}
+
+impl QuantizedWeights {
+    /// Ingests an exported weight set, rebuilding the combined per-gate
+    /// matrices from the TensorFlow-convention `kernel`/`recurrent`
+    /// arrays, then quantizing everything at scale 10^6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if array lengths disagree with the export's config.
+    pub fn from_model_weights(w: &ModelWeights) -> Self {
+        let dims = LstmDims {
+            vocab: w.config.vocab,
+            embed: w.config.embed_dim,
+            hidden: w.config.hidden,
+        };
+        let (v, x, h) = (dims.vocab, dims.embed, dims.hidden);
+        assert_eq!(w.embedding.len(), v * x, "embedding size mismatch");
+        assert_eq!(w.lstm_kernel.len(), x * 4 * h, "kernel size mismatch");
+        assert_eq!(w.lstm_recurrent.len(), h * 4 * h, "recurrent size mismatch");
+        assert_eq!(w.lstm_bias.len(), 4 * h, "bias size mismatch");
+        assert_eq!(w.fc_weights.len(), h, "fc size mismatch");
+
+        let embedding_f64 = Matrix::from_f64_flat(v, x, &w.embedding);
+        let z = h + x;
+        let gate_w_f64: [Matrix<f64>; 4] = std::array::from_fn(|g| {
+            let mut m = Matrix::zeros(h, z);
+            for j in 0..h {
+                for hc in 0..h {
+                    *m.get_mut(j, hc) = w.lstm_recurrent[hc * 4 * h + g * h + j];
+                }
+                for xc in 0..x {
+                    *m.get_mut(j, h + xc) = w.lstm_kernel[xc * 4 * h + g * h + j];
+                }
+            }
+            m
+        });
+        let gate_b_f64: [Vector<f64>; 4] = std::array::from_fn(|g| {
+            Vector::from(w.lstm_bias[g * h..(g + 1) * h].to_vec())
+        });
+        let fc_w_f64 = Vector::from(w.fc_weights.clone());
+
+        Self {
+            dims,
+            embedding_fx: Matrix::from_f64_flat(v, x, &embedding_f64.to_f64_flat()),
+            gate_w_fx: std::array::from_fn(|g| {
+                Matrix::from_f64_flat(h, z, &gate_w_f64[g].to_f64_flat())
+            }),
+            gate_b_fx: std::array::from_fn(|g| {
+                Vector::from_f64_slice(&gate_b_f64[g].to_f64_vec())
+            }),
+            fc_w_fx: Vector::from_f64_slice(&fc_w_f64.to_f64_vec()),
+            fc_b_fx: Fx6::from_f64(w.fc_bias),
+            embedding_f64,
+            gate_w_f64,
+            gate_b_f64,
+            fc_w_f64,
+            fc_b_f64: w.fc_bias,
+        }
+    }
+
+    /// The model dimensions.
+    pub fn dims(&self) -> LstmDims {
+        self.dims
+    }
+
+    /// Bytes occupied by the quantized parameter buffers on the device
+    /// (i64 per parameter), for buffer sizing in the host program.
+    pub fn device_bytes(&self) -> u64 {
+        let params = self.dims.vocab * self.dims.embed
+            + 4 * (self.dims.hidden * self.dims.z() + self.dims.hidden)
+            + self.dims.hidden
+            + 1;
+        (params * std::mem::size_of::<i64>()) as u64
+    }
+
+    /// Serializes the quantized parameters into the byte image the host
+    /// DMA's to FPGA DRAM: a 16-byte header (magic, vocab, embed, hidden)
+    /// followed by every raw `i64` little-endian, in kernel consumption
+    /// order (embedding | W_i W_f W_c W_o | b_i b_f b_c b_o | fc_w | fc_b).
+    pub fn to_device_image(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.device_bytes() as usize);
+        out.extend_from_slice(b"CSDW");
+        out.extend_from_slice(&(self.dims.vocab as u32).to_le_bytes());
+        out.extend_from_slice(&(self.dims.embed as u32).to_le_bytes());
+        out.extend_from_slice(&(self.dims.hidden as u32).to_le_bytes());
+        let mut push = |fx: Fx6| out.extend_from_slice(&fx.raw().to_le_bytes());
+        for &v in self.embedding_fx.as_flat() {
+            push(v);
+        }
+        for g in 0..4 {
+            for &v in self.gate_w_fx[g].as_flat() {
+                push(v);
+            }
+        }
+        for g in 0..4 {
+            for &v in self.gate_b_fx[g].as_slice() {
+                push(v);
+            }
+        }
+        for &v in self.fc_w_fx.as_slice() {
+            push(v);
+        }
+        push(self.fc_b_fx);
+        out
+    }
+
+    /// Parses a device image back into raw fixed-point values (used by
+    /// tests to prove the DMA buffer is faithful).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    pub fn parse_device_image(image: &[u8]) -> Result<(LstmDims, Vec<Fx6>), String> {
+        if image.len() < 16 {
+            return Err("image shorter than the header".to_string());
+        }
+        if &image[0..4] != b"CSDW" {
+            return Err("bad magic".to_string());
+        }
+        let word = |at: usize| {
+            u32::from_le_bytes(image[at..at + 4].try_into().expect("4 bytes")) as usize
+        };
+        let dims = LstmDims {
+            vocab: word(4),
+            embed: word(8),
+            hidden: word(12),
+        };
+        let body = &image[16..];
+        if body.len() % 8 != 0 {
+            return Err("payload not i64-aligned".to_string());
+        }
+        let expected =
+            dims.vocab * dims.embed + 4 * (dims.hidden * (dims.hidden + dims.embed)) + 4 * dims.hidden + dims.hidden + 1;
+        if body.len() / 8 != expected {
+            return Err(format!(
+                "expected {expected} parameters, found {}",
+                body.len() / 8
+            ));
+        }
+        let values = body
+            .chunks_exact(8)
+            .map(|c| Fx6::from_raw(i64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect();
+        Ok((dims, values))
+    }
+
+    /// Worst-case quantization error introduced across all parameters.
+    pub fn max_quantization_error(&self) -> f64 {
+        let mut worst: f64 = self
+            .embedding_f64
+            .max_abs_diff(&Matrix::from_f64_flat(
+                self.dims.vocab,
+                self.dims.embed,
+                &self.embedding_fx.to_f64_flat(),
+            ));
+        for g in 0..4 {
+            let dq = Matrix::from_f64_flat(
+                self.dims.hidden,
+                self.dims.z(),
+                &self.gate_w_fx[g].to_f64_flat(),
+            );
+            worst = worst.max(self.gate_w_f64[g].max_abs_diff(&dq));
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csd_nn::{ModelConfig, SequenceClassifier};
+
+    fn weights() -> QuantizedWeights {
+        let model = SequenceClassifier::new(ModelConfig::paper(), 33);
+        QuantizedWeights::from_model_weights(&ModelWeights::from_model(&model))
+    }
+
+    #[test]
+    fn dims_match_paper() {
+        let q = weights();
+        assert_eq!(q.dims(), LstmDims::paper());
+        assert_eq!(q.gate_w_f64[0].rows(), 32);
+        assert_eq!(q.gate_w_f64[0].cols(), 40);
+    }
+
+    #[test]
+    fn quantization_error_within_half_lsb() {
+        let q = weights();
+        assert!(q.max_quantization_error() <= 0.5e-6 + 1e-12);
+    }
+
+    #[test]
+    fn combined_matrix_agrees_with_nn_reconstruction() {
+        // The per-gate matrices rebuilt here must match what csd-nn's own
+        // import produces (same TF layout interpretation).
+        let model = SequenceClassifier::new(ModelConfig::tiny(9), 5);
+        let export = ModelWeights::from_model(&model);
+        let q = QuantizedWeights::from_model_weights(&export);
+        let rebuilt = export.to_model();
+        for g in 0..4 {
+            assert_eq!(q.gate_w_f64[g], *rebuilt.lstm_cell().weight(g));
+            assert_eq!(q.gate_b_f64[g], *rebuilt.lstm_cell().bias(g));
+        }
+    }
+
+    #[test]
+    fn device_bytes_counts_all_parameters() {
+        let q = weights();
+        // 7,505 parameters × 8 bytes.
+        assert_eq!(q.device_bytes(), 7_505 * 8);
+    }
+
+    #[test]
+    fn device_image_roundtrip() {
+        let q = weights();
+        let image = q.to_device_image();
+        assert_eq!(image.len() as u64, 16 + q.device_bytes());
+        let (dims, values) = QuantizedWeights::parse_device_image(&image).expect("parse");
+        assert_eq!(dims, q.dims());
+        assert_eq!(values.len(), 7_505);
+        // First value is embedding[0,0]; last is the FC bias.
+        assert_eq!(values[0], q.embedding_fx.as_flat()[0]);
+        assert_eq!(*values.last().expect("non-empty"), q.fc_b_fx);
+    }
+
+    #[test]
+    fn device_image_rejects_corruption() {
+        let q = weights();
+        let image = q.to_device_image();
+        assert!(QuantizedWeights::parse_device_image(&image[..10]).is_err());
+        let mut bad_magic = image.clone();
+        bad_magic[0] = b'X';
+        assert!(QuantizedWeights::parse_device_image(&bad_magic).is_err());
+        let truncated = &image[..image.len() - 8];
+        let err = QuantizedWeights::parse_device_image(truncated).unwrap_err();
+        assert!(err.contains("expected"), "{err}");
+    }
+}

@@ -1,0 +1,211 @@
+//! The assembled SmartSSD device.
+
+use csd_hls::{Clock, DeviceProfile};
+
+use crate::dram::DramSubsystem;
+use crate::pcie::PcieSwitch;
+use crate::sim::Nanos;
+use crate::ssd::{NvmeSsd, SsdConfig};
+
+/// End-to-end data-movement paths through the device (Fig. 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferPath {
+    /// NAND → FPGA DRAM through the onboard switch (the P2P path).
+    SsdToFpgaP2p,
+    /// NAND → host DRAM → FPGA DRAM (two external link crossings).
+    SsdToFpgaViaHost,
+    /// Host DRAM → FPGA DRAM (weight/initialization upload).
+    HostToFpga,
+    /// NAND → host DRAM (a conventional read).
+    SsdToHost,
+}
+
+/// A complete SmartSSD: SSD + FPGA DRAM + PCIe switch + FPGA fabric profile.
+#[derive(Debug, Clone)]
+pub struct SmartSsd {
+    ssd: NvmeSsd,
+    dram: DramSubsystem,
+    switch: PcieSwitch,
+    fpga: DeviceProfile,
+    kernel_clock: Clock,
+}
+
+impl SmartSsd {
+    /// A SmartSSD: PM1733-class SSD, two DDR banks, Gen3 ×4 switch, and a
+    /// KU15P fabric at the default 300 MHz kernel clock.
+    pub fn new_smartssd() -> Self {
+        Self {
+            ssd: NvmeSsd::new(SsdConfig::pm1733_gen3()),
+            dram: DramSubsystem::two_banks(),
+            switch: PcieSwitch::smartssd(),
+            fpga: DeviceProfile::kintex_ku15p(),
+            kernel_clock: Clock::default_kernel_clock(),
+        }
+    }
+
+    /// The paper's *experimental* stand-in: same storage/switch but the
+    /// Alveo u200 fabric profile (§IV).
+    pub fn new_u200_testbed() -> Self {
+        Self {
+            fpga: DeviceProfile::alveo_u200(),
+            ..Self::new_smartssd()
+        }
+    }
+
+    /// The FPGA fabric profile.
+    pub fn fpga(&self) -> &DeviceProfile {
+        &self.fpga
+    }
+
+    /// The kernel clock.
+    pub fn kernel_clock(&self) -> Clock {
+        self.kernel_clock
+    }
+
+    /// The SSD component.
+    pub fn ssd(&self) -> &NvmeSsd {
+        &self.ssd
+    }
+
+    /// The DRAM subsystem.
+    pub fn dram(&self) -> &DramSubsystem {
+        &self.dram
+    }
+
+    /// The PCIe switch (traffic counters live here).
+    pub fn switch(&self) -> &PcieSwitch {
+        &self.switch
+    }
+
+    /// Mutable DRAM access for the runtime layer.
+    pub(crate) fn dram_mut(&mut self) -> &mut DramSubsystem {
+        &mut self.dram
+    }
+
+    /// Engages the SSD write-freeze (mitigation).
+    pub fn freeze_writes(&mut self) {
+        self.ssd.freeze_writes();
+    }
+
+    /// Releases the SSD write-freeze.
+    pub fn thaw_writes(&mut self) {
+        self.ssd.thaw_writes();
+    }
+
+    /// Attempts a host write of `bytes` to the SSD starting at `now`:
+    /// crosses the external link, then programs NAND. Returns `None` when
+    /// the mitigation freeze rejects it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    pub fn host_write(&mut self, now: Nanos, bytes: u64) -> Option<Nanos> {
+        assert!(bytes > 0, "zero-byte write");
+        if self.ssd.writes_frozen() {
+            // Reject before moving any data; still counts the attempt.
+            return self.ssd.write(now, bytes);
+        }
+        let crossed = self.switch.host_mediated(now, bytes);
+        self.ssd.write(crossed, bytes)
+    }
+
+    /// Executes a transfer starting at `now`; returns the completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    pub fn transfer_at(&mut self, now: Nanos, path: TransferPath, bytes: u64) -> Nanos {
+        assert!(bytes > 0, "zero-byte transfer");
+        match path {
+            TransferPath::SsdToFpgaP2p => {
+                let nand_done = self.ssd.read(now, bytes);
+                let hop_done = self.switch.p2p(nand_done, bytes);
+                self.dram.access(0, hop_done, bytes)
+            }
+            TransferPath::SsdToFpgaViaHost => {
+                let nand_done = self.ssd.read(now, bytes);
+                let bounced = self.switch.host_mediated(nand_done, bytes);
+                self.dram.access(0, bounced, bytes)
+            }
+            TransferPath::HostToFpga => {
+                let crossed = self.switch.host_mediated(now, bytes);
+                self.dram.access(0, crossed, bytes)
+            }
+            TransferPath::SsdToHost => {
+                let nand_done = self.ssd.read(now, bytes);
+                self.switch.host_mediated(nand_done, bytes)
+            }
+        }
+    }
+
+    /// Convenience: transfer duration starting from an idle device at t=0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    pub fn transfer(&mut self, path: TransferPath, bytes: u64) -> Nanos {
+        self.transfer_at(Nanos::ZERO, path, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_beats_host_bounce_end_to_end() {
+        let mut a = SmartSsd::new_smartssd();
+        let mut b = SmartSsd::new_smartssd();
+        let bytes = 4u64 << 20;
+        let p2p = a.transfer(TransferPath::SsdToFpgaP2p, bytes);
+        let host = b.transfer(TransferPath::SsdToFpgaViaHost, bytes);
+        assert!(p2p < host, "{p2p} vs {host}");
+        // And the host path generated external PCIe traffic; P2P did not.
+        assert_eq!(a.switch().host_bytes(), 0);
+        assert_eq!(b.switch().host_bytes(), bytes);
+    }
+
+    #[test]
+    fn host_upload_skips_the_ssd() {
+        let mut dev = SmartSsd::new_smartssd();
+        let done = dev.transfer(TransferPath::HostToFpga, 30_000); // ~weight file
+        assert_eq!(dev.ssd().bytes_read(), 0);
+        // Small upload: dominated by two DMA setups, well under 100 µs.
+        assert!(done.as_micros() < 100.0);
+    }
+
+    #[test]
+    fn ssd_to_host_is_a_plain_read() {
+        let mut dev = SmartSsd::new_smartssd();
+        let done = dev.transfer(TransferPath::SsdToHost, 16 * 1024);
+        // NAND latency dominates (~95 µs) plus the bounce.
+        assert!(done.as_micros() > 95.0);
+        assert_eq!(dev.switch().host_bytes(), 16 * 1024);
+    }
+
+    #[test]
+    fn u200_testbed_has_bigger_fabric() {
+        let smart = SmartSsd::new_smartssd();
+        let u200 = SmartSsd::new_u200_testbed();
+        assert!(u200.fpga().capacity.dsp > smart.fpga().capacity.dsp);
+    }
+
+    #[test]
+    fn write_freeze_blocks_host_writes() {
+        let mut dev = SmartSsd::new_smartssd();
+        assert!(dev.host_write(Nanos::ZERO, 4096).is_some());
+        dev.freeze_writes();
+        assert!(dev.host_write(Nanos::ZERO, 4096).is_none());
+        assert_eq!(dev.ssd().writes_rejected(), 1);
+        dev.thaw_writes();
+        assert!(dev.host_write(Nanos::ZERO, 4096).is_some());
+    }
+
+    #[test]
+    fn sequential_transfers_share_resources() {
+        let mut dev = SmartSsd::new_smartssd();
+        let first = dev.transfer(TransferPath::SsdToFpgaP2p, 1 << 20);
+        let second = dev.transfer_at(Nanos::ZERO, TransferPath::SsdToFpgaP2p, 1 << 20);
+        assert!(second > first, "second transfer queues behind the first");
+    }
+}

@@ -1,0 +1,397 @@
+//! An XRT-like host runtime.
+//!
+//! The paper's host program "is responsible for general control flow,
+//! initiating data transfers, and managing the interaction with the FPGA"
+//! (§III-A) through the Xilinx Runtime (XRT). [`DeviceRuntime`] exposes the
+//! same verbs against the simulated [`SmartSsd`]: allocate device buffers
+//! on DDR banks, migrate host data, load NAND data peer-to-peer, enqueue
+//! kernels, and wait — while a simulated clock advances.
+
+use std::fmt;
+
+use crate::device::{SmartSsd, TransferPath};
+use crate::sim::Nanos;
+
+/// Handle to a device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferHandle(usize);
+
+/// Handle to a registered kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelHandle(usize);
+
+/// Errors surfaced by the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The requested DDR bank does not exist on this device.
+    NoSuchBank {
+        /// Requested bank index.
+        bank: u32,
+        /// Banks available.
+        available: u32,
+    },
+    /// A kernel was enqueued with a buffer that has no data yet.
+    BufferNotResident(BufferHandle),
+    /// A handle did not come from this runtime.
+    BadHandle,
+    /// New data does not match the shape the device was programmed for.
+    ShapeMismatch,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NoSuchBank { bank, available } => {
+                write!(f, "DDR bank {bank} does not exist ({available} banks)")
+            }
+            RuntimeError::BufferNotResident(b) => {
+                write!(f, "buffer {b:?} has not been migrated to the device")
+            }
+            RuntimeError::BadHandle => write!(f, "handle does not belong to this runtime"),
+            RuntimeError::ShapeMismatch => {
+                write!(f, "data shape does not match the programmed design")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[derive(Debug)]
+struct Buffer {
+    bank: u32,
+    bytes: u64,
+    /// Time at which the data is resident in device DRAM (`None` = never).
+    ready_at: Option<Nanos>,
+}
+
+#[derive(Debug)]
+struct Kernel {
+    name: String,
+    run_duration: Nanos,
+    /// Kernel occupancy: a kernel is a physical circuit; runs serialize.
+    busy_until: Nanos,
+    runs: u64,
+}
+
+/// Aggregate statistics of a runtime session.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunSummary {
+    /// Total kernel enqueues completed.
+    pub kernel_runs: u64,
+    /// Bytes moved host↔device.
+    pub migrated_bytes: u64,
+    /// Bytes loaded NAND→FPGA peer-to-peer.
+    pub p2p_bytes: u64,
+    /// The simulated wall-clock at the end of the session.
+    pub elapsed: Nanos,
+}
+
+/// The simulated host runtime session.
+#[derive(Debug)]
+pub struct DeviceRuntime {
+    device: SmartSsd,
+    now: Nanos,
+    buffers: Vec<Buffer>,
+    kernels: Vec<Kernel>,
+    migrated_bytes: u64,
+    p2p_bytes: u64,
+}
+
+impl DeviceRuntime {
+    /// Opens a session on `device` at simulated time zero.
+    pub fn new(device: SmartSsd) -> Self {
+        Self {
+            device,
+            now: Nanos::ZERO,
+            buffers: Vec::new(),
+            kernels: Vec::new(),
+            migrated_bytes: 0,
+            p2p_bytes: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &SmartSsd {
+        &self.device
+    }
+
+    /// Engages the SSD write-freeze — the mitigation a raised alert
+    /// triggers ("real-time mitigation upon detecting the presence of
+    /// ransomware", §I of the reproduced paper).
+    pub fn freeze_writes(&mut self) {
+        self.device.freeze_writes();
+    }
+
+    /// Releases the write-freeze after remediation.
+    pub fn thaw_writes(&mut self) {
+        self.device.thaw_writes();
+    }
+
+    /// A host write attempt against the SSD (e.g. the ransomware trying to
+    /// seal another encrypted file); `None` when the freeze rejected it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    pub fn attempt_host_write(&mut self, bytes: u64) -> Option<Nanos> {
+        self.device.host_write(self.now, bytes)
+    }
+
+    /// Allocates a `bytes`-sized buffer on DDR `bank`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NoSuchBank`] when the bank index is invalid.
+    pub fn alloc_buffer(&mut self, bank: u32, bytes: u64) -> Result<BufferHandle, RuntimeError> {
+        let available = self.device.dram().bank_count();
+        if bank >= available {
+            return Err(RuntimeError::NoSuchBank { bank, available });
+        }
+        self.buffers.push(Buffer {
+            bank,
+            bytes,
+            ready_at: None,
+        });
+        Ok(BufferHandle(self.buffers.len() - 1))
+    }
+
+    /// Migrates host memory into a device buffer (the
+    /// `clEnqueueMigrateMemObjects` step); advances simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadHandle`] for foreign handles.
+    pub fn migrate_to_device(&mut self, buf: BufferHandle) -> Result<Nanos, RuntimeError> {
+        let bytes = self
+            .buffers
+            .get(buf.0)
+            .ok_or(RuntimeError::BadHandle)?
+            .bytes;
+        let done = self
+            .device
+            .transfer_at(self.now, TransferPath::HostToFpga, bytes.max(1));
+        self.migrated_bytes += bytes;
+        self.buffers[buf.0].ready_at = Some(done);
+        Ok(done)
+    }
+
+    /// Loads `bytes` of NAND data into a device buffer peer-to-peer —
+    /// the SmartSSD feature that keeps inference input off the host path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadHandle`] for foreign handles.
+    pub fn p2p_load(&mut self, buf: BufferHandle, bytes: u64) -> Result<Nanos, RuntimeError> {
+        if buf.0 >= self.buffers.len() {
+            return Err(RuntimeError::BadHandle);
+        }
+        let done = self
+            .device
+            .transfer_at(self.now, TransferPath::SsdToFpgaP2p, bytes.max(1));
+        self.p2p_bytes += bytes;
+        self.buffers[buf.0].ready_at = Some(done);
+        Ok(done)
+    }
+
+    /// Registers a kernel circuit whose each run takes `run_duration`.
+    pub fn register_kernel(
+        &mut self,
+        name: impl Into<String>,
+        run_duration: Nanos,
+    ) -> KernelHandle {
+        self.kernels.push(Kernel {
+            name: name.into(),
+            run_duration,
+            busy_until: Nanos::ZERO,
+            runs: 0,
+        });
+        KernelHandle(self.kernels.len() - 1)
+    }
+
+    /// Enqueues one kernel run reading `inputs`; returns its completion
+    /// time. The run starts when the kernel circuit is free *and* every
+    /// input buffer is resident, plus a DRAM access per input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BufferNotResident`] if an input was never
+    /// migrated/loaded, or [`RuntimeError::BadHandle`] for foreign handles.
+    pub fn enqueue(
+        &mut self,
+        kernel: KernelHandle,
+        inputs: &[BufferHandle],
+    ) -> Result<Nanos, RuntimeError> {
+        let k = self.kernels.get(kernel.0).ok_or(RuntimeError::BadHandle)?;
+        let mut start = self.now.max(k.busy_until);
+        for &b in inputs {
+            let buf = self.buffers.get(b.0).ok_or(RuntimeError::BadHandle)?;
+            let ready = buf.ready_at.ok_or(RuntimeError::BufferNotResident(b))?;
+            start = start.max(ready);
+        }
+        // Each input costs one DRAM access on its bank at run start.
+        let mut data_ready = start;
+        for &b in inputs {
+            let (bank, bytes) = {
+                let buf = &self.buffers[b.0];
+                (buf.bank, buf.bytes)
+            };
+            let end = self.device.dram_mut().access(bank, start, bytes);
+            data_ready = data_ready.max(end);
+        }
+        let k = &mut self.kernels[kernel.0];
+        let done = data_ready + k.run_duration;
+        k.busy_until = done;
+        k.runs += 1;
+        Ok(done)
+    }
+
+    /// Blocks (advances simulated time) until every enqueued run finished.
+    pub fn wait_all(&mut self) -> Nanos {
+        let latest = self
+            .kernels
+            .iter()
+            .map(|k| k.busy_until)
+            .fold(self.now, Nanos::max);
+        self.now = latest;
+        latest
+    }
+
+    /// Name of a registered kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign handle.
+    pub fn kernel_name(&self, kernel: KernelHandle) -> &str {
+        &self.kernels[kernel.0].name
+    }
+
+    /// Session statistics so far.
+    pub fn summary(&self) -> RunSummary {
+        RunSummary {
+            kernel_runs: self.kernels.iter().map(|k| k.runs).sum(),
+            migrated_bytes: self.migrated_bytes,
+            p2p_bytes: self.p2p_bytes,
+            elapsed: self
+                .kernels
+                .iter()
+                .map(|k| k.busy_until)
+                .fold(self.now, Nanos::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt() -> DeviceRuntime {
+        DeviceRuntime::new(SmartSsd::new_u200_testbed())
+    }
+
+    #[test]
+    fn alloc_validates_bank() {
+        let mut rt = rt();
+        assert!(rt.alloc_buffer(0, 1024).is_ok());
+        assert!(rt.alloc_buffer(1, 1024).is_ok());
+        let err = rt.alloc_buffer(2, 1024).unwrap_err();
+        assert!(matches!(err, RuntimeError::NoSuchBank { bank: 2, .. }));
+        assert!(err.to_string().contains("bank 2"));
+    }
+
+    #[test]
+    fn enqueue_requires_resident_inputs() {
+        let mut rt = rt();
+        let buf = rt.alloc_buffer(0, 4096).expect("alloc");
+        let k = rt.register_kernel("kernel_preprocess", Nanos::from_micros(0.8));
+        let err = rt.enqueue(k, &[buf]).unwrap_err();
+        assert_eq!(err, RuntimeError::BufferNotResident(buf));
+        rt.migrate_to_device(buf).expect("migrate");
+        assert!(rt.enqueue(k, &[buf]).is_ok());
+    }
+
+    #[test]
+    fn kernel_runs_serialize_on_the_circuit() {
+        let mut rt = rt();
+        let buf = rt.alloc_buffer(0, 64).expect("alloc");
+        rt.migrate_to_device(buf).expect("migrate");
+        let k = rt.register_kernel("gates", Nanos::from_micros(5.0));
+        let first = rt.enqueue(k, &[buf]).expect("run 1");
+        let second = rt.enqueue(k, &[buf]).expect("run 2");
+        assert!(second.as_nanos() >= first.as_nanos() + 5_000);
+    }
+
+    #[test]
+    fn independent_kernels_overlap() {
+        let mut rt = rt();
+        let buf = rt.alloc_buffer(0, 64).expect("alloc");
+        rt.migrate_to_device(buf).expect("migrate");
+        let k1 = rt.register_kernel("cu0", Nanos::from_micros(5.0));
+        let k2 = rt.register_kernel("cu1", Nanos::from_micros(5.0));
+        let a = rt.enqueue(k1, &[buf]).expect("run");
+        let b = rt.enqueue(k2, &[buf]).expect("run");
+        // Both CUs run concurrently (same start, small DRAM skew allowed).
+        assert!(b.as_nanos().abs_diff(a.as_nanos()) < 1_000);
+    }
+
+    #[test]
+    fn wait_all_advances_clock() {
+        let mut rt = rt();
+        let buf = rt.alloc_buffer(0, 64).expect("alloc");
+        rt.migrate_to_device(buf).expect("migrate");
+        let k = rt.register_kernel("hidden", Nanos::from_micros(1.3));
+        rt.enqueue(k, &[buf]).expect("run");
+        let t = rt.wait_all();
+        assert_eq!(rt.now(), t);
+        assert!(t > Nanos::ZERO);
+    }
+
+    #[test]
+    fn p2p_load_counts_traffic() {
+        let mut rt = rt();
+        let buf = rt.alloc_buffer(1, 1 << 20).expect("alloc");
+        rt.p2p_load(buf, 1 << 20).expect("p2p");
+        let s = rt.summary();
+        assert_eq!(s.p2p_bytes, 1 << 20);
+        assert_eq!(s.migrated_bytes, 0);
+    }
+
+    #[test]
+    fn summary_counts_runs() {
+        let mut rt = rt();
+        let buf = rt.alloc_buffer(0, 64).expect("alloc");
+        rt.migrate_to_device(buf).expect("migrate");
+        let k = rt.register_kernel("k", Nanos(100));
+        for _ in 0..5 {
+            rt.enqueue(k, &[buf]).expect("run");
+        }
+        assert_eq!(rt.summary().kernel_runs, 5);
+        assert_eq!(rt.kernel_name(k), "k");
+    }
+
+    #[test]
+    fn freeze_is_reachable_through_the_runtime() {
+        let mut rt = rt();
+        assert!(rt.attempt_host_write(4096).is_some());
+        rt.freeze_writes();
+        assert!(rt.attempt_host_write(4096).is_none());
+        assert_eq!(rt.device().ssd().writes_rejected(), 1);
+        rt.thaw_writes();
+        assert!(rt.attempt_host_write(4096).is_some());
+    }
+
+    #[test]
+    fn foreign_handles_rejected() {
+        let mut rt1 = rt();
+        let mut rt2 = rt();
+        let k = rt1.register_kernel("k", Nanos(1));
+        let buf2 = rt2.alloc_buffer(0, 1).expect("alloc");
+        // rt1 has no buffers: buf from rt2 is out of range here.
+        assert_eq!(rt1.enqueue(k, &[buf2]).unwrap_err(), RuntimeError::BadHandle);
+    }
+}

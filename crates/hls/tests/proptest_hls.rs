@@ -1,0 +1,137 @@
+//! Property-based tests for the HLS estimator's structural invariants.
+
+use csd_hls::{
+    Clock, DeviceProfile, KernelSpec, LoopBody, LoopNest, NumericFormat, Op, Pragmas,
+    PowerModel, ResourceEstimate,
+};
+use proptest::prelude::*;
+
+fn big_budget() -> ResourceEstimate {
+    DeviceProfile::alveo_u200().capacity
+}
+
+fn arb_format() -> impl Strategy<Value = NumericFormat> {
+    prop_oneof![
+        Just(NumericFormat::Float32),
+        Just(NumericFormat::FixedPoint64),
+        Just(NumericFormat::FixedPoint32),
+    ]
+}
+
+proptest! {
+    /// Estimated resources always fit the budget handed to the estimator.
+    #[test]
+    fn resources_respect_budget(
+        trips in 1u32..256,
+        dsp in 4u32..512,
+        format in arb_format(),
+    ) {
+        let budget = ResourceEstimate {
+            dsp,
+            lut: dsp * 500,
+            ff: dsp * 1_000,
+            bram: 64,
+        };
+        let spec = KernelSpec::new("k", format).stage(LoopNest::new(
+            trips,
+            LoopBody::Mac,
+            Pragmas::new().pipeline(1).unroll_full().partition(),
+        ));
+        let est = spec.estimate(&budget);
+        prop_assert!(est.resources.fits_within(&budget), "{} > budget", est.resources);
+    }
+
+    /// Pipelining never increases a loop's latency.
+    #[test]
+    fn pipelining_never_hurts(trips in 2u32..200, format in arb_format()) {
+        let lat = |pragmas: Pragmas| {
+            KernelSpec::new("k", format)
+                .stage(LoopNest::new(trips, LoopBody::Mac, pragmas))
+                .estimate(&big_budget())
+                .timing
+                .fill_cycles
+        };
+        prop_assert!(lat(Pragmas::new().pipeline(1)) <= lat(Pragmas::new()));
+    }
+
+    /// Array partitioning never increases latency (it only relaxes the
+    /// memory-port bound on II).
+    #[test]
+    fn partitioning_never_hurts(trips in 2u32..200, unroll in 1u32..16) {
+        let lat = |partition: bool| {
+            let mut p = Pragmas::new().pipeline(1).unroll(unroll);
+            if partition {
+                p = p.partition();
+            }
+            KernelSpec::new("k", NumericFormat::Float32)
+                .stage(LoopNest::new(trips, LoopBody::Mac, p))
+                .estimate(&big_budget())
+                .timing
+                .fill_cycles
+        };
+        prop_assert!(lat(true) <= lat(false));
+    }
+
+    /// The kernel interval never exceeds its fill latency.
+    #[test]
+    fn interval_at_most_fill(
+        trips in 1u32..128,
+        inner in 1u32..64,
+        format in arb_format(),
+        pipeline_outer in any::<bool>(),
+    ) {
+        let inner_nest = LoopNest::new(inner, LoopBody::Mac, Pragmas::new().pipeline(1).partition());
+        let outer_pragmas = if pipeline_outer {
+            Pragmas::new().pipeline(1)
+        } else {
+            Pragmas::new()
+        };
+        let spec = KernelSpec::new("k", format).stage(LoopNest::new(
+            trips,
+            LoopBody::Nested(Box::new(inner_nest)),
+            outer_pragmas,
+        ));
+        let t = spec.estimate(&big_budget()).timing;
+        prop_assert!(t.interval_cycles <= t.fill_cycles);
+        prop_assert!(t.fill_cycles >= 1);
+    }
+
+    /// Dataflow never makes a multi-stage kernel slower.
+    #[test]
+    fn dataflow_never_hurts(a in 1u32..64, b in 1u32..64, format in arb_format()) {
+        let build = |dataflow: bool| {
+            let spec = KernelSpec::new("k", format)
+                .stage(LoopNest::new(a, LoopBody::Map(vec![Op::Mul, Op::Add]), Pragmas::new().pipeline(1)))
+                .stage(LoopNest::new(b, LoopBody::Map(vec![Op::Add]), Pragmas::new().pipeline(1)));
+            let spec = if dataflow { spec.dataflow() } else { spec };
+            spec.estimate(&big_budget()).timing.fill_cycles
+        };
+        // Dataflow adds a per-stage handoff cycle but overlaps stage
+        // bodies; it can only lose by that constant.
+        prop_assert!(build(true) <= build(false) + 2);
+    }
+
+    /// Streaming never makes a kernel with bursts slower.
+    #[test]
+    fn streaming_never_hurts(words in 1u32..512, format in arb_format()) {
+        let spec = KernelSpec::new("k", format).axi_burst(words);
+        let plain = spec.clone().estimate(&big_budget()).timing.fill_cycles;
+        let streamed = spec.streamed().estimate(&big_budget()).timing.fill_cycles;
+        prop_assert!(streamed <= plain);
+    }
+
+    /// Power is monotone in resources and nonnegative; energy is linear
+    /// in time.
+    #[test]
+    fn power_monotone(dsp in 0u32..4_000, lut in 0u32..500_000, us in 0.0f64..10_000.0) {
+        let model = PowerModel::alveo_u200();
+        let clock = Clock::mhz(300.0);
+        let small = ResourceEstimate { dsp, lut, ff: lut, bram: 0 };
+        let big = ResourceEstimate { dsp: dsp + 1, lut: lut + 1, ff: lut + 1, bram: 1 };
+        prop_assert!(model.total_w(&small, clock) <= model.total_w(&big, clock));
+        prop_assert!(model.energy_uj(&small, clock, us) >= 0.0);
+        let e1 = model.energy_uj(&small, clock, us);
+        let e2 = model.energy_uj(&small, clock, us * 2.0);
+        prop_assert!((e2 - 2.0 * e1).abs() < 1e-6 * (1.0 + e2));
+    }
+}

@@ -1,0 +1,72 @@
+//! Binary cross-entropy loss for the ransomware/benign classification task.
+
+/// Numerically-stable binary cross-entropy from the *logit*:
+/// `L = max(z, 0) − z·y + ln(1 + e^{−|z|})`.
+///
+/// ```rust
+/// use csd_nn::bce_loss;
+/// // Perfectly confident correct prediction → loss near 0.
+/// assert!(bce_loss(20.0, 1.0) < 1e-8);
+/// // Confident wrong prediction → large loss.
+/// assert!(bce_loss(20.0, 0.0) > 19.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `target` is not in `[0, 1]`.
+pub fn bce_loss(logit: f64, target: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&target), "target must be in [0, 1]");
+    logit.max(0.0) - logit * target + (1.0 + (-logit.abs()).exp()).ln()
+}
+
+/// Gradient of [`bce_loss`] with respect to the logit: `σ(z) − y`.
+///
+/// # Panics
+///
+/// Panics if `target` is not in `[0, 1]`.
+pub fn bce_loss_grad(logit: f64, target: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&target), "target must be in [0, 1]");
+    1.0 / (1.0 + (-logit).exp()) - target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_formula_in_stable_region() {
+        for &(z, y) in &[(0.5, 1.0), (-1.2, 0.0), (2.0, 1.0), (0.0, 0.5)] {
+            let p: f64 = 1.0 / (1.0 + (-z as f64).exp());
+            let naive = -(y * p.ln() + (1.0 - y) * (1.0 - p).ln());
+            assert!((bce_loss(z, y) - naive).abs() < 1e-12, "z={z} y={y}");
+        }
+    }
+
+    #[test]
+    fn stable_for_extreme_logits() {
+        assert!(bce_loss(1000.0, 1.0).is_finite());
+        assert!(bce_loss(-1000.0, 0.0).is_finite());
+        assert!(bce_loss(1000.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let eps = 1e-6;
+        for &(z, y) in &[(0.3, 1.0), (-2.0, 0.0), (1.5, 0.0), (0.0, 1.0)] {
+            let numeric = (bce_loss(z + eps, y) - bce_loss(z - eps, y)) / (2.0 * eps);
+            assert!((numeric - bce_loss_grad(z, y)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn grad_sign_points_toward_target() {
+        assert!(bce_loss_grad(0.0, 1.0) < 0.0); // push logit up
+        assert!(bce_loss_grad(0.0, 0.0) > 0.0); // push logit down
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be in")]
+    fn invalid_target_panics() {
+        let _ = bce_loss(0.0, 1.5);
+    }
+}

@@ -1,0 +1,531 @@
+//! From-scratch LSTM cell and layer with full backpropagation-through-time.
+//!
+//! Implements exactly the formulation in the paper's §III-A ("LSTM inner
+//! workings"):
+//!
+//! ```text
+//! i_t = σ(W_i [h_{t−1}, x_t] + b_i)
+//! f_t = σ(W_f [h_{t−1}, x_t] + b_f)
+//! o_t = σ(W_o [h_{t−1}, x_t] + b_o)
+//! C'_t = g(W_C' [h_{t−1}, x_t] + b_C')
+//! C_t = f_t ∗ C_{t−1} + i_t ∗ C'_t
+//! h_t = o_t ∗ g(C_t)
+//! ```
+//!
+//! where `g` is `tanh` classically or `softsign` in the paper's optimized
+//! deployment. With input dim 8 and hidden size 32 the cell holds the
+//! paper's 5,248 LSTM parameters: `4 × (32 × (32+8) + 32)`.
+
+use csd_tensor::{Initializer, Matrix, Vector};
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+
+/// Gate indices into the cell's weight arrays (TensorFlow `i, f, c, o`
+/// order, which the weight export in [`crate::weights`] preserves).
+pub const GATE_I: usize = 0;
+/// Forget gate index.
+pub const GATE_F: usize = 1;
+/// Cell-candidate (`C'`) index.
+pub const GATE_C: usize = 2;
+/// Output gate index.
+pub const GATE_O: usize = 3;
+
+/// Names for the four gates, indexable by the `GATE_*` constants.
+pub const GATE_NAMES: [&str; 4] = ["input", "forget", "candidate", "output"];
+
+/// The recurrent state `(h, C)` carried between timesteps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmState {
+    /// Hidden state `h_t`.
+    pub h: Vector<f64>,
+    /// Cell state `C_t` (never leaves `kernel_hidden_state` on the FPGA).
+    pub c: Vector<f64>,
+}
+
+impl LstmState {
+    /// The all-zero initial state.
+    pub fn zeros(hidden: usize) -> Self {
+        Self {
+            h: Vector::zeros(hidden),
+            c: Vector::zeros(hidden),
+        }
+    }
+}
+
+/// Per-timestep cache retained by the forward pass for BPTT.
+#[derive(Debug, Clone)]
+pub struct StepCache {
+    /// Concatenated input `z = [h_{t−1}, x_t]`.
+    pub z: Vector<f64>,
+    /// Gate pre-activations `a_g = W_g z + b_g` in gate order.
+    pub pre: [Vector<f64>; 4],
+    /// Gate outputs (`i`, `f`, `C'`, `o`).
+    pub gate: [Vector<f64>; 4],
+    /// Previous cell state `C_{t−1}`.
+    pub c_prev: Vector<f64>,
+    /// New cell state `C_t`.
+    pub c: Vector<f64>,
+    /// New hidden state `h_t`.
+    pub h: Vector<f64>,
+}
+
+/// Gradients for one LSTM cell, with the same shapes as its parameters.
+#[derive(Debug, Clone)]
+pub struct LstmGrads {
+    /// Per-gate weight gradients (`H × (H+X)` each).
+    pub w: [Matrix<f64>; 4],
+    /// Per-gate bias gradients.
+    pub b: [Vector<f64>; 4],
+}
+
+/// A single LSTM cell: four gates over the concatenated `[h_{t−1}, x_t]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmCell {
+    input_dim: usize,
+    hidden: usize,
+    /// Gate weights, each `hidden × (hidden + input_dim)`, gate order
+    /// `i, f, c, o`. Column layout is `[h-part | x-part]`, matching the
+    /// paper's `[h_{t−1}, x_t]` concatenation.
+    w: [Matrix<f64>; 4],
+    b: [Vector<f64>; 4],
+    cell_act: Activation,
+}
+
+impl LstmCell {
+    /// Creates a cell with Xavier-initialized weights and zero biases
+    /// (forget-gate bias set to 1, the standard trick TensorFlow applies via
+    /// `unit_forget_bias=True`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim` or `hidden` is zero, or `cell_act` is
+    /// [`Activation::Sigmoid`] (a sigmoid cell activation cannot represent
+    /// negative cell updates).
+    pub fn new(input_dim: usize, hidden: usize, cell_act: Activation, seed: u64) -> Self {
+        assert!(input_dim > 0 && hidden > 0, "dims must be positive");
+        assert!(
+            cell_act != Activation::Sigmoid,
+            "cell activation must be tanh or softsign"
+        );
+        let z = hidden + input_dim;
+        let w = [
+            Initializer::XavierUniform.matrix(hidden, z, seed.wrapping_mul(4).wrapping_add(1)),
+            Initializer::XavierUniform.matrix(hidden, z, seed.wrapping_mul(4).wrapping_add(2)),
+            Initializer::XavierUniform.matrix(hidden, z, seed.wrapping_mul(4).wrapping_add(3)),
+            Initializer::XavierUniform.matrix(hidden, z, seed.wrapping_mul(4).wrapping_add(4)),
+        ];
+        let mut b = [
+            Vector::zeros(hidden),
+            Vector::zeros(hidden),
+            Vector::zeros(hidden),
+            Vector::zeros(hidden),
+        ];
+        for j in 0..hidden {
+            b[GATE_F][j] = 1.0;
+        }
+        Self {
+            input_dim,
+            hidden,
+            w,
+            b,
+            cell_act,
+        }
+    }
+
+    /// Input dimension `X` (the embedding size).
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden size `H`.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// The cell activation `g` (tanh or softsign).
+    pub fn cell_activation(&self) -> Activation {
+        self.cell_act
+    }
+
+    /// Gate weight matrix (gate order `i, f, c, o`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate > 3`.
+    pub fn weight(&self, gate: usize) -> &Matrix<f64> {
+        &self.w[gate]
+    }
+
+    /// Gate bias vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate > 3`.
+    pub fn bias(&self, gate: usize) -> &Vector<f64> {
+        &self.b[gate]
+    }
+
+    /// Mutable gate weight (used by weight import).
+    pub(crate) fn weight_mut(&mut self, gate: usize) -> &mut Matrix<f64> {
+        &mut self.w[gate]
+    }
+
+    /// Mutable gate bias (used by weight import).
+    pub(crate) fn bias_mut(&mut self, gate: usize) -> &mut Vector<f64> {
+        &mut self.b[gate]
+    }
+
+    /// Number of trainable parameters: `4 × (H × (H+X) + H)`.
+    pub fn num_parameters(&self) -> usize {
+        4 * (self.hidden * (self.hidden + self.input_dim) + self.hidden)
+    }
+
+    /// One forward timestep, returning the new state and the BPTT cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `state` have mismatched dimensions.
+    pub fn step(&self, x: &Vector<f64>, state: &LstmState) -> (LstmState, StepCache) {
+        assert_eq!(x.len(), self.input_dim, "input dim mismatch");
+        assert_eq!(state.h.len(), self.hidden, "hidden dim mismatch");
+        let z = state.h.concat(x);
+        let mut pre: [Vector<f64>; 4] = std::array::from_fn(|g| {
+            self.w[g].matvec(&z).add(&self.b[g])
+        });
+        let gate: [Vector<f64>; 4] = std::array::from_fn(|g| {
+            let act = if g == GATE_C {
+                self.cell_act
+            } else {
+                Activation::Sigmoid
+            };
+            pre[g].map(|v| act.apply(v))
+        });
+        // C_t = f ∗ C_{t−1} + i ∗ C'
+        let c = gate[GATE_F]
+            .hadamard(&state.c)
+            .add(&gate[GATE_I].hadamard(&gate[GATE_C]));
+        // h_t = o ∗ g(C_t)
+        let h = gate[GATE_O].hadamard(&c.map(|v| self.cell_act.apply(v)));
+        // `pre` is moved into the cache after `gate` is computed from it.
+        let cache = StepCache {
+            z,
+            pre: std::mem::replace(
+                &mut pre,
+                std::array::from_fn(|_| Vector::zeros(0)),
+            ),
+            gate,
+            c_prev: state.c.clone(),
+            c: c.clone(),
+            h: h.clone(),
+        };
+        (LstmState { h, c }, cache)
+    }
+
+    /// Zero-initialized gradients with this cell's shapes.
+    pub fn zero_grads(&self) -> LstmGrads {
+        let z = self.hidden + self.input_dim;
+        LstmGrads {
+            w: std::array::from_fn(|_| Matrix::zeros(self.hidden, z)),
+            b: std::array::from_fn(|_| Vector::zeros(self.hidden)),
+        }
+    }
+
+    /// One BPTT step: consumes `d_h` (gradient wrt `h_t`) and `d_c`
+    /// (gradient wrt `C_t` from the future), accumulates into `grads`, and
+    /// returns `(d_h_prev, d_c_prev, d_x)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_backward(
+        &self,
+        cache: &StepCache,
+        d_h: &Vector<f64>,
+        d_c_future: &Vector<f64>,
+        grads: &mut LstmGrads,
+    ) -> (Vector<f64>, Vector<f64>, Vector<f64>) {
+        let h = self.hidden;
+        // dC_t = dC_future + dh ∗ o ∗ g'(C_t)
+        let g_of_c = cache.c.map(|v| self.cell_act.apply(v));
+        let mut d_c = Vector::zeros(h);
+        for j in 0..h {
+            let gp = self.cell_act.derivative(cache.c[j]);
+            d_c[j] = d_c_future[j] + d_h[j] * cache.gate[GATE_O][j] * gp;
+        }
+        // Per-gate pre-activation gradients.
+        let mut d_pre: [Vector<f64>; 4] = std::array::from_fn(|_| Vector::zeros(h));
+        for j in 0..h {
+            // do = dh ∗ g(C_t); da_o = do σ'(a_o)
+            d_pre[GATE_O][j] = d_h[j]
+                * g_of_c[j]
+                * Activation::Sigmoid.derivative_from_output(cache.gate[GATE_O][j]);
+            // df = dC ∗ C_{t−1}
+            d_pre[GATE_F][j] = d_c[j]
+                * cache.c_prev[j]
+                * Activation::Sigmoid.derivative_from_output(cache.gate[GATE_F][j]);
+            // di = dC ∗ C'
+            d_pre[GATE_I][j] = d_c[j]
+                * cache.gate[GATE_C][j]
+                * Activation::Sigmoid.derivative_from_output(cache.gate[GATE_I][j]);
+            // dC' = dC ∗ i
+            d_pre[GATE_C][j] =
+                d_c[j] * cache.gate[GATE_I][j] * self.cell_act.derivative(cache.pre[GATE_C][j]);
+        }
+        // Weight/bias gradients: dW_g += da_g ⊗ z ; db_g += da_g.
+        let zlen = cache.z.len();
+        for g in 0..4 {
+            for r in 0..h {
+                let dv = d_pre[g][r];
+                if dv == 0.0 {
+                    continue;
+                }
+                for c in 0..zlen {
+                    *grads.w[g].get_mut(r, c) += dv * cache.z[c];
+                }
+                grads.b[g][r] += dv;
+            }
+        }
+        // dz = Σ_g W_gᵀ da_g
+        let mut d_z = Vector::zeros(zlen);
+        for g in 0..4 {
+            d_z = d_z.add(&self.w[g].vecmat(&d_pre[g]));
+        }
+        let d_h_prev = Vector::from(d_z.as_slice()[..h].to_vec());
+        let d_x = Vector::from(d_z.as_slice()[h..].to_vec());
+        // dC_{t−1} = dC_t ∗ f
+        let d_c_prev = d_c.hadamard(&cache.gate[GATE_F]);
+        (d_h_prev, d_c_prev, d_x)
+    }
+
+    /// Applies `params -= lr * grads` in place.
+    pub fn apply_gradients(&mut self, grads: &LstmGrads, lr: f64) {
+        for g in 0..4 {
+            self.w[g] = self.w[g].add(&grads.w[g].scale(-lr));
+            self.b[g] = self.b[g].add(&grads.b[g].scale(-lr));
+        }
+    }
+}
+
+/// Runs an [`LstmCell`] over whole sequences, producing the final hidden
+/// state (the paper classifies from `h_T` only) and the caches for BPTT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmLayer {
+    cell: LstmCell,
+}
+
+impl LstmLayer {
+    /// Wraps a cell.
+    pub fn new(cell: LstmCell) -> Self {
+        Self { cell }
+    }
+
+    /// The wrapped cell.
+    pub fn cell(&self) -> &LstmCell {
+        &self.cell
+    }
+
+    /// Mutable access to the wrapped cell.
+    pub fn cell_mut(&mut self) -> &mut LstmCell {
+        &mut self.cell
+    }
+
+    /// Forward pass over a sequence of input vectors, returning the final
+    /// state and per-step caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn forward(&self, xs: &[Vector<f64>]) -> (LstmState, Vec<StepCache>) {
+        assert!(!xs.is_empty(), "empty sequence");
+        let mut state = LstmState::zeros(self.cell.hidden());
+        let mut caches = Vec::with_capacity(xs.len());
+        for x in xs {
+            let (next, cache) = self.cell.step(x, &state);
+            state = next;
+            caches.push(cache);
+        }
+        (state, caches)
+    }
+
+    /// Full BPTT from a gradient on the final hidden state.
+    ///
+    /// Returns the gradient with respect to each input vector (reverse
+    /// chronological order re-reversed so index `t` matches input `t`).
+    pub fn backward(
+        &self,
+        caches: &[StepCache],
+        d_h_final: &Vector<f64>,
+        grads: &mut LstmGrads,
+    ) -> Vec<Vector<f64>> {
+        let h = self.cell.hidden();
+        let mut d_h = d_h_final.clone();
+        let mut d_c = Vector::zeros(h);
+        let mut d_xs = Vec::with_capacity(caches.len());
+        for cache in caches.iter().rev() {
+            let (d_h_prev, d_c_prev, d_x) = self.cell.step_backward(cache, &d_h, &d_c, grads);
+            d_h = d_h_prev;
+            d_c = d_c_prev;
+            d_xs.push(d_x);
+        }
+        d_xs.reverse();
+        d_xs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cell(act: Activation) -> LstmCell {
+        LstmCell::new(3, 4, act, 7)
+    }
+
+    #[test]
+    fn paper_parameter_count() {
+        let cell = LstmCell::new(8, 32, Activation::Softsign, 0);
+        assert_eq!(cell.num_parameters(), 5_248);
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let cell = tiny_cell(Activation::Tanh);
+        assert!(cell.bias(GATE_F).iter().all(|&v| v == 1.0));
+        assert!(cell.bias(GATE_I).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn step_shapes() {
+        let cell = tiny_cell(Activation::Softsign);
+        let (state, cache) = cell.step(&Vector::zeros(3), &LstmState::zeros(4));
+        assert_eq!(state.h.len(), 4);
+        assert_eq!(state.c.len(), 4);
+        assert_eq!(cache.z.len(), 7);
+    }
+
+    #[test]
+    fn hidden_state_bounded_by_one() {
+        // |h| = |o ∗ g(C)| < 1 since σ < 1 and |g| < 1.
+        let cell = tiny_cell(Activation::Softsign);
+        let mut state = LstmState::zeros(4);
+        for t in 0..200 {
+            let x = Vector::from(vec![(t as f64).sin() * 5.0, 1.0, -2.0]);
+            state = cell.step(&x, &state).0;
+            assert!(state.h.iter().all(|&v| v.abs() < 1.0), "t={t}");
+        }
+    }
+
+    #[test]
+    fn cell_state_growth_at_most_linear() {
+        // |C_t| <= f·|C_{t−1}| + i·|C'| <= |C_{t−1}| + 1.
+        let cell = tiny_cell(Activation::Tanh);
+        let mut state = LstmState::zeros(4);
+        for t in 1..100 {
+            let x = Vector::from(vec![3.0, -3.0, 3.0]);
+            state = cell.step(&x, &state).0;
+            assert!(state.c.iter().all(|&v| v.abs() <= t as f64 + 1e-9));
+        }
+    }
+
+    /// Numerical-gradient check of the full BPTT path — the canonical test
+    /// that the hand-derived backward pass is correct.
+    #[test]
+    fn bptt_matches_numerical_gradient() {
+        for act in [Activation::Tanh, Activation::Softsign] {
+            let mut cell = tiny_cell(act);
+            let layer = LstmLayer::new(cell.clone());
+            let xs: Vec<Vector<f64>> = (0..5)
+                .map(|t| Vector::from(vec![0.3 * t as f64, -0.2, 0.1 * t as f64]))
+                .collect();
+            // Loss = sum(h_T): d_h_final = ones.
+            let (_, caches) = layer.forward(&xs);
+            let mut grads = layer.cell().zero_grads();
+            layer.backward(&caches, &Vector::from(vec![1.0; 4]), &mut grads);
+
+            let eps = 1e-6;
+            let loss = |cell: &LstmCell| -> f64 {
+                let layer = LstmLayer::new(cell.clone());
+                let (state, _) = layer.forward(&xs);
+                state.h.iter().sum()
+            };
+            // Spot-check several weight coordinates in every gate.
+            for g in 0..4 {
+                for &(r, c) in &[(0usize, 0usize), (1, 3), (3, 6), (2, 2)] {
+                    let orig = cell.weight(g).get(r, c);
+                    *cell.weight_mut(g).get_mut(r, c) = orig + eps;
+                    let up = loss(&cell);
+                    *cell.weight_mut(g).get_mut(r, c) = orig - eps;
+                    let down = loss(&cell);
+                    *cell.weight_mut(g).get_mut(r, c) = orig;
+                    let numeric = (up - down) / (2.0 * eps);
+                    let analytic = grads.w[g].get(r, c);
+                    assert!(
+                        (numeric - analytic).abs() < 1e-4,
+                        "{act:?} gate {g} ({r},{c}): numeric {numeric} vs analytic {analytic}"
+                    );
+                }
+                // And one bias coordinate.
+                let orig = cell.bias(g)[1];
+                cell.bias_mut(g)[1] = orig + eps;
+                let up = loss(&cell);
+                cell.bias_mut(g)[1] = orig - eps;
+                let down = loss(&cell);
+                cell.bias_mut(g)[1] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                assert!(
+                    (numeric - grads.b[g][1]).abs() < 1e-4,
+                    "{act:?} gate {g} bias"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bptt_input_gradient_matches_numerical() {
+        let cell = tiny_cell(Activation::Softsign);
+        let layer = LstmLayer::new(cell.clone());
+        let xs: Vec<Vector<f64>> = (0..4)
+            .map(|t| Vector::from(vec![0.2 * t as f64, 0.5, -0.4]))
+            .collect();
+        let (_, caches) = layer.forward(&xs);
+        let mut grads = cell.zero_grads();
+        let d_xs = layer.backward(&caches, &Vector::from(vec![1.0; 4]), &mut grads);
+
+        let eps = 1e-6;
+        for (t, k) in [(0usize, 1usize), (2, 0), (3, 2)] {
+            let bump = |delta: f64| -> f64 {
+                let mut xs2 = xs.clone();
+                xs2[t][k] += delta;
+                let (state, _) = layer.forward(&xs2);
+                state.h.iter().sum()
+            };
+            let numeric = (bump(eps) - bump(-eps)) / (2.0 * eps);
+            assert!(
+                (numeric - d_xs[t][k]).abs() < 1e-4,
+                "input ({t},{k}): numeric {numeric} vs {:?}",
+                d_xs[t][k]
+            );
+        }
+    }
+
+    #[test]
+    fn apply_gradients_descends() {
+        let mut cell = tiny_cell(Activation::Softsign);
+        let xs: Vec<Vector<f64>> =
+            (0..3).map(|_| Vector::from(vec![1.0, -1.0, 0.5])).collect();
+        let loss = |cell: &LstmCell| {
+            let (state, _) = LstmLayer::new(cell.clone()).forward(&xs);
+            state.h.iter().sum::<f64>()
+        };
+        let before = loss(&cell);
+        let layer = LstmLayer::new(cell.clone());
+        let (_, caches) = layer.forward(&xs);
+        let mut grads = cell.zero_grads();
+        layer.backward(&caches, &Vector::from(vec![1.0; 4]), &mut grads);
+        cell.apply_gradients(&grads, 0.05);
+        assert!(loss(&cell) < before);
+    }
+
+    #[test]
+    #[should_panic(expected = "tanh or softsign")]
+    fn sigmoid_cell_activation_rejected() {
+        let _ = LstmCell::new(2, 2, Activation::Sigmoid, 0);
+    }
+}

@@ -1,0 +1,415 @@
+//! The composed sequence classifier: embedding → LSTM → dense head.
+//!
+//! With the paper's configuration ([`ModelConfig::paper`]) the model holds
+//! the paper's 7,472 embedding+LSTM parameters (2,224 + 5,248) plus the
+//! fully-connected head's 32 weights and one bias — 7,505 in total.
+
+use csd_tensor::{Matrix, Vector};
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::embedding::Embedding;
+use crate::loss::{bce_loss, bce_loss_grad};
+use crate::lstm::{LstmCell, LstmGrads, LstmLayer};
+
+/// Architecture hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Vocabulary size `M` (number of distinct sequence items).
+    pub vocab: usize,
+    /// Embedding dimension `O`.
+    pub embed_dim: usize,
+    /// LSTM hidden size `H`.
+    pub hidden: usize,
+    /// Cell activation (`tanh` classically; `softsign` as deployed).
+    pub cell_activation: Activation,
+}
+
+impl ModelConfig {
+    /// The paper's exact architecture (§IV, Testing environment): 278-item
+    /// vocabulary, embedding 8, hidden 32, softsign cell activation —
+    /// 7,472 embedding+LSTM parameters, 7,505 with the head.
+    pub fn paper() -> Self {
+        Self {
+            vocab: 278,
+            embed_dim: 8,
+            hidden: 32,
+            cell_activation: Activation::Softsign,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn tiny(vocab: usize) -> Self {
+        Self {
+            vocab,
+            embed_dim: 4,
+            hidden: 8,
+            cell_activation: Activation::Softsign,
+        }
+    }
+}
+
+/// Gradients for every parameter group of the model.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// Embedding-table gradient.
+    pub embedding: Matrix<f64>,
+    /// LSTM gate gradients.
+    pub lstm: LstmGrads,
+    /// Head weight gradient.
+    pub fc_w: Vector<f64>,
+    /// Head bias gradient.
+    pub fc_b: f64,
+}
+
+impl Gradients {
+    /// Elementwise accumulation `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn accumulate(&mut self, other: &Gradients) {
+        self.embedding = self.embedding.add(&other.embedding);
+        for g in 0..4 {
+            self.lstm.w[g] = self.lstm.w[g].add(&other.lstm.w[g]);
+            self.lstm.b[g] = self.lstm.b[g].add(&other.lstm.b[g]);
+        }
+        self.fc_w = self.fc_w.add(&other.fc_w);
+        self.fc_b += other.fc_b;
+    }
+
+    /// Scales every gradient by `k` (used for batch averaging).
+    pub fn scale(&mut self, k: f64) {
+        self.embedding = self.embedding.scale(k);
+        for g in 0..4 {
+            self.lstm.w[g] = self.lstm.w[g].scale(k);
+            self.lstm.b[g] = self.lstm.b[g].scale(k);
+        }
+        self.fc_w = self.fc_w.scale(k);
+        self.fc_b *= k;
+    }
+}
+
+/// The full classifier: `item → embedding → LSTM → σ(w·h_T + b)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequenceClassifier {
+    config: ModelConfig,
+    embedding: Embedding,
+    lstm: LstmLayer,
+    head: Dense,
+}
+
+impl SequenceClassifier {
+    /// Creates a freshly initialized model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension in `config` is zero.
+    pub fn new(config: ModelConfig, seed: u64) -> Self {
+        let embedding = Embedding::new(config.vocab, config.embed_dim, seed);
+        let cell = LstmCell::new(
+            config.embed_dim,
+            config.hidden,
+            config.cell_activation,
+            seed.wrapping_add(1),
+        );
+        let head = Dense::new(config.hidden, seed.wrapping_add(2));
+        Self {
+            config,
+            embedding,
+            lstm: LstmLayer::new(cell),
+            head,
+        }
+    }
+
+    /// Builds a model from explicit components (used by weight import).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the components' shapes disagree with `config`.
+    pub fn from_parts(
+        config: ModelConfig,
+        embedding: Embedding,
+        cell: LstmCell,
+        head: Dense,
+    ) -> Self {
+        assert_eq!(embedding.vocab(), config.vocab, "vocab mismatch");
+        assert_eq!(embedding.dim(), config.embed_dim, "embed dim mismatch");
+        assert_eq!(cell.input_dim(), config.embed_dim, "cell input mismatch");
+        assert_eq!(cell.hidden(), config.hidden, "hidden mismatch");
+        assert_eq!(head.weights().len(), config.hidden, "head mismatch");
+        Self {
+            config,
+            embedding,
+            lstm: LstmLayer::new(cell),
+            head,
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The embedding table.
+    pub fn embedding(&self) -> &Embedding {
+        &self.embedding
+    }
+
+    /// The LSTM cell.
+    pub fn lstm_cell(&self) -> &LstmCell {
+        self.lstm.cell()
+    }
+
+    /// The dense head.
+    pub fn head(&self) -> &Dense {
+        &self.head
+    }
+
+    /// Total trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.embedding.num_parameters()
+            + self.lstm.cell().num_parameters()
+            + self.head.num_parameters()
+    }
+
+    /// The final hidden state for a token sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence or out-of-vocabulary token.
+    pub fn final_hidden(&self, seq: &[usize]) -> Vector<f64> {
+        let xs: Vec<Vector<f64>> = seq.iter().map(|&t| self.embedding.forward(t)).collect();
+        self.lstm.forward(&xs).0.h
+    }
+
+    /// The classification probability `P(positive | seq)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence or out-of-vocabulary token.
+    pub fn predict_proba(&self, seq: &[usize]) -> f64 {
+        self.head.forward(&self.final_hidden(seq))
+    }
+
+    /// Hard classification at threshold 0.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence or out-of-vocabulary token.
+    pub fn predict(&self, seq: &[usize]) -> bool {
+        self.predict_proba(seq) >= 0.5
+    }
+
+    /// Forward + full BPTT for one `(sequence, label)` pair.
+    ///
+    /// Returns the BCE loss and the gradients of every parameter group.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence, an out-of-vocabulary token, or a label
+    /// outside `[0, 1]`.
+    pub fn compute_gradients(&self, seq: &[usize], label: f64) -> (f64, Gradients) {
+        let xs: Vec<Vector<f64>> = seq.iter().map(|&t| self.embedding.forward(t)).collect();
+        let (state, caches) = self.lstm.forward(&xs);
+        let logit = self.head.logit(&state.h);
+        let loss = bce_loss(logit, label);
+        let d_logit = bce_loss_grad(logit, label);
+
+        let mut grads = Gradients {
+            embedding: self.embedding.zero_grad(),
+            lstm: self.lstm.cell().zero_grads(),
+            fc_w: Vector::zeros(self.config.hidden),
+            fc_b: 0.0,
+        };
+        let d_h = self
+            .head
+            .backward(&state.h, d_logit, &mut grads.fc_w, &mut grads.fc_b);
+        let d_xs = self.lstm.backward(&caches, &d_h, &mut grads.lstm);
+        for (t, d_x) in d_xs.iter().enumerate() {
+            self.embedding.backward(seq[t], d_x, &mut grads.embedding);
+        }
+        (loss, grads)
+    }
+
+    /// Zero gradients with this model's shapes.
+    pub fn zero_gradients(&self) -> Gradients {
+        Gradients {
+            embedding: self.embedding.zero_grad(),
+            lstm: self.lstm.cell().zero_grads(),
+            fc_w: Vector::zeros(self.config.hidden),
+            fc_b: 0.0,
+        }
+    }
+
+    /// Flattens all parameters into one vector, in the canonical order
+    /// `embedding | W_i W_f W_c W_o | b_i b_f b_c b_o | fc_w | fc_b`.
+    pub fn flatten_params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_parameters());
+        out.extend_from_slice(&self.embedding.table().to_f64_flat());
+        for g in 0..4 {
+            out.extend_from_slice(&self.lstm.cell().weight(g).to_f64_flat());
+        }
+        for g in 0..4 {
+            out.extend(self.lstm.cell().bias(g).iter().copied());
+        }
+        out.extend(self.head.weights().iter().copied());
+        out.push(self.head.bias());
+        out
+    }
+
+    /// Flattens gradients in the same canonical order as
+    /// [`Self::flatten_params`].
+    pub fn flatten_grads(&self, grads: &Gradients) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_parameters());
+        out.extend_from_slice(&grads.embedding.to_f64_flat());
+        for g in 0..4 {
+            out.extend_from_slice(&grads.lstm.w[g].to_f64_flat());
+        }
+        for g in 0..4 {
+            out.extend(grads.lstm.b[g].iter().copied());
+        }
+        out.extend(grads.fc_w.iter().copied());
+        out.push(grads.fc_b);
+        out
+    }
+
+    /// Writes a flat parameter vector back into the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.num_parameters()`.
+    pub fn assign_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.num_parameters(), "param count mismatch");
+        let mut at = 0;
+        let mut take = |n: usize| {
+            let s = &params[at..at + n];
+            at += n;
+            s
+        };
+        let (v, o, h) = (self.config.vocab, self.config.embed_dim, self.config.hidden);
+        let emb = Matrix::from_f64_flat(v, o, take(v * o));
+        self.embedding = Embedding::from_table(emb);
+        let z = h + o;
+        for g in 0..4 {
+            *self.lstm.cell_mut().weight_mut(g) = Matrix::from_f64_flat(h, z, take(h * z));
+        }
+        for g in 0..4 {
+            *self.lstm.cell_mut().bias_mut(g) = Vector::from(take(h).to_vec());
+        }
+        let fc_w = Vector::from(take(h).to_vec());
+        let fc_b = take(1)[0];
+        self.head.set_parts(fc_w, fc_b);
+        debug_assert_eq!(at, params.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_model_parameter_counts() {
+        let m = SequenceClassifier::new(ModelConfig::paper(), 1);
+        assert_eq!(m.embedding().num_parameters(), 2_224);
+        assert_eq!(m.lstm_cell().num_parameters(), 5_248);
+        // The paper's quoted 7,472 covers embeddings + LSTM.
+        assert_eq!(
+            m.embedding().num_parameters() + m.lstm_cell().num_parameters(),
+            7_472
+        );
+        assert_eq!(m.head().num_parameters(), 33);
+        assert_eq!(m.num_parameters(), 7_505);
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let m = SequenceClassifier::new(ModelConfig::tiny(12), 2);
+        for seq in [[0usize, 3, 5].as_slice(), &[11], &[1, 1, 1, 1, 1]] {
+            let p = m.predict_proba(seq);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn flatten_assign_roundtrip() {
+        let m = SequenceClassifier::new(ModelConfig::tiny(10), 3);
+        let params = m.flatten_params();
+        assert_eq!(params.len(), m.num_parameters());
+        let mut m2 = SequenceClassifier::new(ModelConfig::tiny(10), 99);
+        assert_ne!(m2.flatten_params(), params);
+        m2.assign_params(&params);
+        assert_eq!(m2.flatten_params(), params);
+        // Behaviour matches too.
+        let seq = [1usize, 4, 7, 2];
+        assert_eq!(m.predict_proba(&seq), m2.predict_proba(&seq));
+    }
+
+    #[test]
+    fn gradient_descent_fits_two_sequences() {
+        // The classic overfit-two-examples sanity check for the whole model.
+        let mut m = SequenceClassifier::new(ModelConfig::tiny(8), 5);
+        let pos = [1usize, 2, 3, 4];
+        let neg = [5usize, 6, 7, 0];
+        for _ in 0..300 {
+            let mut params = m.flatten_params();
+            let (_, gp) = m.compute_gradients(&pos, 1.0);
+            let (_, gn) = m.compute_gradients(&neg, 0.0);
+            let mut acc = gp;
+            acc.accumulate(&gn);
+            acc.scale(0.5);
+            let flat = m.flatten_grads(&acc);
+            for (p, g) in params.iter_mut().zip(&flat) {
+                *p -= 0.5 * g;
+            }
+            m.assign_params(&params);
+        }
+        assert!(m.predict_proba(&pos) > 0.9, "{}", m.predict_proba(&pos));
+        assert!(m.predict_proba(&neg) < 0.1, "{}", m.predict_proba(&neg));
+    }
+
+    #[test]
+    fn whole_model_gradient_matches_numerical() {
+        let m = SequenceClassifier::new(ModelConfig::tiny(6), 11);
+        let seq = [0usize, 2, 4, 1];
+        let label = 1.0;
+        let (_, grads) = m.compute_gradients(&seq, label);
+        let flat_grads = m.flatten_grads(&grads);
+        let params = m.flatten_params();
+        let eps = 1e-6;
+        // Spot-check a spread of parameter indices across all groups.
+        let n = params.len();
+        for idx in [0, n / 5, n / 3, n / 2, 2 * n / 3, n - 2, n - 1] {
+            let mut m2 = m.clone();
+            let mut p2 = params.clone();
+            p2[idx] += eps;
+            m2.assign_params(&p2);
+            let (up, _) = m2.compute_gradients(&seq, label);
+            p2[idx] -= 2.0 * eps;
+            m2.assign_params(&p2);
+            let (down, _) = m2.compute_gradients(&seq, label);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - flat_grads[idx]).abs() < 1e-4,
+                "param {idx}: numeric {numeric} vs analytic {}",
+                flat_grads[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_gradients_shapes() {
+        let m = SequenceClassifier::new(ModelConfig::tiny(5), 0);
+        let g = m.zero_gradients();
+        assert_eq!(m.flatten_grads(&g).len(), m.num_parameters());
+        assert!(m.flatten_grads(&g).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics() {
+        let m = SequenceClassifier::new(ModelConfig::tiny(5), 0);
+        let _ = m.predict_proba(&[]);
+    }
+}

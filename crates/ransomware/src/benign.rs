@@ -1,0 +1,434 @@
+//! The benign application suite and manual-interaction generator.
+//!
+//! The paper draws benign traces from "30 popular applications ... selected
+//! from Top Ten lists on The Portable Freeware Collection from years 2018
+//! through 2021" plus "manual interaction" with the desktop (Appendix A).
+//! Each [`BenignProfile`] models one application class as a weighted mix of
+//! user actions over the same 278-call vocabulary — including *hard
+//! negatives* (backup tools, password managers, archivers, AV scanners)
+//! whose file-system and crypto behaviour superficially resembles an
+//! encryption loop.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::api::ApiVocabulary;
+use crate::sandbox::WindowsVersion;
+use crate::variant::TraceBuilder;
+
+/// Relative weights of the behavioural building blocks an app session
+/// interleaves.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BehaviorMix {
+    /// GUI message-loop pumping and window updates.
+    pub ui: u32,
+    /// Opening and reading documents/media.
+    pub file_read: u32,
+    /// Saving files.
+    pub file_write: u32,
+    /// Directory scanning.
+    pub enumeration: u32,
+    /// Network traffic (HTTP or sockets).
+    pub network: u32,
+    /// Registry/settings access.
+    pub registry: u32,
+    /// Crypto operations (hashing, password vaults, encrypted archives).
+    pub crypto: u32,
+    /// Clipboard and input polling.
+    pub clipboard: u32,
+    /// Bulk file encryption (encrypted backups / password-protected
+    /// archives): read → encrypt → write → rename, the classic
+    /// ransomware-lookalike workflow and the corpus's hardest negatives.
+    pub bulk_crypto: u32,
+}
+
+/// One benign application profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenignProfile {
+    /// Application name.
+    pub name: &'static str,
+    /// Behaviour mix sampled during a session.
+    pub mix: BehaviorMix,
+    /// Mean number of user actions per session (trace-length knob).
+    pub actions_mean: u32,
+}
+
+impl BenignProfile {
+    /// The 30-application suite.
+    pub fn suite() -> Vec<BenignProfile> {
+        fn p(name: &'static str, mix: BehaviorMix, actions_mean: u32) -> BenignProfile {
+            BenignProfile {
+                name,
+                mix,
+                actions_mean,
+            }
+        }
+        let m = |ui, file_read, file_write, enumeration, network, registry, crypto, clipboard| {
+            BehaviorMix {
+                ui,
+                file_read,
+                file_write,
+                enumeration,
+                network,
+                registry,
+                crypto,
+                clipboard,
+                bulk_crypto: 0,
+            }
+        };
+        let bulk = |mix: BehaviorMix, bulk_crypto| BehaviorMix { bulk_crypto, ..mix };
+        vec![
+            p("NotepadX", m(6, 3, 2, 0, 0, 1, 0, 2), 120),
+            p("CodePad", m(5, 4, 3, 1, 0, 1, 0, 2), 150),
+            p("MarkdownNotes", m(6, 3, 2, 0, 0, 1, 0, 1), 110),
+            p("HexProbe", m(4, 5, 2, 0, 0, 1, 0, 1), 100),
+            p("MediaPlay", m(7, 6, 0, 1, 1, 1, 0, 0), 140),
+            p("TuneBox", m(6, 5, 0, 2, 1, 1, 0, 0), 130),
+            p("ClipShow", m(7, 5, 0, 1, 0, 0, 0, 0), 100),
+            p("PhotoView", m(6, 5, 1, 2, 0, 1, 0, 1), 120),
+            p("PdfLite", m(6, 5, 0, 0, 0, 1, 0, 1), 110),
+            p("OfficeMini", m(6, 4, 3, 0, 0, 1, 0, 2), 150),
+            p("WebLite", m(5, 2, 1, 0, 8, 1, 0, 1), 180),
+            p("MailDart", m(5, 2, 1, 0, 6, 1, 0, 1), 150),
+            p("ChatterBox", m(6, 1, 1, 0, 7, 1, 0, 2), 160),
+            p("FtpWing", m(3, 3, 3, 2, 7, 1, 0, 0), 140),
+            p("TorrentRay", m(3, 3, 4, 1, 8, 1, 0, 0), 170),
+            p("DownThemAll", m(3, 1, 4, 0, 8, 1, 0, 0), 150),
+            p("SyncDrive", m(2, 5, 5, 4, 6, 1, 0, 0), 180),
+            p("FileCommander", m(5, 3, 2, 7, 0, 1, 0, 2), 160),
+            p("DiskGauge", m(3, 2, 0, 9, 0, 1, 0, 0), 150),
+            p("DupFinder", m(2, 5, 0, 8, 0, 0, 1, 0), 170),
+            p("SearchLight", m(3, 3, 0, 9, 0, 1, 0, 1), 160),
+            p("ZipNimbus", bulk(m(3, 5, 5, 3, 0, 0, 2, 0), 1), 150),
+            p("SevenPack", bulk(m(3, 5, 5, 2, 0, 0, 2, 0), 1), 140),
+            p("BackupBee", bulk(m(2, 6, 6, 5, 0, 1, 1, 0), 2), 200),
+            p("VaultKey", bulk(m(5, 2, 2, 0, 1, 1, 6, 2), 1), 120),
+            p("HashCheck", m(2, 6, 0, 2, 0, 0, 6, 0), 110),
+            p("AvScanLite", m(2, 7, 0, 8, 1, 2, 2, 0), 220),
+            p("RegTidy", m(3, 1, 1, 1, 0, 9, 0, 0), 130),
+            p("SysPulse", m(5, 1, 0, 1, 1, 3, 0, 0), 140),
+            p("SnapShotter", m(6, 1, 2, 0, 0, 1, 0, 4), 110),
+        ]
+    }
+
+    /// Looks an application up by name.
+    pub fn by_name(name: &str) -> Option<BenignProfile> {
+        Self::suite().into_iter().find(|p| p.name == name)
+    }
+
+    /// Generates the API trace of one interactive session.
+    ///
+    /// Deterministic in `(self, os, seed)`.
+    pub fn generate(&self, vocab: &ApiVocabulary, os: WindowsVersion, seed: u64) -> Vec<usize> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ hash(self.name));
+        let mut b = TraceBuilder::new(vocab, &mut rng, os);
+        b.prologue();
+        app_startup(&mut b);
+        let total: u32 = self.mix.ui
+            + self.mix.file_read
+            + self.mix.file_write
+            + self.mix.enumeration
+            + self.mix.network
+            + self.mix.registry
+            + self.mix.crypto
+            + self.mix.clipboard
+            + self.mix.bulk_crypto;
+        assert!(total > 0, "behaviour mix must be non-empty");
+        let actions = self.actions_mean + b.rng.random_range(0..=self.actions_mean / 4);
+        for _ in 0..actions {
+            let mut pick = b.rng.random_range(0..total);
+            let mix = self.mix;
+            let mut take = |w: u32| {
+                if pick < w {
+                    true
+                } else {
+                    pick -= w;
+                    false
+                }
+            };
+            if take(mix.ui) {
+                ui_pump(&mut b);
+            } else if take(mix.file_read) {
+                read_document(&mut b);
+            } else if take(mix.file_write) {
+                save_document(&mut b);
+            } else if take(mix.enumeration) {
+                scan_directory(&mut b);
+            } else if take(mix.network) {
+                network_burst(&mut b);
+            } else if take(mix.registry) {
+                settings_access(&mut b);
+            } else if take(mix.crypto) {
+                crypto_work(&mut b);
+            } else if take(mix.clipboard) {
+                clipboard_touch(&mut b);
+            } else {
+                bulk_encrypt_files(&mut b);
+            }
+        }
+        app_shutdown(&mut b);
+        b.finish()
+    }
+}
+
+/// The manual-interaction trace: a user driving the desktop (explorer,
+/// window switching, clipboard, launching programs).
+pub fn manual_interaction(vocab: &ApiVocabulary, os: WindowsVersion, seed: u64) -> Vec<usize> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ hash("manual-interaction"));
+    let mut b = TraceBuilder::new(vocab, &mut rng, os);
+    b.prologue();
+    app_startup(&mut b);
+    let actions = 220 + b.rng.random_range(0..60);
+    for _ in 0..actions {
+        match b.rng.random_range(0..10) {
+            0..=3 => ui_pump(&mut b),
+            4 => scan_directory(&mut b),
+            5 => clipboard_touch(&mut b),
+            6 => settings_access(&mut b),
+            7 => {
+                // Launching a program from the shell.
+                b.choice(&["ShellExecuteW", "CreateProcessW"]);
+                b.push("WaitForSingleObject");
+            }
+            8 => read_document(&mut b),
+            _ => {
+                b.push("GetCursorPos");
+                b.choice(&["GetKeyState", "GetAsyncKeyState"]);
+                b.maybe(0.5, "Sleep");
+            }
+        }
+    }
+    app_shutdown(&mut b);
+    b.finish()
+}
+
+fn hash(name: &str) -> u64 {
+    name.bytes().fold(0x9e37_79b9_7f4a_7c15u64, |h, b| {
+        (h ^ b as u64).rotate_left(5).wrapping_mul(0x2545_f491_4f6c_dd1d)
+    })
+}
+
+pub(crate) fn app_startup(b: &mut TraceBuilder<'_, '_>) {
+    b.push("RegisterClassExW");
+    b.push("CreateWindowExW");
+    b.push("ShowWindow");
+    b.push("UpdateWindow");
+    b.push("CoInitializeEx");
+    b.maybe(0.6, "CoCreateInstance");
+    b.push("SHGetKnownFolderPath");
+    b.push("RegOpenKeyExW");
+    b.push_n("RegQueryValueExW", 3);
+    b.push("RegCloseKey");
+}
+
+pub(crate) fn ui_pump(b: &mut TraceBuilder<'_, '_>) {
+    for _ in 0..b.rng.random_range(2..6) {
+        b.choice(&["GetMessageW", "PeekMessageW"]);
+        b.push("TranslateMessage");
+        b.push("DispatchMessageW");
+        b.maybe(0.3, "DefWindowProcW");
+    }
+    b.maybe(0.4, "InvalidateRect");
+    b.maybe(0.3, "GetDC");
+    b.maybe(0.3, "BitBlt");
+    b.maybe(0.3, "ReleaseDC");
+    b.maybe(0.2, "SendMessageW");
+}
+
+pub(crate) fn read_document(b: &mut TraceBuilder<'_, '_>) {
+    b.push("GetFileAttributesW");
+    b.choice(&["CreateFileW", "NtCreateFile"]);
+    b.choice(&["GetFileSizeEx", "GetFileSize"]);
+    let chunks = b.rng.random_range(1..5);
+    for _ in 0..chunks {
+        b.choice(&["ReadFile", "NtReadFile"]);
+    }
+    b.maybe(0.3, "SetFilePointerEx");
+    b.choice(&["CloseHandle", "NtClose"]);
+    b.maybe(0.5, "SetWindowTextW");
+}
+
+fn save_document(b: &mut TraceBuilder<'_, '_>) {
+    b.push("GetTempFileNameW");
+    b.push("CreateFileW");
+    let chunks = b.rng.random_range(1..4);
+    for _ in 0..chunks {
+        b.choice(&["WriteFile", "NtWriteFile"]);
+    }
+    b.push("FlushFileBuffers");
+    b.push("CloseHandle");
+    // Safe-save pattern: replace the original via rename.
+    b.maybe(0.7, "ReplaceFileW");
+    b.maybe(0.3, "MoveFileExW");
+}
+
+fn scan_directory(b: &mut TraceBuilder<'_, '_>) {
+    b.push("FindFirstFileW");
+    let entries = b.rng.random_range(4..15);
+    for _ in 0..entries {
+        b.push("FindNextFileW");
+        b.maybe(0.3, "GetFileAttributesExW");
+    }
+    b.push("FindClose");
+}
+
+fn network_burst(b: &mut TraceBuilder<'_, '_>) {
+    if b.rng.random::<f64>() < 0.5 {
+        b.push("InternetOpenW");
+        b.push("InternetConnectW");
+        b.push("HttpOpenRequestW");
+        b.push("HttpSendRequestW");
+        let reps = b.rng.random_range(1..6);
+
+        b.push_n("InternetReadFile", reps);
+        b.push("InternetCloseHandle");
+    } else {
+        b.push("socket");
+        b.push("connect");
+        for _ in 0..b.rng.random_range(1..5) {
+            b.choice(&["send", "WSASend"]);
+            b.choice(&["recv", "WSARecv"]);
+        }
+        b.push("closesocket");
+    }
+}
+
+pub(crate) fn settings_access(b: &mut TraceBuilder<'_, '_>) {
+    b.push("RegOpenKeyExW");
+    let reps = b.rng.random_range(1..4);
+
+    b.push_n("RegQueryValueExW", reps);
+    b.maybe(0.3, "RegSetValueExW");
+    b.maybe(0.2, "RegEnumValueW");
+    b.push("RegCloseKey");
+}
+
+fn crypto_work(b: &mut TraceBuilder<'_, '_>) {
+    // Hashing or vault access: context + hash, rarely bulk encryption.
+    b.choice(&["CryptAcquireContextW", "BCryptOpenAlgorithmProvider"]);
+    b.push("CryptCreateHash");
+    let reps = b.rng.random_range(1..4);
+
+    b.push_n("CryptHashData", reps);
+    b.push("CryptDestroyHash");
+    b.maybe(0.25, "CryptEncrypt");
+    b.maybe(0.25, "CryptDecrypt");
+    b.choice(&["CryptReleaseContext", "BCryptCloseAlgorithmProvider"]);
+}
+
+/// Encrypted-backup / password-archive workflow: per file, read →
+/// `CryptEncrypt` → write → rename into the archive. Deliberately shaped
+/// like one iteration of a ransomware encryption sweep.
+fn bulk_encrypt_files(b: &mut TraceBuilder<'_, '_>) {
+    b.push("FindFirstFileW");
+    let files = b.rng.random_range(2..6);
+    for _ in 0..files {
+        b.push("FindNextFileW");
+        b.push("GetFileAttributesW");
+        b.choice(&["CreateFileW", "NtCreateFile"]);
+        b.choice(&["GetFileSizeEx", "GetFileSize"]);
+        let chunks = b.rng.random_range(1..4);
+        for _ in 0..chunks {
+            b.choice(&["ReadFile", "NtReadFile"]);
+            b.push("CryptEncrypt");
+            b.choice(&["WriteFile", "NtWriteFile"]);
+        }
+        b.push("SetEndOfFile");
+        b.choice(&["CloseHandle", "NtClose"]);
+        b.maybe(0.6, "MoveFileExW");
+    }
+    b.push("FindClose");
+}
+
+pub(crate) fn clipboard_touch(b: &mut TraceBuilder<'_, '_>) {
+    b.push("OpenClipboard");
+    b.choice(&["GetClipboardData", "SetClipboardData"]);
+    b.maybe(0.2, "EmptyClipboard");
+    b.push("CloseClipboard");
+}
+
+fn app_shutdown(b: &mut TraceBuilder<'_, '_>) {
+    b.maybe(0.6, "RegOpenKeyExW");
+    b.maybe(0.6, "RegSetValueExW");
+    b.maybe(0.6, "RegCloseKey");
+    b.push("DestroyWindow");
+    b.push("CoUninitialize");
+    b.push("ExitProcess");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> ApiVocabulary {
+        ApiVocabulary::windows()
+    }
+
+    #[test]
+    fn suite_has_30_applications() {
+        let suite = BenignProfile::suite();
+        assert_eq!(suite.len(), 30);
+        let mut names: Vec<&str> = suite.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 30, "names are unique");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let v = vocab();
+        let app = BenignProfile::by_name("BackupBee").expect("app");
+        let a = app.generate(&v, WindowsVersion::Win10, 5);
+        let b = app.generate(&v, WindowsVersion::Win10, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_apps_produce_valid_long_traces() {
+        let v = vocab();
+        for app in BenignProfile::suite() {
+            let t = app.generate(&v, WindowsVersion::Win11, 1);
+            assert!(t.len() >= 300, "{}: {}", app.name, t.len());
+            assert!(t.iter().all(|&tok| tok < v.len()));
+        }
+    }
+
+    #[test]
+    fn benign_traces_lack_mass_rename_signature() {
+        // Ransomware renames nearly every file it touches; benign apps
+        // rename only on safe-saves. The per-call rate separates them.
+        let v = vocab();
+        let mv = [v.tok("MoveFileExW"), v.tok("MoveFileW")];
+        for app in BenignProfile::suite() {
+            let t = app.generate(&v, WindowsVersion::Win10, 2);
+            let renames = t.iter().filter(|&&x| mv.contains(&x)).count();
+            let rate = renames as f64 / t.len() as f64;
+            assert!(rate < 0.03, "{}: rename rate {rate}", app.name);
+        }
+    }
+
+    #[test]
+    fn manual_interaction_is_gui_heavy() {
+        let v = vocab();
+        let t = manual_interaction(&v, WindowsVersion::Win10, 3);
+        assert!(t.len() >= 300);
+        let gui: usize = ["GetMessageW", "PeekMessageW", "DispatchMessageW"]
+            .iter()
+            .map(|n| {
+                let tok = v.tok(n);
+                t.iter().filter(|&&x| x == tok).count()
+            })
+            .sum();
+        assert!(gui * 10 > t.len(), "GUI calls should be prominent");
+    }
+
+    #[test]
+    fn hard_negatives_do_use_crypto() {
+        let v = vocab();
+        let vault = BenignProfile::by_name("VaultKey").expect("app");
+        let t = vault.generate(&v, WindowsVersion::Win10, 7);
+        let hash_tok = v.tok("CryptHashData");
+        assert!(t.iter().filter(|&&x| x == hash_tok).count() > 5);
+    }
+}

@@ -1,0 +1,515 @@
+//! Per-variant ransomware behaviour models.
+//!
+//! A [`Variant`] is one of the paper's 78 aggregated samples: a family
+//! profile plus a variant index that perturbs the behaviour (API-level
+//! choices, loop lengths, phase ordering) the way real variants of a family
+//! differ. Detonating a variant (see [`crate::sandbox`]) emits the API-call
+//! trace its execution would produce, phase by phase:
+//!
+//! 1. loader prologue and anti-analysis probes,
+//! 2. host reconnaissance and mutex check,
+//! 3. optional C2 key exchange,
+//! 4. key setup on the family's crypto stack,
+//! 5. optional shadow-copy deletion and lateral propagation,
+//! 6. the file-encryption loop (the detection-critical phase),
+//! 7. ransom note, persistence, epilogue.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::api::ApiVocabulary;
+use crate::family::{CryptoStack, FamilyProfile};
+use crate::sandbox::WindowsVersion;
+
+/// One concrete ransomware sample: a family plus a variant index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variant {
+    family: FamilyProfile,
+    index: u32,
+}
+
+impl Variant {
+    /// Creates variant `index` of `family`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= family.variants`.
+    pub fn new(family: FamilyProfile, index: u32) -> Self {
+        assert!(
+            index < family.variants,
+            "{} has only {} variants",
+            family.name,
+            family.variants
+        );
+        Self { family, index }
+    }
+
+    /// Every variant of every family — the paper's Table II corpus
+    /// (76 variants; the prose's "78" is inconsistent with its own table).
+    pub fn corpus() -> Vec<Variant> {
+        FamilyProfile::all()
+            .into_iter()
+            .flat_map(|f| (0..f.variants).map(move |i| Variant::new(f.clone(), i)))
+            .collect()
+    }
+
+    /// The family profile.
+    pub fn family(&self) -> &FamilyProfile {
+        &self.family
+    }
+
+    /// The variant index within its family.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// A stable identifier like `"Wannacry#3"`.
+    pub fn id(&self) -> String {
+        format!("{}#{}", self.family.name, self.index)
+    }
+
+    /// Generates the API-call trace of one detonation.
+    ///
+    /// Deterministic in `(self, os, seed)`.
+    pub fn generate(&self, vocab: &ApiVocabulary, os: WindowsVersion, seed: u64) -> Vec<usize> {
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            seed ^ (self.index as u64) << 32 ^ hash_name(self.family.name),
+        );
+        let mut b = TraceBuilder::new(vocab, &mut rng, os);
+        let f = &self.family;
+
+        b.prologue();
+        // Masquerade: modern droppers behave like a normal application
+        // for a stretch before detonating, so the earliest sliding
+        // windows of a ransomware trace are genuinely benign-looking —
+        // the "indistinguishable sub-sequences" the paper's Appendix A
+        // discusses. Length varies per variant.
+        b.masquerade(6 + (self.index as usize % 4) * 2);
+        b.anti_analysis(f.anti_analysis);
+        b.recon();
+        b.mutex_check();
+        if f.c2_before_encrypt {
+            b.c2_exchange(self.index % 2 == 0);
+        }
+        b.key_setup(f.crypto_stack);
+        if f.deletes_shadow_copies {
+            b.shadow_copy_deletion();
+        }
+        if f.self_propagates {
+            b.propagation();
+        }
+        // Variant index perturbs the workload size like real variants do.
+        let files = {
+            let base = f.files_encrypted_mean;
+            let jitter = b.rng.random_range(0..=base / 3);
+            base + jitter + self.index * 2
+        };
+        b.encryption_sweep(files, f.crypto_stack, f.polymorphic_infection);
+        b.ransom_note();
+        if f.persistence {
+            b.persistence(self.index % 2 == 1);
+        }
+        b.epilogue();
+        b.finish()
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+/// Shared trace-emission helper for the ransomware and benign generators.
+pub(crate) struct TraceBuilder<'a, 'r> {
+    vocab: &'a ApiVocabulary,
+    pub(crate) rng: &'r mut ChaCha8Rng,
+    os: WindowsVersion,
+    out: Vec<usize>,
+}
+
+impl<'a, 'r> TraceBuilder<'a, 'r> {
+    pub(crate) fn new(
+        vocab: &'a ApiVocabulary,
+        rng: &'r mut ChaCha8Rng,
+        os: WindowsVersion,
+    ) -> Self {
+        Self {
+            vocab,
+            rng,
+            os,
+            out: Vec::with_capacity(2_048),
+        }
+    }
+
+    pub(crate) fn push(&mut self, name: &str) {
+        self.out.push(self.vocab.tok(name));
+    }
+
+    pub(crate) fn push_n(&mut self, name: &str, n: usize) {
+        for _ in 0..n {
+            self.push(name);
+        }
+    }
+
+    /// Emits one of `names`, chosen uniformly.
+    pub(crate) fn choice(&mut self, names: &[&str]) {
+        let i = self.rng.random_range(0..names.len());
+        self.push(names[i]);
+    }
+
+    /// Emits `name` with probability `p`.
+    pub(crate) fn maybe(&mut self, p: f64, name: &str) {
+        if self.rng.random::<f64>() < p {
+            self.push(name);
+        }
+    }
+
+    pub(crate) fn finish(self) -> Vec<usize> {
+        self.out
+    }
+
+    // ---- shared phases -------------------------------------------------
+
+    /// Loader prologue common to any Windows process.
+    pub(crate) fn prologue(&mut self) {
+        self.push("GetSystemTimeAsFileTime");
+        self.push("GetCurrentProcessId");
+        self.push("GetCurrentThreadId");
+        self.push("GetTickCount64");
+        self.push("QueryPerformanceCounter");
+        self.push("GetStartupInfoW");
+        self.push("GetCommandLineW");
+        self.push("GetModuleHandleW");
+        let libs = self.rng.random_range(3..7);
+        for _ in 0..libs {
+            if self.os == WindowsVersion::Win11 && self.rng.random::<f64>() < 0.3 {
+                self.push("LdrLoadDll");
+                self.push("LdrGetProcedureAddress");
+            } else {
+                self.choice(&["LoadLibraryW", "LoadLibraryExW", "LoadLibraryA"]);
+                let procs = self.rng.random_range(2..6);
+                self.push_n("GetProcAddress", procs);
+            }
+        }
+        self.push("HeapCreate");
+        let reps = self.rng.random_range(2..5);
+
+        self.push_n("HeapAlloc", reps);
+    }
+
+    /// Benign-application mimicry (see `Variant::generate`): interleaves
+    /// the same GUI/document/settings actions the benign suite emits.
+    pub(crate) fn masquerade(&mut self, actions: usize) {
+        crate::benign::app_startup(self);
+        for _ in 0..actions {
+            match self.rng.random_range(0..6) {
+                0..=2 => crate::benign::ui_pump(self),
+                3 => crate::benign::read_document(self),
+                4 => crate::benign::settings_access(self),
+                _ => crate::benign::clipboard_touch(self),
+            }
+        }
+    }
+
+    fn anti_analysis(&mut self, level: u8) {
+        for _ in 0..level {
+            self.push("IsDebuggerPresent");
+            self.push("QueryPerformanceCounter");
+            self.choice(&["Sleep", "SleepEx"]);
+            self.push("GetTickCount");
+            self.maybe(0.5, "OutputDebugStringW");
+            self.maybe(0.4, "NtQuerySystemInformation");
+        }
+    }
+
+    fn recon(&mut self) {
+        self.push("GetVersionExW");
+        self.push("GetNativeSystemInfo");
+        self.push("GetComputerNameW");
+        self.push("GetUserNameW");
+        self.push("GlobalMemoryStatusEx");
+        self.push("GetSystemDirectoryW");
+        self.push("GetWindowsDirectoryW");
+        self.push("GetLogicalDrives");
+        let drives = self.rng.random_range(2..5);
+        for _ in 0..drives {
+            self.push("GetDriveTypeW");
+            self.maybe(0.7, "GetVolumeInformationW");
+            self.maybe(0.5, "GetDiskFreeSpaceExW");
+        }
+        self.push("CreateToolhelp32Snapshot");
+        self.push("Process32FirstW");
+        let reps = self.rng.random_range(8..20);
+
+        self.push_n("Process32NextW", reps);
+        self.push("CloseHandle");
+    }
+
+    fn mutex_check(&mut self) {
+        self.push("CreateMutexW");
+        self.push("GetLastError");
+    }
+
+    fn c2_exchange(&mut self, raw_socket: bool) {
+        if raw_socket {
+            self.push("WSAStartup");
+            self.choice(&["getaddrinfo", "gethostbyname", "DnsQuery_W"]);
+            self.push("socket");
+            self.push("connect");
+            self.push("send");
+            self.push("recv");
+            self.maybe(0.5, "send");
+            self.maybe(0.5, "recv");
+            self.push("closesocket");
+            self.push("WSACleanup");
+        } else {
+            self.push("InternetOpenW");
+            self.push("InternetCrackUrlW");
+            self.push("InternetConnectW");
+            self.push("HttpOpenRequestW");
+            self.push("HttpSendRequestW");
+            self.push("HttpQueryInfoW");
+            let reps = self.rng.random_range(1..4);
+
+            self.push_n("InternetReadFile", reps);
+            self.push("InternetCloseHandle");
+        }
+    }
+
+    fn key_setup(&mut self, stack: CryptoStack) {
+        match stack {
+            CryptoStack::CryptoApi => {
+                self.choice(&["CryptAcquireContextW", "CryptAcquireContextA"]);
+                self.push("CryptGenRandom");
+                self.push("CryptGenKey");
+                self.maybe(0.8, "CryptImportKey"); // operator public key
+                self.maybe(0.6, "CryptExportKey"); // wrapped session key
+                self.push("CryptCreateHash");
+                self.push("CryptHashData");
+                self.push("CryptDestroyHash");
+            }
+            CryptoStack::Cng => {
+                self.push("BCryptOpenAlgorithmProvider");
+                self.push("BCryptGenRandom");
+                self.maybe(0.5, "BCryptGenRandom");
+            }
+            CryptoStack::Embedded => {
+                // Custom cipher: key material from the OS RNG only.
+                self.push("CryptGenRandom");
+                self.push("VirtualAlloc");
+                self.push("VirtualProtect");
+            }
+        }
+    }
+
+    fn shadow_copy_deletion(&mut self) {
+        self.push("OpenProcessToken");
+        self.push("LookupPrivilegeValueW");
+        self.push("AdjustTokenPrivileges");
+        // vssadmin delete shadows /all /quiet
+        self.choice(&["CreateProcessW", "ShellExecuteExW", "CreateProcessInternalW"]);
+        self.push("WaitForSingleObject");
+        self.maybe(0.5, "DeviceIoControl");
+        self.push("CloseHandle");
+    }
+
+    fn propagation(&mut self) {
+        self.push("WSAStartup");
+        self.push("NetWkstaGetInfo");
+        self.choice(&["NetServerEnum", "NetShareEnum"]);
+        self.push("WNetOpenEnumW");
+        let peers = self.rng.random_range(3..8);
+        for _ in 0..peers {
+            self.push("WNetEnumResourceW");
+            if self.rng.random::<f64>() < 0.6 {
+                self.push("WNetAddConnection2W");
+                self.push("CopyFileW");
+                self.maybe(0.4, "CreateServiceW");
+                self.maybe(0.4, "StartServiceW");
+                self.push("WNetCancelConnection2W");
+            }
+        }
+        self.push("WNetCloseEnum");
+    }
+
+    /// The encryption loop: enumerate directories, then per file read →
+    /// encrypt → write → rename. This phase dominates the trace, as it
+    /// dominates a real detonation.
+    fn encryption_sweep(&mut self, files: u32, stack: CryptoStack, polymorphic: bool) {
+        let dirs = (files / 12).max(1);
+        let mut remaining = files;
+        for d in 0..dirs {
+            self.push("SetCurrentDirectoryW");
+            self.push("FindFirstFileW");
+            let in_dir = if d + 1 == dirs {
+                remaining
+            } else {
+                (files / dirs).min(remaining)
+            };
+            for _ in 0..in_dir {
+                self.push("FindNextFileW");
+                self.encrypt_one_file(stack, polymorphic);
+            }
+            remaining -= in_dir;
+            self.push("FindClose");
+        }
+    }
+
+    fn encrypt_one_file(&mut self, stack: CryptoStack, polymorphic: bool) {
+        self.push("GetFileAttributesW");
+        self.choice(&["CreateFileW", "NtCreateFile", "NtOpenFile"]);
+        self.choice(&["GetFileSizeEx", "GetFileSize", "NtQueryInformationFile"]);
+        let chunks = self.rng.random_range(1..4);
+        for _ in 0..chunks {
+            self.choice(&["ReadFile", "NtReadFile"]);
+            match stack {
+                CryptoStack::CryptoApi => self.push("CryptEncrypt"),
+                CryptoStack::Cng => self.push("BCryptEncrypt"),
+                CryptoStack::Embedded => {
+                    // In-place custom cipher: no crypto API in the loop.
+                    self.maybe(0.2, "VirtualAlloc");
+                }
+            }
+            self.choice(&["WriteFile", "NtWriteFile"]);
+        }
+        if polymorphic {
+            // Virlock also infects the file with its own body.
+            self.push("CreateFileMappingW");
+            self.push("MapViewOfFile");
+            self.push("WriteFile");
+            self.push("UnmapViewOfFile");
+        }
+        self.push("SetEndOfFile");
+        self.maybe(0.6, "SetFileTime");
+        self.choice(&["CloseHandle", "NtClose"]);
+        self.choice(&["MoveFileExW", "MoveFileW"]);
+        self.maybe(0.3, "SetFileAttributesW");
+    }
+
+    fn ransom_note(&mut self) {
+        self.push("GetTempPathW");
+        self.push("CreateFileW");
+        self.push_n("WriteFile", 2);
+        self.push("CloseHandle");
+        self.maybe(0.5, "SHChangeNotify");
+        // Wallpaper / UI extortion.
+        self.maybe(0.6, "RegOpenKeyExW");
+        self.maybe(0.6, "RegSetValueExW");
+        self.maybe(0.6, "RegCloseKey");
+        self.maybe(0.4, "MessageBoxW");
+        self.maybe(0.3, "ShellExecuteW");
+    }
+
+    fn persistence(&mut self, via_service: bool) {
+        if via_service {
+            self.push("OpenSCManagerW");
+            self.push("CreateServiceW");
+            self.push("StartServiceW");
+            self.push("CloseServiceHandle");
+        } else {
+            self.push("RegOpenKeyExW");
+            self.push("RegSetValueExW");
+            self.push("RegCloseKey");
+        }
+    }
+
+    fn epilogue(&mut self) {
+        let reps = self.rng.random_range(1..4);
+
+        self.push_n("HeapFree", reps);
+        self.maybe(0.5, "CryptReleaseContext");
+        self.push("ExitProcess");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> ApiVocabulary {
+        ApiVocabulary::windows()
+    }
+
+    #[test]
+    fn corpus_matches_table2() {
+        assert_eq!(Variant::corpus().len(), 76);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let v = Variant::corpus().into_iter().nth(20).expect("variant");
+        let vocab = vocab();
+        let a = v.generate(&vocab, WindowsVersion::Win10, 1);
+        let b = v.generate(&vocab, WindowsVersion::Win10, 1);
+        assert_eq!(a, b);
+        let c = v.generate(&vocab, WindowsVersion::Win10, 2);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn traces_are_long_enough_for_windows() {
+        let vocab = vocab();
+        for v in Variant::corpus() {
+            let t = v.generate(&vocab, WindowsVersion::Win10, 0);
+            assert!(
+                t.len() >= 400,
+                "{} trace too short: {}",
+                v.id(),
+                t.len()
+            );
+            assert!(t.iter().all(|&tok| tok < vocab.len()));
+        }
+    }
+
+    #[test]
+    fn encrypting_families_emit_crypto_or_heavy_io() {
+        let vocab = vocab();
+        let enc = vocab.tok("CryptEncrypt");
+        let benc = vocab.tok("BCryptEncrypt");
+        let wf = vocab.tok("WriteFile");
+        let ntwf = vocab.tok("NtWriteFile");
+        for v in Variant::corpus() {
+            let t = v.generate(&vocab, WindowsVersion::Win10, 3);
+            let crypto = t.iter().filter(|&&x| x == enc || x == benc).count();
+            let writes = t.iter().filter(|&&x| x == wf || x == ntwf).count();
+            assert!(
+                crypto > 10 || writes > 40,
+                "{} shows no encryption signature",
+                v.id()
+            );
+        }
+    }
+
+    #[test]
+    fn worm_families_touch_the_network_neighbourhood() {
+        let vocab = vocab();
+        let wnet = vocab.tok("WNetEnumResourceW");
+        for v in Variant::corpus() {
+            let t = v.generate(&vocab, WindowsVersion::Win10, 4);
+            let prop = t.iter().filter(|&&x| x == wnet).count();
+            if v.family().self_propagates {
+                assert!(prop > 0, "{} should propagate", v.id());
+            } else {
+                assert_eq!(prop, 0, "{} should not propagate", v.id());
+            }
+        }
+    }
+
+    #[test]
+    fn variants_of_a_family_differ() {
+        let vocab = vocab();
+        let fam = FamilyProfile::by_name("Teslacrypt").expect("family");
+        let a = Variant::new(fam.clone(), 0).generate(&vocab, WindowsVersion::Win10, 9);
+        let b = Variant::new(fam, 1).generate(&vocab, WindowsVersion::Win10, 9);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "has only")]
+    fn out_of_range_variant_rejected() {
+        let fam = FamilyProfile::by_name("Ryuk").expect("family");
+        let _ = Variant::new(fam, 5);
+    }
+}

@@ -1,0 +1,116 @@
+//! Sliding-window extraction.
+//!
+//! The paper's classifier consumes fixed-length sequences: "An API call
+//! sequence for each variant of length 100 was taken, beginning with the
+//! first API call made to promote early detection. In order to facilitate
+//! generalizability to varying orders of malicious API calls, we also
+//! employed a sliding window of length 100 to extract sub-sequences at
+//! different stages in each variant's execution" (Appendix A).
+
+/// The paper's window length.
+pub const WINDOW_LEN: usize = 100;
+
+/// Extracts length-`len` windows from `trace` at the given `stride`,
+/// always starting with the window at offset 0 (early detection).
+///
+/// Returns an empty vector when the trace is shorter than one window.
+///
+/// # Panics
+///
+/// Panics if `len == 0` or `stride == 0`.
+///
+/// # Example
+///
+/// ```rust
+/// use csd_ransomware::sliding_windows;
+/// let trace: Vec<usize> = (0..10).collect();
+/// let w = sliding_windows(&trace, 4, 3);
+/// assert_eq!(w, vec![
+///     vec![0, 1, 2, 3],
+///     vec![3, 4, 5, 6],
+///     vec![6, 7, 8, 9],
+/// ]);
+/// ```
+pub fn sliding_windows(trace: &[usize], len: usize, stride: usize) -> Vec<Vec<usize>> {
+    assert!(len > 0, "window length must be positive");
+    assert!(stride > 0, "stride must be positive");
+    if trace.len() < len {
+        return Vec::new();
+    }
+    (0..=trace.len() - len)
+        .step_by(stride)
+        .map(|start| trace[start..start + len].to_vec())
+        .collect()
+}
+
+/// The number of windows [`sliding_windows`] would return, without
+/// materializing them.
+///
+/// # Panics
+///
+/// Panics if `len == 0` or `stride == 0`.
+pub fn window_count(trace_len: usize, len: usize, stride: usize) -> usize {
+    assert!(len > 0 && stride > 0, "len and stride must be positive");
+    if trace_len < len {
+        0
+    } else {
+        (trace_len - len) / stride + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_window_starts_at_zero() {
+        let trace: Vec<usize> = (0..300).collect();
+        let w = sliding_windows(&trace, WINDOW_LEN, 25);
+        assert_eq!(w[0], (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_windows_have_full_length() {
+        let trace: Vec<usize> = (0..257).collect();
+        for w in sliding_windows(&trace, WINDOW_LEN, 10) {
+            assert_eq!(w.len(), WINDOW_LEN);
+        }
+    }
+
+    #[test]
+    fn count_matches_extraction() {
+        for (n, len, stride) in [(300, 100, 25), (100, 100, 10), (99, 100, 1), (1000, 100, 7)] {
+            let trace: Vec<usize> = (0..n).collect();
+            assert_eq!(
+                sliding_windows(&trace, len, stride).len(),
+                window_count(n, len, stride),
+                "n={n} len={len} stride={stride}"
+            );
+        }
+    }
+
+    #[test]
+    fn short_trace_yields_nothing() {
+        let trace: Vec<usize> = (0..50).collect();
+        assert!(sliding_windows(&trace, WINDOW_LEN, 10).is_empty());
+        assert_eq!(window_count(50, WINDOW_LEN, 10), 0);
+    }
+
+    #[test]
+    fn exact_length_trace_yields_one() {
+        let trace: Vec<usize> = (0..100).collect();
+        assert_eq!(sliding_windows(&trace, WINDOW_LEN, 10).len(), 1);
+    }
+
+    #[test]
+    fn stride_one_is_dense() {
+        let trace: Vec<usize> = (0..110).collect();
+        assert_eq!(sliding_windows(&trace, WINDOW_LEN, 1).len(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_rejected() {
+        let _ = sliding_windows(&[0; 200], 100, 0);
+    }
+}

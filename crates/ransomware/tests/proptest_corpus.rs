@@ -1,0 +1,101 @@
+//! Property-based tests for the corpus substrate.
+
+use csd_ransomware::{
+    sliding_windows, window::window_count, ApiVocabulary, DatasetBuilder, FamilyProfile,
+    Sandbox, SplitKind, Variant, WindowsVersion,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Window extraction: count formula matches, every window is full
+    /// length, and windows tile the trace at the stride.
+    #[test]
+    fn window_extraction_invariants(
+        trace_len in 0usize..600,
+        len in 1usize..120,
+        stride in 1usize..40,
+    ) {
+        let trace: Vec<usize> = (0..trace_len).collect();
+        let windows = sliding_windows(&trace, len, stride);
+        prop_assert_eq!(windows.len(), window_count(trace_len, len, stride));
+        for (k, w) in windows.iter().enumerate() {
+            prop_assert_eq!(w.len(), len);
+            prop_assert_eq!(w[0], k * stride);
+        }
+    }
+
+    /// Any variant detonation is deterministic in its seed and always
+    /// in-vocabulary.
+    #[test]
+    fn detonations_deterministic_and_valid(
+        variant_idx in 0usize..76,
+        seed in any::<u64>(),
+        win11 in any::<bool>(),
+    ) {
+        let os = if win11 { WindowsVersion::Win11 } else { WindowsVersion::Win10 };
+        let v = Variant::corpus().into_iter().nth(variant_idx).expect("variant");
+        let sandbox = Sandbox::new(seed);
+        let a = sandbox.detonate_run(&v, os, 0);
+        let b = sandbox.detonate_run(&v, os, 0);
+        prop_assert_eq!(&a, &b);
+        let vocab = ApiVocabulary::windows();
+        prop_assert!(a.iter().all(|&t| t < vocab.len()));
+    }
+
+    /// The builder hits arbitrary class targets exactly, with the right
+    /// class balance.
+    #[test]
+    fn builder_hits_targets(r in 1usize..120, b in 1usize..120, seed in any::<u64>()) {
+        let ds = DatasetBuilder::new(seed)
+            .ransomware_windows(r)
+            .benign_windows(b)
+            .build();
+        prop_assert_eq!(ds.len(), r + b);
+        prop_assert_eq!(ds.ransomware_count(), r);
+    }
+
+    /// Splits partition the dataset for any fraction and kind.
+    #[test]
+    fn splits_partition(frac in 0.05f64..0.95, by_source in any::<bool>(), seed in any::<u64>()) {
+        let ds = DatasetBuilder::new(3)
+            .ransomware_windows(60)
+            .benign_windows(60)
+            .build();
+        let kind = if by_source { SplitKind::BySource } else { SplitKind::Random };
+        let (train, test) = ds.split(frac, kind, seed);
+        prop_assert_eq!(train.len() + test.len(), ds.len());
+        prop_assert!(!train.is_empty());
+        prop_assert!(!test.is_empty());
+    }
+
+    /// CSV round-trips any generated corpus.
+    #[test]
+    fn csv_roundtrip(seed in any::<u64>()) {
+        let ds = DatasetBuilder::new(seed)
+            .ransomware_windows(25)
+            .benign_windows(25)
+            .build();
+        let parsed = csd_ransomware::Dataset::from_csv(&ds.to_csv()).expect("parse");
+        prop_assert_eq!(parsed.len(), ds.len());
+        for (a, b) in parsed.entries().iter().zip(ds.entries()) {
+            prop_assert_eq!(&a.sequence, &b.sequence);
+            prop_assert_eq!(a.is_ransomware, b.is_ransomware);
+        }
+    }
+
+    /// Worm families emit propagation APIs; non-worms never do,
+    /// regardless of seed or OS.
+    #[test]
+    fn propagation_marker_is_family_faithful(
+        seed in any::<u64>(),
+        family_idx in 0usize..10,
+    ) {
+        let vocab = ApiVocabulary::windows();
+        let wnet = vocab.tok("WNetOpenEnumW");
+        let family = FamilyProfile::all().into_iter().nth(family_idx).expect("family");
+        let v = Variant::new(family.clone(), 0);
+        let trace = Sandbox::new(seed).detonate(&v, WindowsVersion::Win10);
+        let has_prop = trace.calls.contains(&wnet);
+        prop_assert_eq!(has_prop, family.self_propagates, "{}", family.name);
+    }
+}

@@ -1,0 +1,122 @@
+//! The [`Scalar`] abstraction shared by the f64 and fixed-point paths.
+
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+use csd_fxp::Fixed;
+
+/// Numeric element type usable in [`Vector`](crate::Vector) and
+/// [`Matrix`](crate::Matrix).
+///
+/// Implemented for `f64` (offline training) and [`Fixed<P>`] (on-device
+/// inference). The `dot_slices` hook lets fixed point accumulate wide and
+/// rescale once, matching the FPGA DSP cascade, while `f64` uses a plain
+/// fused loop.
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// The additive identity.
+    fn zero() -> Self;
+
+    /// The multiplicative identity.
+    fn one() -> Self;
+
+    /// Quantizes/converts from `f64`.
+    fn from_f64(value: f64) -> Self;
+
+    /// Converts to `f64` (exact for `f64`, dequantizing for fixed point).
+    fn to_f64(self) -> f64;
+
+    /// Inner product of two equal-length slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices differ in length.
+    fn dot_slices(lhs: &[Self], rhs: &[Self]) -> Self {
+        assert_eq!(lhs.len(), rhs.len(), "dot product length mismatch");
+        let mut acc = Self::zero();
+        for (a, b) in lhs.iter().zip(rhs) {
+            acc += *a * *b;
+        }
+        acc
+    }
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+
+    fn one() -> Self {
+        1.0
+    }
+
+    fn from_f64(value: f64) -> Self {
+        value
+    }
+
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl<const P: u32> Scalar for Fixed<P> {
+    fn zero() -> Self {
+        Fixed::ZERO
+    }
+
+    fn one() -> Self {
+        Fixed::ONE
+    }
+
+    fn from_f64(value: f64) -> Self {
+        Fixed::from_f64(value)
+    }
+
+    fn to_f64(self) -> f64 {
+        Fixed::to_f64(self)
+    }
+
+    fn dot_slices(lhs: &[Self], rhs: &[Self]) -> Self {
+        Fixed::dot(lhs, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csd_fxp::Fx6;
+
+    #[test]
+    fn f64_scalar_basics() {
+        assert_eq!(f64::zero(), 0.0);
+        assert_eq!(f64::one(), 1.0);
+        assert_eq!(f64::dot_slices(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn fixed_scalar_basics() {
+        assert_eq!(Fx6::zero(), Fx6::ZERO);
+        assert_eq!(<Fx6 as Scalar>::from_f64(1.0), Fx6::ONE);
+        let a = Fx6::quantize_slice(&[1.0, 2.0]);
+        let b = Fx6::quantize_slice(&[3.0, 4.0]);
+        assert_eq!(Fx6::dot_slices(&a, &b).to_f64(), 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = f64::dot_slices(&[1.0], &[1.0, 2.0]);
+    }
+}

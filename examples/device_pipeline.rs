@@ -1,0 +1,59 @@
+//! The SmartSSD data path: boot the host program on the simulated device,
+//! load sequences from NAND peer-to-peer, and compare against the
+//! host-bounced path — the architectural argument of the paper's §II.
+//!
+//! ```text
+//! cargo run --release --example device_pipeline
+//! ```
+
+use csd_inference::accel::{HostProgram, OptimizationLevel};
+use csd_inference::device::{SmartSsd, TransferPath};
+use csd_inference::nn::{ModelConfig, ModelWeights, SequenceClassifier};
+
+fn main() {
+    // The P2P advantage in isolation, across transfer sizes.
+    println!("SSD -> FPGA transfer paths (idle device):");
+    println!("{:>10} {:>14} {:>14} {:>8}", "bytes", "P2P", "via host", "gain");
+    for shift in [12u32, 16, 20, 24] {
+        let bytes = 1u64 << shift;
+        let p2p = SmartSsd::new_smartssd().transfer(TransferPath::SsdToFpgaP2p, bytes);
+        let host = SmartSsd::new_smartssd().transfer(TransferPath::SsdToFpgaViaHost, bytes);
+        println!(
+            "{:>10} {:>14} {:>14} {:>7.2}x",
+            bytes,
+            p2p.to_string(),
+            host.to_string(),
+            host.as_nanos() as f64 / p2p.as_nanos() as f64
+        );
+    }
+
+    // Boot the host program: weight-file ingest, buffer allocation on the
+    // two DDR banks, kernel registration.
+    println!("\nbooting the host program (weight migration + kernel setup) ...");
+    let model = SequenceClassifier::new(ModelConfig::paper(), 11);
+    let weight_file = ModelWeights::from_model(&model).to_text();
+    let mut host = HostProgram::from_weight_file(&weight_file, OptimizationLevel::FixedPoint)
+        .expect("host boot");
+
+    // Classify a 100-call sequence living on the SSD.
+    let seq: Vec<usize> = (0..100).map(|i| (i * 7 + 3) % 278).collect();
+    let run = host.classify_from_ssd(&seq).expect("device run");
+    println!(
+        "  sequence classified on-device: P = {:.4}, simulated elapsed {}, {} B via P2P",
+        run.classification.probability, run.elapsed, run.p2p_bytes
+    );
+
+    // The same run at each optimization level, showing the Fig. 3 effect
+    // at the whole-device scale.
+    println!("\nwhole-device run time by optimization level:");
+    let weights = ModelWeights::from_text(&weight_file).expect("parse");
+    for level in [
+        OptimizationLevel::Vanilla,
+        OptimizationLevel::IiOptimized,
+        OptimizationLevel::FixedPoint,
+    ] {
+        let mut host = HostProgram::new(&weights, level).expect("boot");
+        let run = host.classify_from_ssd(&seq).expect("run");
+        println!("  {:<12} {}", level.to_string(), run.elapsed);
+    }
+}

@@ -1,0 +1,83 @@
+//! Rack-scale deployment: several SmartSSDs in one node scanning a stored
+//! corpus in parallel, with a fleet-wide CTI model update (§II's
+//! scalability claim plus §III-A's retraining loop).
+//!
+//! ```text
+//! cargo run --release --example fleet_scan
+//! ```
+
+use csd_inference::accel::{CsdFleet, OptimizationLevel};
+use csd_inference::nn::{ModelConfig, ModelWeights, SequenceClassifier, TrainOptions, Trainer};
+use csd_inference::ransomware::{DatasetBuilder, SplitKind};
+
+fn main() {
+    // Train a quick detector.
+    println!("training a detector for the fleet ...");
+    let dataset = DatasetBuilder::new(0xF1EE7)
+        .ransomware_windows(200)
+        .benign_windows(240)
+        .noise(0.12)
+        .build();
+    let (train, test) = dataset.split(0.3, SplitKind::BySource, 1);
+    let mut model = SequenceClassifier::new(ModelConfig::paper(), 0xF1EE7);
+    Trainer::new(TrainOptions {
+        epochs: 22,
+        ..TrainOptions::default()
+    })
+    .fit(&mut model, &train.examples(), &[]);
+    let weights = ModelWeights::from_model(&model);
+
+    // The scan workload: the held-out windows, resident on the SSDs.
+    let sequences: Vec<Vec<usize>> =
+        test.entries().iter().map(|e| e.sequence.clone()).collect();
+    let labels: Vec<bool> = test.entries().iter().map(|e| e.is_ransomware).collect();
+    println!("scan workload: {} stored sequences", sequences.len());
+
+    // Scale the node from 1 to 8 devices.
+    println!("\n{:>8} {:>16} {:>10}", "devices", "wall time", "speedup");
+    let mut t1 = None;
+    for n in [1usize, 2, 4, 8] {
+        let mut fleet =
+            CsdFleet::new(n, &weights, OptimizationLevel::FixedPoint).expect("fleet boot");
+        let scan = fleet.scan(&sequences).expect("scan");
+        let base = *t1.get_or_insert(scan.elapsed);
+        println!(
+            "{:>8} {:>16} {:>9.2}x",
+            n,
+            scan.elapsed.to_string(),
+            base.as_nanos() as f64 / scan.elapsed.as_nanos() as f64
+        );
+        if n == 4 {
+            let correct = scan
+                .classifications
+                .iter()
+                .zip(&labels)
+                .filter(|(c, &l)| c.is_positive == l)
+                .count();
+            println!(
+                "{:>8} accuracy on the stored corpus: {:.1}% ({} flagged)",
+                "",
+                100.0 * correct as f64 / labels.len() as f64,
+                scan.positives()
+            );
+        }
+    }
+
+    // Fleet-wide CTI update: a retrained model rolls out with one weight
+    // migration per device — no recompilation, no downtime.
+    println!("\nrolling out a retrained model to a 4-device fleet ...");
+    let mut fleet =
+        CsdFleet::new(4, &weights, OptimizationLevel::FixedPoint).expect("fleet boot");
+    let retrained = {
+        let mut m2 = model.clone();
+        Trainer::new(TrainOptions {
+            epochs: 4,
+            seed: 777,
+            ..TrainOptions::default()
+        })
+        .fit(&mut m2, &train.examples(), &[]);
+        ModelWeights::from_model(&m2)
+    };
+    fleet.update_weights(&retrained).expect("update");
+    println!("done: every device now serves model v2.");
+}

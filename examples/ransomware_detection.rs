@@ -1,0 +1,108 @@
+//! The paper's use case end to end: build a sandbox corpus, train the
+//! 7,472-parameter detector, deploy it on the CSD, and catch a live
+//! detonation window by window — including the time-to-detection that
+//! motivates in-storage inference.
+//!
+//! ```text
+//! cargo run --release --example ransomware_detection
+//! ```
+
+use csd_inference::accel::{CsdInferenceEngine, MonitorConfig, OptimizationLevel, StreamMonitor};
+use csd_inference::nn::{
+    evaluate, ModelConfig, ModelWeights, SequenceClassifier, TrainOptions, Trainer,
+};
+use csd_inference::ransomware::{
+    sliding_windows, DatasetBuilder, FamilyProfile, Sandbox, SplitKind, Variant,
+    WindowsVersion, WINDOW_LEN,
+};
+
+fn main() {
+    println!("building a sandbox corpus (800 windows, 46% ransomware) ...");
+    let dataset = DatasetBuilder::new(0xC5D)
+        .ransomware_windows(368)
+        .benign_windows(432)
+        .noise(0.12)
+        .build();
+    let (train, test) = dataset.split(0.2, SplitKind::BySource, 1);
+    println!(
+        "  {} train / {} test windows; class balance {:.0}% ransomware",
+        train.len(),
+        test.len(),
+        dataset.ransomware_fraction() * 100.0
+    );
+
+    println!("training the paper's architecture (vocab 278, embed 8, hidden 32) ...");
+    let mut model = SequenceClassifier::new(ModelConfig::paper(), 0xC5D);
+    let trainer = Trainer::new(TrainOptions {
+        epochs: 20,
+        ..TrainOptions::default()
+    });
+    trainer.fit(&mut model, &train.examples(), &[]);
+    let report = evaluate(&model, &test.examples());
+    println!("  held-out sources: {report}");
+
+    println!("deploying to the CSD (fixed-point engine) ...");
+    let engine = CsdInferenceEngine::new(
+        &ModelWeights::from_model(&model),
+        OptimizationLevel::FixedPoint,
+    );
+
+    // A LIVE detonation: an unseen WannaCry re-run streams API calls; the
+    // CSD classifies each sliding window as it completes.
+    let sandbox = Sandbox::new(0xFEED);
+    let wannacry = Variant::new(FamilyProfile::by_name("Wannacry").expect("family"), 3);
+    let trace = sandbox.detonate_run(&wannacry, WindowsVersion::Win11, 9);
+    println!(
+        "live monitoring a fresh {} detonation ({} API calls) ...",
+        wannacry.id(),
+        trace.len()
+    );
+    // The continuous-protection wrapper: rolling window, stride 10,
+    // 1-of-1 voting for fastest mitigation.
+    let mut monitor = StreamMonitor::new(
+        engine.clone(),
+        MonitorConfig {
+            votes_needed: 1,
+            vote_horizon: 1,
+            ..MonitorConfig::default()
+        },
+    );
+    match monitor.observe_all(&trace) {
+        Some(alert) => {
+            println!(
+                "  DETECTED at API call #{} (P = {:.4}) after {} window classifications",
+                alert.at_call,
+                alert.probability,
+                monitor.classifications()
+            );
+            println!(
+                "  cumulative on-device inference time ≈ {:.0} µs — \
+                 mitigation can fire before the encryption sweep finishes",
+                alert.inference_us
+            );
+        }
+        None => println!("  not detected (unexpected for an encryption trace)"),
+    }
+
+    // Benign controls: an ordinary file manager (should stay quiet) and
+    // an encrypted-backup tool — the classic hard negative whose
+    // read→encrypt→write loops legitimately resemble ransomware.
+    for app_name in ["FileCommander", "BackupBee"] {
+        let app = csd_inference::ransomware::BenignProfile::by_name(app_name).expect("app");
+        let benign_trace = sandbox.run_benign(&app, WindowsVersion::Win11);
+        let windows = sliding_windows(&benign_trace.calls, WINDOW_LEN, 10);
+        let alarms = windows
+            .iter()
+            .filter(|w| engine.classify(w).is_positive)
+            .count();
+        println!(
+            "benign control ({app_name}): {alarms}/{} windows flagged{}",
+            windows.len(),
+            if app_name == "BackupBee" {
+                " (hard negative: encrypted backups look like encryption sweeps)"
+            } else {
+                ""
+            }
+        );
+    }
+}

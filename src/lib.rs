@@ -1,0 +1,58 @@
+//! # csd-inference
+//!
+//! A full Rust reproduction of **"Empowering Data Centers with
+//! Computational Storage Drive-Based Deep Learning Inference Functionality
+//! to Combat Ransomware"** (Friday, Bou-Harb, Lee, Peethambaran, Saxena —
+//! IEEE/IFIP DSN-S 2024): LSTM inference offloaded entirely onto the FPGA
+//! of a SmartSSD-class Computational Storage Drive, applied to real-time
+//! ransomware detection over Windows API-call sequences.
+//!
+//! This meta-crate re-exports the whole stack; each subsystem is its own
+//! crate:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`fxp`] | `csd-fxp` | Decimal 10^6 fixed-point arithmetic (§III-D) |
+//! | [`tensor`] | `csd-tensor` | Dense linear algebra over f64 and fixed point |
+//! | [`nn`] | `csd-nn` | Offline training: embedding + LSTM + head, full BPTT |
+//! | [`hls`] | `csd-hls` | HLS pragma/latency/resource model (hardware emulation stand-in) |
+//! | [`device`] | `csd-device` | SmartSSD model: SSD, DDR banks, PCIe switch with P2P, XRT-like runtime |
+//! | [`accel`] | `csd-accel` | **The paper's contribution**: the five-kernel CSD inference engine |
+//! | [`ransomware`] | `csd-ransomware` | Synthetic Cuckoo corpus: 10 families / 76 variants + benign suite |
+//! | [`baselines`] | `csd-baselines` | CPU/GPU execution models + native measurement (Table I) |
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use csd_inference::accel::{CsdInferenceEngine, OptimizationLevel};
+//! use csd_inference::nn::{ModelConfig, ModelWeights, SequenceClassifier};
+//!
+//! // 1. Train offline (here: a freshly-initialized paper-shaped model).
+//! let model = SequenceClassifier::new(ModelConfig::paper(), 42);
+//!
+//! // 2. Export weights the way the paper's host program consumes them.
+//! let weight_file = ModelWeights::from_model(&model).to_text();
+//!
+//! // 3. Deploy on the CSD with all optimizations and classify.
+//! let weights = ModelWeights::from_text(&weight_file)?;
+//! let engine = CsdInferenceEngine::new(&weights, OptimizationLevel::FixedPoint);
+//! let api_calls: Vec<usize> = (0..100).map(|i| i % 278).collect();
+//! let verdict = engine.classify(&api_calls);
+//! assert!((0.0..=1.0).contains(&verdict.probability));
+//! # Ok::<(), csd_inference::nn::weights::WeightsError>(())
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `EXPERIMENTS.md`
+//! for the paper-vs-measured record of every table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use csd_accel as accel;
+pub use csd_baselines as baselines;
+pub use csd_device as device;
+pub use csd_fxp as fxp;
+pub use csd_hls as hls;
+pub use csd_nn as nn;
+pub use csd_ransomware as ransomware;
+pub use csd_tensor as tensor;

@@ -1,0 +1,120 @@
+//! Integration tests over the corpus substrate: counts, splits, CSV, and
+//! the Table II structure, at a scale the paper's Appendix A pins down.
+
+use std::collections::HashSet;
+
+use csd_inference::ransomware::family::table2;
+use csd_inference::ransomware::{
+    sliding_windows, ApiVocabulary, DatasetBuilder, FamilyProfile, Sandbox, SplitKind,
+    Variant, WindowsVersion, WINDOW_LEN,
+};
+
+#[test]
+fn paper_scale_corpus_counts() {
+    // Build the real 29K corpus once (a few seconds in release, slower in
+    // debug — still bounded).
+    let ds = DatasetBuilder::paper(7).build();
+    assert_eq!(ds.len(), 29_000);
+    assert_eq!(ds.ransomware_count(), 13_340);
+    assert!((ds.ransomware_fraction() - 0.46).abs() < 0.001);
+    assert!(ds.entries().iter().all(|e| e.sequence.len() == WINDOW_LEN));
+
+    // At full scale the whole 278-call vocabulary is exercised, so no
+    // embedding row goes untrained.
+    let used: HashSet<usize> = ds
+        .entries()
+        .iter()
+        .flat_map(|e| e.sequence.iter().copied())
+        .collect();
+    assert_eq!(used.len(), ApiVocabulary::windows().len());
+}
+
+#[test]
+fn table2_structure_matches_paper() {
+    let rows = table2();
+    assert_eq!(rows.len(), 10);
+    assert!(rows.iter().all(|r| r.encryption));
+    assert_eq!(rows.iter().filter(|r| r.self_propagation).count(), 4);
+    let total: u32 = rows.iter().map(|r| r.instances).sum();
+    assert_eq!(total, FamilyProfile::total_variants());
+}
+
+#[test]
+fn every_variant_detonates_on_both_guests() {
+    let sandbox = Sandbox::new(1);
+    let vocab_len = sandbox.vocabulary().len();
+    for v in Variant::corpus() {
+        for os in WindowsVersion::BOTH {
+            let t = sandbox.detonate(&v, os);
+            assert!(t.len() >= WINDOW_LEN, "{} too short on {os:?}", v.id());
+            assert!(t.calls.iter().all(|&tok| tok < vocab_len));
+        }
+    }
+}
+
+#[test]
+fn corpus_exercises_most_of_the_vocabulary() {
+    // Even a small corpus (a handful of traces) should cover most of the
+    // 278-call vocabulary; full coverage is asserted at paper scale in
+    // `paper_scale_corpus_counts`.
+    let ds = DatasetBuilder::new(3)
+        .ransomware_windows(400)
+        .benign_windows(400)
+        .build();
+    let used: HashSet<usize> = ds
+        .entries()
+        .iter()
+        .flat_map(|e| e.sequence.iter().copied())
+        .collect();
+    let vocab = ApiVocabulary::windows();
+    assert!(
+        used.len() * 4 >= vocab.len() * 3,
+        "only {}/{} calls exercised",
+        used.len(),
+        vocab.len()
+    );
+}
+
+#[test]
+fn by_source_split_is_leak_free_at_scale() {
+    let ds = DatasetBuilder::new(9)
+        .ransomware_windows(500)
+        .benign_windows(500)
+        .build();
+    let (train, test) = ds.split(0.25, SplitKind::BySource, 11);
+    let train_sources: HashSet<&str> =
+        train.entries().iter().map(|e| e.source.as_str()).collect();
+    assert!(test
+        .entries()
+        .iter()
+        .all(|e| !train_sources.contains(e.source.as_str())));
+    // Both classes present on both sides.
+    assert!(train.ransomware_count() > 0 && train.ransomware_count() < train.len());
+    assert!(test.ransomware_count() > 0 && test.ransomware_count() < test.len());
+}
+
+#[test]
+fn csv_roundtrip_at_scale() {
+    let ds = DatasetBuilder::new(5)
+        .ransomware_windows(150)
+        .benign_windows(150)
+        .build();
+    let parsed = csd_inference::ransomware::Dataset::from_csv(&ds.to_csv()).expect("csv");
+    assert_eq!(parsed.len(), ds.len());
+    assert_eq!(parsed.ransomware_count(), ds.ransomware_count());
+    for (a, b) in parsed.entries().iter().zip(ds.entries()) {
+        assert_eq!(a.sequence, b.sequence);
+    }
+}
+
+#[test]
+fn sliding_windows_reconstruct_prefix_of_trace() {
+    let sandbox = Sandbox::new(2);
+    let v = Variant::corpus().into_iter().nth(40).expect("variant");
+    let trace = sandbox.detonate(&v, WindowsVersion::Win10).calls;
+    let windows = sliding_windows(&trace, WINDOW_LEN, 10);
+    // Window k starts at offset 10k and matches the trace exactly.
+    for (k, w) in windows.iter().enumerate() {
+        assert_eq!(w.as_slice(), &trace[k * 10..k * 10 + WINDOW_LEN]);
+    }
+}

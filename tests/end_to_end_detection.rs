@@ -1,0 +1,119 @@
+//! End-to-end integration: sandbox corpus → offline training → weight
+//! export → host ingest → on-device fixed-point classification, with the
+//! detection quality the paper's §IV reports.
+
+use csd_inference::accel::{CsdInferenceEngine, OptimizationLevel};
+use csd_inference::nn::{
+    evaluate, ConfusionMatrix, ModelConfig, ModelWeights, SequenceClassifier, TrainOptions,
+    Trainer,
+};
+use csd_inference::ransomware::{DatasetBuilder, SplitKind};
+
+/// Trains once and shares the result across the tests in this file
+/// (training dominates the suite's runtime). Debug builds use a smaller
+/// corpus and fewer epochs; release builds the full small-scale task.
+fn train_small() -> &'static (SequenceClassifier, Vec<(Vec<usize>, bool)>) {
+    static TRAINED: std::sync::OnceLock<(SequenceClassifier, Vec<(Vec<usize>, bool)>)> =
+        std::sync::OnceLock::new();
+    TRAINED.get_or_init(|| {
+        // Debug builds shrink the task (and use the leakier random split,
+        // which stays well-conditioned at tiny scale) so the suite runs in
+        // seconds; release builds use the honest held-out-source split.
+        let (r, b, epochs, kind) = if cfg!(debug_assertions) {
+            (110, 130, 8, SplitKind::Random)
+        } else {
+            (160, 190, 14, SplitKind::BySource)
+        };
+        let dataset = DatasetBuilder::new(0xE2E)
+            .ransomware_windows(r)
+            .benign_windows(b)
+            .noise(0.12)
+            .build();
+        let (train, test) = dataset.split(0.2, kind, 1);
+        let mut model = SequenceClassifier::new(ModelConfig::paper(), 0xE2E);
+        let trainer = Trainer::new(TrainOptions {
+            epochs,
+            batch_size: 32,
+            learning_rate: 0.01,
+            seed: 0xE2E,
+            ..TrainOptions::default()
+        });
+        trainer.fit(&mut model, &train.examples(), &[]);
+        (model, test.examples())
+    })
+}
+
+#[test]
+fn offline_training_reaches_high_accuracy_on_held_out_sources() {
+    let (model, test) = train_small();
+    let test = test.as_slice();
+    let report = evaluate(model, test);
+    assert!(
+        report.accuracy > 0.9,
+        "held-out accuracy {:.3} too low",
+        report.accuracy
+    );
+    assert!(report.f1 > 0.85, "F1 {:.3} too low", report.f1);
+}
+
+#[test]
+fn on_device_fixed_point_detection_matches_offline() {
+    let (model, test) = train_small();
+    let test = test.as_slice();
+    // The paper's full deployment path, text file included.
+    let text = ModelWeights::from_model(model).to_text();
+    let weights = ModelWeights::from_text(&text).expect("weight file");
+    let engine = CsdInferenceEngine::new(&weights, OptimizationLevel::FixedPoint);
+
+    let mut cm = ConfusionMatrix::new();
+    let mut agree = 0usize;
+    for (seq, label) in test {
+        let device = engine.classify(seq).is_positive;
+        cm.record(*label, device);
+        if device == model.predict(seq) {
+            agree += 1;
+        }
+    }
+    let device_report = cm.report();
+    let offline_report = evaluate(model, test);
+    // Quantization must not change detection quality materially (§IV:
+    // the optimized design keeps the headline metrics).
+    assert!(
+        (device_report.accuracy - offline_report.accuracy).abs() < 0.02,
+        "device {:.4} vs offline {:.4}",
+        device_report.accuracy,
+        offline_report.accuracy
+    );
+    assert!(
+        agree as f64 / test.len() as f64 > 0.98,
+        "agreement {agree}/{}",
+        test.len()
+    );
+}
+
+#[test]
+fn all_three_levels_classify_identically_on_decisions() {
+    let (model, test) = train_small();
+    let test = test.as_slice();
+    let weights = ModelWeights::from_model(model);
+    let engines: Vec<CsdInferenceEngine> = [
+        OptimizationLevel::Vanilla,
+        OptimizationLevel::IiOptimized,
+        OptimizationLevel::FixedPoint,
+    ]
+    .iter()
+    .map(|&l| CsdInferenceEngine::new(&weights, l))
+    .collect();
+    let mut disagreements = 0usize;
+    for (seq, _) in test.iter().take(60) {
+        let d0 = engines[0].classify(seq).is_positive;
+        let d1 = engines[1].classify(seq).is_positive;
+        let d2 = engines[2].classify(seq).is_positive;
+        assert_eq!(d0, d1, "float levels must agree exactly");
+        if d0 != d2 {
+            disagreements += 1;
+        }
+    }
+    // Fixed point may flip only borderline cases.
+    assert!(disagreements <= 1, "{disagreements} fixed-point flips");
+}

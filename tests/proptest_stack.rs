@@ -1,0 +1,111 @@
+//! Cross-crate property tests: invariants that must hold for *any* model
+//! weights and *any* sequence, not just the seeds the unit tests pick.
+
+use csd_inference::accel::{CsdInferenceEngine, OptimizationLevel};
+use csd_inference::hls::{KernelSpec, LoopBody, LoopNest, NumericFormat, Op, Pragmas};
+use csd_inference::nn::{ModelConfig, ModelWeights, SequenceClassifier};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = SequenceClassifier> {
+    any::<u64>().prop_map(|seed| SequenceClassifier::new(ModelConfig::tiny(16), seed))
+}
+
+fn arb_seq() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..16, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any engine at any level yields a probability, and the hard decision
+    /// is consistent with it.
+    #[test]
+    fn engine_always_yields_probability(model in arb_model(), seq in arb_seq()) {
+        let weights = ModelWeights::from_model(&model);
+        for level in OptimizationLevel::ALL {
+            let c = CsdInferenceEngine::new(&weights, level).classify(&seq);
+            prop_assert!((0.0..=1.0).contains(&c.probability));
+            prop_assert_eq!(c.is_positive, c.probability >= 0.5);
+        }
+    }
+
+    /// The float engine is bit-identical to the offline model; the fixed
+    /// engine stays within a small quantization drift.
+    #[test]
+    fn engine_parity_with_offline_model(model in arb_model(), seq in arb_seq()) {
+        let weights = ModelWeights::from_model(&model);
+        let p_ref = model.predict_proba(&seq);
+        let p_float = CsdInferenceEngine::new(&weights, OptimizationLevel::Vanilla)
+            .classify(&seq)
+            .probability;
+        prop_assert!((p_float - p_ref).abs() < 1e-9);
+        let p_fixed = CsdInferenceEngine::new(&weights, OptimizationLevel::FixedPoint)
+            .classify(&seq)
+            .probability;
+        prop_assert!((p_fixed - p_ref).abs() < 0.05, "{p_fixed} vs {p_ref}");
+    }
+
+    /// The weight text file round-trips any model exactly.
+    #[test]
+    fn weight_file_roundtrip(model in arb_model()) {
+        let w = ModelWeights::from_model(&model);
+        let parsed = ModelWeights::from_text(&w.to_text()).expect("parse");
+        prop_assert_eq!(&w, &parsed);
+        let rebuilt = parsed.to_model();
+        prop_assert_eq!(model.flatten_params(), rebuilt.flatten_params());
+    }
+
+    /// Classification is deterministic.
+    #[test]
+    fn classification_is_deterministic(model in arb_model(), seq in arb_seq()) {
+        let weights = ModelWeights::from_model(&model);
+        let e = CsdInferenceEngine::new(&weights, OptimizationLevel::FixedPoint);
+        prop_assert_eq!(e.classify(&seq), e.classify(&seq));
+    }
+}
+
+proptest! {
+    /// HLS latency is monotone in trip count for a pipelined MAC loop.
+    #[test]
+    fn hls_latency_monotone_in_trips(a in 1u32..200, b in 1u32..200) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let est = |trips: u32| {
+            KernelSpec::new("k", NumericFormat::Float32)
+                .stage(LoopNest::new(trips, LoopBody::Mac, Pragmas::new().pipeline(1).partition()))
+                .estimate_default()
+                .fill_cycles
+        };
+        prop_assert!(est(lo) <= est(hi));
+    }
+
+    /// Unrolling (with partitioning) never makes a Map loop slower.
+    #[test]
+    fn hls_unroll_never_hurts(trips in 2u32..128, factor in 2u32..16) {
+        let est = |pragmas: Pragmas| {
+            KernelSpec::new("k", NumericFormat::FixedPoint64)
+                .stage(LoopNest::new(
+                    trips,
+                    LoopBody::Map(vec![Op::Mul, Op::Add]),
+                    pragmas,
+                ))
+                .estimate_default()
+                .fill_cycles
+        };
+        let base = est(Pragmas::new().pipeline(1).partition());
+        let unrolled = est(Pragmas::new().pipeline(1).partition().unroll(factor));
+        prop_assert!(unrolled <= base, "{unrolled} > {base}");
+    }
+
+    /// Fixed-point never schedules a MAC loop slower than float under the
+    /// same pragmas (the §III-D premise).
+    #[test]
+    fn fixed_point_mac_at_least_as_fast(trips in 2u32..128) {
+        let est = |format| {
+            KernelSpec::new("k", format)
+                .stage(LoopNest::new(trips, LoopBody::Mac, Pragmas::new().pipeline(1).partition()))
+                .estimate_default()
+                .fill_cycles
+        };
+        prop_assert!(est(NumericFormat::FixedPoint64) <= est(NumericFormat::Float32));
+    }
+}
