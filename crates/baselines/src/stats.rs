@@ -30,10 +30,7 @@ impl Summary {
     /// Panics if `samples` is empty or contains non-finite values.
     pub fn from_samples(samples: &[f64]) -> Self {
         assert!(!samples.is_empty(), "no samples");
-        assert!(
-            samples.iter().all(|s| s.is_finite()),
-            "non-finite sample"
-        );
+        assert!(samples.iter().all(|s| s.is_finite()), "non-finite sample");
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let std = if n > 1 {

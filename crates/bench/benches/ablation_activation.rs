@@ -17,7 +17,10 @@ fn bench_activation(c: &mut Criterion) {
     let clock = Clock::default_kernel_clock();
     for (name, ops) in [
         ("sigmoid(exp)", vec![Op::MemRead, Op::Exp, Op::Add, Op::Div]),
-        ("tanh(2exp)", vec![Op::MemRead, Op::Exp, Op::Exp, Op::Add, Op::Add, Op::Div]),
+        (
+            "tanh(2exp)",
+            vec![Op::MemRead, Op::Exp, Op::Exp, Op::Add, Op::Add, Op::Div],
+        ),
         ("softsign", vec![Op::MemRead, Op::Abs, Op::Add, Op::Div]),
     ] {
         let spec = KernelSpec::new(name, NumericFormat::Float32).stage(LoopNest::new(

@@ -5,10 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use csd_accel::{CsdInferenceEngine, LstmDims, OptimizationLevel};
 use csd_accel::kernels::gates;
 use csd_accel::kernels::GateKind;
 use csd_accel::timing::kernel_budget;
+use csd_accel::{CsdInferenceEngine, LstmDims, OptimizationLevel};
 use csd_bench::bench_sequence;
 use csd_hls::{Clock, DeviceProfile};
 use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};

@@ -34,26 +34,18 @@ fn bench_p2p(c: &mut Criterion) {
     for shift in [16u32, 20] {
         let bytes = 1u64 << shift;
         group.throughput(Throughput::Bytes(bytes));
-        group.bench_with_input(
-            BenchmarkId::new("p2p", bytes),
-            &bytes,
-            |b, &n| {
-                b.iter(|| {
-                    let mut dev = SmartSsd::new_smartssd();
-                    black_box(dev.transfer(TransferPath::SsdToFpgaP2p, n))
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("via_host", bytes),
-            &bytes,
-            |b, &n| {
-                b.iter(|| {
-                    let mut dev = SmartSsd::new_smartssd();
-                    black_box(dev.transfer(TransferPath::SsdToFpgaViaHost, n))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("p2p", bytes), &bytes, |b, &n| {
+            b.iter(|| {
+                let mut dev = SmartSsd::new_smartssd();
+                black_box(dev.transfer(TransferPath::SsdToFpgaP2p, n))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("via_host", bytes), &bytes, |b, &n| {
+            b.iter(|| {
+                let mut dev = SmartSsd::new_smartssd();
+                black_box(dev.transfer(TransferPath::SsdToFpgaViaHost, n))
+            })
+        });
     }
     group.finish();
 }

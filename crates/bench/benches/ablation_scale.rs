@@ -36,7 +36,9 @@ fn bench_scale(c: &mut Criterion) {
             row.scale_pow, row.bound, row.max_roundtrip_error, row.max_dot_error, drift
         );
     }
-    eprintln!("[scale] paper's 10^6 sits two orders below the ~1e-2 drift that would move decisions");
+    eprintln!(
+        "[scale] paper's 10^6 sits two orders below the ~1e-2 drift that would move decisions"
+    );
 
     let mut group = c.benchmark_group("ablation/quantize_all_params");
     for p in [3u32, 6, 8] {

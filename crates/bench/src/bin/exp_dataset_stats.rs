@@ -58,7 +58,11 @@ fn main() {
 
     // CSV layout check: n + 1 columns as §III-A describes.
     let csv = ds.to_csv();
-    let cols = csv.lines().next().map(|l| l.split(',').count()).unwrap_or(0);
+    let cols = csv
+        .lines()
+        .next()
+        .map(|l| l.split(',').count())
+        .unwrap_or(0);
     print_row("CSV columns (n + 1)", "101", &cols.to_string());
     println!("\nCSV bytes: {} (use Dataset::to_csv to export)", csv.len());
 }

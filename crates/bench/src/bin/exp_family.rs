@@ -10,10 +10,10 @@
 //! ```
 
 use csd_nn::FamilyClassifier;
+use csd_ransomware::{FamilyProfile, Sandbox, Variant, WindowsVersion};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use csd_ransomware::{FamilyProfile, Sandbox, Variant, WindowsVersion};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -71,7 +71,11 @@ fn main() {
         for (seq, class) in &train {
             loss += model.train_step(seq, *class, 0.02);
         }
-        eprintln!("epoch {}: mean CE loss {:.4}", epoch + 1, loss / train.len() as f64);
+        eprintln!(
+            "epoch {}: mean CE loss {:.4}",
+            epoch + 1,
+            loss / train.len() as f64
+        );
     }
 
     let mut per_family = vec![(0usize, 0usize); families.len()];
@@ -111,8 +115,10 @@ fn main() {
         test.len(),
         100.0 * group_correct as f64 / test.len() as f64
     );
-    println!("
-reading: structurally distinct families (polymorphic Virlock, the CNG");
+    println!(
+        "
+reading: structurally distinct families (polymorphic Virlock, the CNG"
+    );
     println!("users) identify at 90-100%; the seven CryptoAPI families share phase");
     println!("structure and collapse into one behavioural cluster — matching field");
     println!("experience that family attribution needs artifacts beyond call order.");

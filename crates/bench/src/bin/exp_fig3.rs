@@ -47,12 +47,8 @@ fn main() {
         );
         println!();
     }
-    println!(
-        "shape checks: gates dominate vanilla; II cuts gates ~2.5–4x; fixed point"
-    );
-    println!(
-        "collapses gates by orders of magnitude; preprocess stays flat (memory-bound)."
-    );
+    println!("shape checks: gates dominate vanilla; II cuts gates ~2.5–4x; fixed point");
+    println!("collapses gates by orders of magnitude; preprocess stays flat (memory-bound).");
 
     // §III-C extension: AXI-Stream handoffs instead of memory-mapped bursts.
     let streamed = breakdown_streamed(OptimizationLevel::FixedPoint, &LstmDims::paper());

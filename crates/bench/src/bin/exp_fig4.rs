@@ -67,9 +67,21 @@ fn main() {
     let (peak_epoch, peak_acc) = history.peak_accuracy().expect("evaluated");
 
     print_header("Fig. 4 / §IV — convergence and detection metrics");
-    print_row("peak test accuracy", "0.9833 (@~4K epochs)", &format!("{peak_acc:.4} (@{peak_epoch} epochs)"));
-    print_row("final accuracy", "0.9833", &format!("{:.4}", report.accuracy));
-    print_row("final precision", "0.9789", &format!("{:.4}", report.precision));
+    print_row(
+        "peak test accuracy",
+        "0.9833 (@~4K epochs)",
+        &format!("{peak_acc:.4} (@{peak_epoch} epochs)"),
+    );
+    print_row(
+        "final accuracy",
+        "0.9833",
+        &format!("{:.4}", report.accuracy),
+    );
+    print_row(
+        "final precision",
+        "0.9789",
+        &format!("{:.4}", report.precision),
+    );
     print_row("final recall", "0.9890", &format!("{:.4}", report.recall));
     print_row("final F1", "0.9840", &format!("{:.4}", report.f1));
     println!("\nshape check: accuracy climbs to a >0.95 plateau and stays there.");

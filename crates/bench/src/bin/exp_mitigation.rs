@@ -92,9 +92,7 @@ fn main() {
         families.len(),
         100.0 * total_saved as f64 / total_files.max(1) as f64
     );
-    println!(
-        "\nfor contrast, a host-side detector at the GPU's 741 µs/item would spend"
-    );
+    println!("\nfor contrast, a host-side detector at the GPU's 741 µs/item would spend");
     println!(
         "{:.1} ms of inference before the same 100-call alert — while the sweep runs.",
         100.0 * 741.35 / 1_000.0

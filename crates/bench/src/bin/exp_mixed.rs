@@ -11,9 +11,7 @@ use csd_accel::kernels::LstmDims;
 use csd_accel::timing::kernel_budget;
 use csd_accel::{CsdInferenceEngine, MixedPrecisionEngine, OptimizationLevel};
 use csd_bench::{print_header, print_row};
-use csd_hls::{
-    Clock, DeviceProfile, KernelSpec, LoopBody, LoopNest, NumericFormat, Pragmas,
-};
+use csd_hls::{Clock, DeviceProfile, KernelSpec, LoopBody, LoopNest, NumericFormat, Pragmas};
 use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};
 
 fn mean_drift(probe: impl Fn(&[usize]) -> f64, reference: &SequenceClassifier) -> f64 {
@@ -35,7 +33,10 @@ fn main() {
     print_row(
         "uniform 10^6 (the paper's design)",
         "-",
-        &format!("{:.2e}", mean_drift(|s| uniform.classify(s).probability, &model)),
+        &format!(
+            "{:.2e}",
+            mean_drift(|s| uniform.classify(s).probability, &model)
+        ),
     );
     let e38 = MixedPrecisionEngine::<3, 8>::new(&weights);
     let e48 = MixedPrecisionEngine::<4, 8>::new(&weights);
@@ -43,17 +44,26 @@ fn main() {
     print_row(
         "mixed: gates 10^3 / state 10^8",
         "-",
-        &format!("{:.2e}", mean_drift(|s| e38.classify(s).probability, &model)),
+        &format!(
+            "{:.2e}",
+            mean_drift(|s| e38.classify(s).probability, &model)
+        ),
     );
     print_row(
         "mixed: gates 10^4 / state 10^8",
         "-",
-        &format!("{:.2e}", mean_drift(|s| e48.classify(s).probability, &model)),
+        &format!(
+            "{:.2e}",
+            mean_drift(|s| e48.classify(s).probability, &model)
+        ),
     );
     print_row(
         "mixed: gates 10^6 / state 10^8",
         "-",
-        &format!("{:.2e}", mean_drift(|s| e68.classify(s).probability, &model)),
+        &format!(
+            "{:.2e}",
+            mean_drift(|s| e68.classify(s).probability, &model)
+        ),
     );
 
     // Hardware payoff: the gate matrix in narrow (1-DSP-multiply) fixed
@@ -63,8 +73,14 @@ fn main() {
     let clock = Clock::default_kernel_clock();
     println!();
     for (label, format) in [
-        ("wide fixed point (10^6, 2 DSP/mul)", NumericFormat::FixedPoint64),
-        ("narrow fixed point (10^4, 1 DSP/mul)", NumericFormat::FixedPoint32),
+        (
+            "wide fixed point (10^6, 2 DSP/mul)",
+            NumericFormat::FixedPoint64,
+        ),
+        (
+            "narrow fixed point (10^4, 1 DSP/mul)",
+            NumericFormat::FixedPoint32,
+        ),
     ] {
         let inner = LoopNest::new(
             dims.z() as u32,

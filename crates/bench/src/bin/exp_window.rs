@@ -9,8 +9,8 @@
 //! cargo run --release -p csd-bench --bin exp_window -- [--epochs N]
 //! ```
 
-use csd_bench::{print_header, print_row, train_detector, DetectionTask, EXPERIMENT_SEED};
 use csd_accel::{table1_fpga_row, OptimizationLevel, PipelineSchedule};
+use csd_bench::{print_header, print_row, train_detector, DetectionTask, EXPERIMENT_SEED};
 use csd_ransomware::{DatasetBuilder, SplitKind};
 
 fn task_with_window(window: usize, seed: u64) -> DetectionTask {
@@ -48,7 +48,11 @@ fn main() {
         let peak = history.peak_accuracy().map(|(_, a)| a).unwrap_or(0.0);
         print_row(
             &format!("window {window}: accuracy / F1"),
-            if window == 100 { "0.9833 / 0.9840" } else { "-" },
+            if window == 100 {
+                "0.9833 / 0.9840"
+            } else {
+                "-"
+            },
             &format!("{:.4} / {:.4} (peak {peak:.4})", report.accuracy, report.f1),
         );
         print_row(
@@ -58,7 +62,11 @@ fn main() {
         );
         print_row(
             &format!("window {window}: per-window inference"),
-            if window == 100 { "215.13 µs (100 x 2.15)" } else { "-" },
+            if window == 100 {
+                "215.13 µs (100 x 2.15)"
+            } else {
+                "-"
+            },
             &format!(
                 "{:.2} µs summed / {:.2} µs pipelined",
                 window as f64 * per_item_us,

@@ -17,9 +17,12 @@
 //! | Window length (extension) | `exp_window` | — |
 //! | Family identification (extension) | `exp_family` | — |
 //! | Ablations (activation / scale / CUs / P2P / model) | — | `ablation_*` |
+//! | Fused hot path vs seed serial path | `exp_fused` | `fused_vs_unfused` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod seed_baseline;
 
 use csd_nn::{
     evaluate, ClassificationReport, ModelConfig, SequenceClassifier, TrainOptions, Trainer,

@@ -1,0 +1,234 @@
+//! A frozen re-implementation of the seed repository's serial inference
+//! path, kept as the performance baseline for the fused-path speedup
+//! claim.
+//!
+//! The live engine's "per-CU serial" path preserves the seed's *shape*
+//! (four separate gate kernels, fresh vectors per timestep) but now
+//! rides on optimized shared primitives (multi-accumulator dot products,
+//! a precomputed sigmoid table). This module freezes the seed's
+//! *primitives* too: serial-chain dot accumulation, a sigmoid "LUT" that
+//! recomputes its `exp()` entries on every call, and per-gate heap
+//! allocation — so `exp_fused` can measure the real before/after.
+//!
+//! Fixed-point results are bit-identical to the live engine (integer
+//! accumulation is associative and the LUT entries are computed by the
+//! same formula), which the runner asserts.
+
+use csd_accel::{OptimizationLevel, QuantizedWeights};
+use csd_fxp::Fx6;
+use csd_nn::ModelWeights;
+use csd_tensor::{Matrix, Vector};
+
+/// The seed engine: serial per-gate classification with seed primitives.
+pub struct SeedEngine {
+    weights: QuantizedWeights,
+    level: OptimizationLevel,
+}
+
+impl SeedEngine {
+    /// Builds the baseline at the given optimization level.
+    pub fn new(weights: &ModelWeights, level: OptimizationLevel) -> Self {
+        Self {
+            weights: QuantizedWeights::from_model_weights(weights),
+            level,
+        }
+    }
+
+    /// Classifies one sequence exactly as the seed engine did; returns
+    /// the positive-class probability.
+    pub fn classify_probability(&self, seq: &[usize]) -> f64 {
+        assert!(!seq.is_empty(), "empty sequence");
+        if self.level.is_fixed_point() {
+            self.forward_fx(seq)
+        } else {
+            self.forward_f64(seq)
+        }
+    }
+
+    fn forward_f64(&self, seq: &[usize]) -> f64 {
+        let w = &self.weights;
+        let hdim = w.dims().hidden;
+        let mut c = Vector::zeros(hdim);
+        let mut h: Vector<f64> = Vector::zeros(hdim);
+        for &item in seq {
+            let x = Vector::from(w.embedding_f64.row(item).to_vec());
+            let xs = [x.clone(), x.clone(), x.clone(), x.clone()];
+            let hs = [h.clone(), h.clone(), h.clone(), h.clone()];
+            let g: Vec<Vector<f64>> = (0..4)
+                .map(|gate| {
+                    let pre = seed_affine_f64(
+                        &w.gate_w_f64[gate],
+                        &w.gate_b_f64[gate],
+                        &hs[gate],
+                        &xs[gate],
+                    );
+                    if gate == 2 {
+                        pre.map(|v| v / (1.0 + v.abs()))
+                    } else {
+                        pre.map(|v| 1.0 / (1.0 + (-v).exp()))
+                    }
+                })
+                .collect();
+            let c_next = g[1].hadamard(&c).add(&g[0].hadamard(&g[2]));
+            h = g[3].hadamard(&c_next.map(|v| v / (1.0 + v.abs())));
+            c = c_next;
+        }
+        let logit = seed_dot_f64(w.fc_w_f64.as_slice(), h.as_slice()) + w.fc_b_f64;
+        1.0 / (1.0 + (-logit).exp())
+    }
+
+    fn forward_fx(&self, seq: &[usize]) -> f64 {
+        let w = &self.weights;
+        let hdim = w.dims().hidden;
+        let mut c: Vector<Fx6> = Vector::zeros(hdim);
+        let mut h: Vector<Fx6> = Vector::zeros(hdim);
+        for &item in seq {
+            let x = Vector::from(w.embedding_fx.row(item).to_vec());
+            let xs = [x.clone(), x.clone(), x.clone(), x.clone()];
+            let hs = [h.clone(), h.clone(), h.clone(), h.clone()];
+            let g: Vec<Vector<Fx6>> = (0..4)
+                .map(|gate| {
+                    let pre = seed_affine_fx(
+                        &w.gate_w_fx[gate],
+                        &w.gate_b_fx[gate],
+                        &hs[gate],
+                        &xs[gate],
+                    );
+                    if gate == 2 {
+                        pre.map(seed_softsign_fx)
+                    } else {
+                        pre.map(seed_sigmoid_fx_lut)
+                    }
+                })
+                .collect();
+            let c_next = g[1].hadamard(&c).add(&g[0].hadamard(&g[2]));
+            h = g[3].hadamard(&c_next.map(seed_softsign_fx));
+            c = c_next;
+        }
+        let logit = seed_dot_fx(w.fc_w_fx.as_slice(), h.as_slice()) + w.fc_b_fx;
+        seed_sigmoid_fx_lut(logit).to_f64()
+    }
+}
+
+/// `W · [h, x] + b` with per-gate allocation and the seed's serial dot.
+fn seed_affine_f64(
+    w: &Matrix<f64>,
+    b: &Vector<f64>,
+    h: &Vector<f64>,
+    x: &Vector<f64>,
+) -> Vector<f64> {
+    let z = h.concat(x);
+    let out: Vec<f64> = (0..w.rows())
+        .map(|r| seed_dot_f64(w.row(r), z.as_slice()) + b[r])
+        .collect();
+    Vector::from(out)
+}
+
+fn seed_affine_fx(
+    w: &Matrix<Fx6>,
+    b: &Vector<Fx6>,
+    h: &Vector<Fx6>,
+    x: &Vector<Fx6>,
+) -> Vector<Fx6> {
+    let z = h.concat(x);
+    let out: Vec<Fx6> = (0..w.rows())
+        .map(|r| seed_dot_fx(w.row(r), z.as_slice()) + b[r])
+        .collect();
+    Vector::from(out)
+}
+
+/// The seed's dot product: one loop-carried accumulation chain.
+fn seed_dot_f64(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// The seed's fixed-point dot: serial `i128` accumulation, one terminal
+/// rounded rescale — the same sum the live four-lane version computes.
+fn seed_dot_fx(a: &[Fx6], b: &[Fx6]) -> Fx6 {
+    let mut acc: i128 = 0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x.raw() as i128 * y.raw() as i128;
+    }
+    Fx6::from_raw(i64::try_from(div_round(acc, Fx6::SCALE as i128)).expect("dot overflow"))
+}
+
+/// The seed's softsign: exact rounded division at `i128` width.
+fn seed_softsign_fx(x: Fx6) -> Fx6 {
+    let raw = x.raw() as i128;
+    let scale = Fx6::SCALE as i128;
+    Fx6::from_raw(div_round(raw * scale, raw.abs() + scale) as i64)
+}
+
+/// The seed's sigmoid "LUT": linear interpolation over `[-8, 8]` whose
+/// two bracketing table entries are recomputed with `exp()` per call.
+fn seed_sigmoid_fx_lut(x: Fx6) -> Fx6 {
+    const RANGE: f64 = 8.0;
+    const ENTRIES: usize = 256;
+    let v = x.to_f64();
+    if v <= -RANGE {
+        return Fx6::ZERO;
+    }
+    if v >= RANGE {
+        return Fx6::ONE;
+    }
+    let pos = (v + RANGE) / (2.0 * RANGE) * (ENTRIES as f64 - 1.0);
+    let i = pos.floor() as usize;
+    let frac = pos - i as f64;
+    let at = |k: usize| {
+        let xk = -RANGE + (2.0 * RANGE) * k as f64 / (ENTRIES as f64 - 1.0);
+        1.0 / (1.0 + (-xk).exp())
+    };
+    let y = if i + 1 < ENTRIES {
+        at(i) * (1.0 - frac) + at(i + 1) * frac
+    } else {
+        at(i)
+    };
+    Fx6::from_f64(y)
+}
+
+/// Round-half-away-from-zero division (the seed's `div_round_i128`).
+fn div_round(num: i128, den: i128) -> i128 {
+    let half = den / 2;
+    if num >= 0 {
+        (num + half) / den
+    } else {
+        (num - half) / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csd_accel::CsdInferenceEngine;
+    use csd_nn::{ModelConfig, SequenceClassifier};
+
+    #[test]
+    fn seed_baseline_matches_live_engine_bit_for_bit_in_fixed_point() {
+        let model = SequenceClassifier::new(ModelConfig::paper(), 21);
+        let weights = ModelWeights::from_model(&model);
+        let seed = SeedEngine::new(&weights, OptimizationLevel::FixedPoint);
+        let live = CsdInferenceEngine::new(&weights, OptimizationLevel::FixedPoint);
+        let seq: Vec<usize> = (0..80).map(|i| (i * 37 + 11) % 278).collect();
+        assert_eq!(
+            seed.classify_probability(&seq),
+            live.classify(&seq).probability
+        );
+    }
+
+    #[test]
+    fn seed_baseline_tracks_live_engine_in_f64() {
+        let model = SequenceClassifier::new(ModelConfig::paper(), 21);
+        let weights = ModelWeights::from_model(&model);
+        let seed = SeedEngine::new(&weights, OptimizationLevel::Vanilla);
+        let live = CsdInferenceEngine::new(&weights, OptimizationLevel::Vanilla);
+        let seq: Vec<usize> = (0..80).map(|i| (i * 37 + 11) % 278).collect();
+        // Summation order differs (seed: serial chain; live: four lanes),
+        // so parity is near-exact rather than bitwise.
+        let diff = (seed.classify_probability(&seq) - live.classify(&seq).probability).abs();
+        assert!(diff < 1e-12, "{diff}");
+    }
+}

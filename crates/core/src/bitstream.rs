@@ -77,7 +77,9 @@ impl Xclbin {
     pub fn total_resources(&self) -> ResourceEstimate {
         self.kernels
             .iter()
-            .fold(ResourceEstimate::zero(), |acc, k| acc + k.estimate.resources)
+            .fold(ResourceEstimate::zero(), |acc, k| {
+                acc + k.estimate.resources
+            })
     }
 
     /// Utilization of the scarcest device resource (1.0 = full).

@@ -1,12 +1,17 @@
 //! The end-to-end CSD inference engine.
 //!
-//! [`CsdInferenceEngine`] executes the five-kernel design functionally:
-//! per sequence item, `kernel_preprocess` produces the embedding, the four
-//! `kernel_gates` CUs compute their gates (optionally on real parallel
-//! threads, mirroring the hardware CUs), and `kernel_hidden_state` folds
-//! them into `(C_t, h_t)`; after the last item the FC head emits the
-//! classification — all in f64 for the float levels or in 10^6-scaled
-//! fixed point for [`OptimizationLevel::FixedPoint`].
+//! [`CsdInferenceEngine`] executes the five-kernel design functionally.
+//! The default per-timestep path is *fused and allocation-free*: the four
+//! `H×Z` gate matrices are stacked once at construction into a single
+//! `4H×Z` matrix, so each item costs one embedding copy, one concat, one
+//! matvec and two in-place sweeps over preallocated scratch. The original
+//! per-CU formulation (four separate gate kernels, optionally on the
+//! persistent worker pool, mirroring the four hardware CUs of §III-C)
+//! remains available via [`GatePath`] and is bit-for-bit identical — in
+//! f64 for the float levels and in 10^6-scaled fixed point for
+//! [`OptimizationLevel::FixedPoint`].
+
+use std::sync::Arc;
 
 use csd_fxp::Fx6;
 use csd_nn::ModelWeights;
@@ -15,7 +20,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::kernels::{gates, hidden, preprocess, GateKind};
 use crate::opt::OptimizationLevel;
-use crate::weights::QuantizedWeights;
+use crate::pool::WorkerPool;
+use crate::scratch::{EngineScratch, InferenceScratch};
+use crate::weights::{FusedGates, PackedGatesFx, QuantizedWeights};
 
 /// The outcome of classifying one sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -26,12 +33,39 @@ pub struct Classification {
     pub is_positive: bool,
 }
 
+/// How the per-timestep gate computation executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatePath {
+    /// One fused `4H×Z` matvec into preallocated scratch — the default,
+    /// allocation-free software hot path.
+    Fused,
+    /// Four separate gate kernels run serially, exactly as the seed
+    /// engine did — the hardware-mirroring formulation.
+    PerCuSerial,
+    /// Four separate gate kernels scattered onto the persistent
+    /// [`WorkerPool`], mirroring the four parallel hardware CUs.
+    PerCuParallel,
+}
+
+/// Immutable model state shared (via `Arc`) by engine clones and batch
+/// workers: the quantized weights plus the fused gate matrices derived
+/// from them at construction.
+#[derive(Debug)]
+struct EngineCore {
+    weights: QuantizedWeights,
+    fused_f64: FusedGates<f64>,
+    fused_fx: FusedGates<Fx6>,
+    /// Narrow-MAC repack of `fused_fx` (`None` when the weights don't
+    /// admit the exactness proof; the wide matvec then serves alone).
+    packed_fx: Option<PackedGatesFx>,
+}
+
 /// The CSD-resident classifier.
 #[derive(Debug, Clone)]
 pub struct CsdInferenceEngine {
-    weights: QuantizedWeights,
+    core: Arc<EngineCore>,
     level: OptimizationLevel,
-    parallel_cus: bool,
+    path: GatePath,
 }
 
 impl CsdInferenceEngine {
@@ -42,18 +76,43 @@ impl CsdInferenceEngine {
     ///
     /// Panics if the weight arrays are inconsistent with their config.
     pub fn new(weights: &ModelWeights, level: OptimizationLevel) -> Self {
+        let weights = QuantizedWeights::from_model_weights(weights);
+        let fused_f64 = weights.fused_f64();
+        let fused_fx = weights.fused_fx();
+        let packed_fx = PackedGatesFx::pack(&fused_fx);
         Self {
-            weights: QuantizedWeights::from_model_weights(weights),
+            core: Arc::new(EngineCore {
+                weights,
+                fused_f64,
+                fused_fx,
+                packed_fx,
+            }),
             level,
-            parallel_cus: false,
+            path: GatePath::Fused,
         }
     }
 
-    /// Runs the four gate CUs on real OS threads, mirroring the parallel
-    /// hardware CUs (§III-C). Functionally identical to the serial path.
+    /// Runs the four gate CUs on the persistent worker pool, mirroring
+    /// the parallel hardware CUs (§III-C); `false` restores the default
+    /// fused path. Functionally identical either way.
     pub fn with_parallel_cus(mut self, parallel: bool) -> Self {
-        self.parallel_cus = parallel;
+        self.path = if parallel {
+            GatePath::PerCuParallel
+        } else {
+            GatePath::Fused
+        };
         self
+    }
+
+    /// Selects the gate execution path explicitly.
+    pub fn with_gate_path(mut self, path: GatePath) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// The gate execution path in effect.
+    pub fn gate_path(&self) -> GatePath {
+        self.path
     }
 
     /// The optimization level the engine executes at.
@@ -63,7 +122,13 @@ impl CsdInferenceEngine {
 
     /// The ingested (and quantized) weights.
     pub fn weights(&self) -> &QuantizedWeights {
-        &self.weights
+        &self.core.weights
+    }
+
+    /// Allocates scratch sized for this engine's model, for use with
+    /// [`classify_with_scratch`](Self::classify_with_scratch).
+    pub fn make_scratch(&self) -> EngineScratch {
+        EngineScratch::new(self.core.weights.dims())
     }
 
     /// Classifies one sequence.
@@ -72,11 +137,32 @@ impl CsdInferenceEngine {
     ///
     /// Panics on an empty sequence or out-of-vocabulary token.
     pub fn classify(&self, seq: &[usize]) -> Classification {
+        let mut scratch = self.make_scratch();
+        self.classify_with_scratch(seq, &mut scratch)
+    }
+
+    /// Classifies one sequence reusing caller-owned scratch. On the
+    /// default fused path the per-timestep loop performs no heap
+    /// allocation; callers classifying many sequences (monitors, batch
+    /// workers) amortize the buffer allocation across all of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence, an out-of-vocabulary token, or
+    /// scratch sized for different model dimensions.
+    pub fn classify_with_scratch(
+        &self,
+        seq: &[usize],
+        scratch: &mut EngineScratch,
+    ) -> Classification {
         assert!(!seq.is_empty(), "empty sequence");
+        let w = &self.core.weights;
         let probability = if self.level.is_fixed_point() {
-            self.forward_fx(seq)
+            self.run_states_fx(seq, &mut scratch.fx_buffers);
+            hidden::classify_fx(&scratch.fx_buffers.h, &w.fc_w_fx, w.fc_b_fx).to_f64()
         } else {
-            self.forward_f64(seq)
+            self.run_states_f64(seq, &mut scratch.f64_buffers);
+            hidden::classify_f64(&scratch.f64_buffers.h, &w.fc_w_f64, w.fc_b_f64)
         };
         Classification {
             probability,
@@ -84,10 +170,11 @@ impl CsdInferenceEngine {
         }
     }
 
-    /// Classifies many sequences, fanning them across worker threads —
-    /// the data-center background-scanning workload (§I: "execute the
-    /// classifier continuously in the background"). Results are returned
-    /// in input order.
+    /// Classifies many sequences, fanning chunks across the persistent
+    /// worker pool — the data-center background-scanning workload (§I:
+    /// "execute the classifier continuously in the background"). Results
+    /// are returned in input order; each worker reuses one scratch for
+    /// its whole chunk.
     ///
     /// # Panics
     ///
@@ -95,29 +182,25 @@ impl CsdInferenceEngine {
     /// out-of-vocabulary token.
     pub fn classify_batch(&self, sequences: &[Vec<usize>]) -> Vec<Classification> {
         assert!(!sequences.is_empty(), "empty batch");
-        let threads = std::thread::available_parallelism()
-            .map_or(4, |n| n.get())
-            .min(sequences.len());
+        let pool = WorkerPool::global();
+        let threads = pool.threads().min(sequences.len());
+        // Ceil division: at most `threads` chunks, never an empty one.
         let chunk = sequences.len().div_ceil(threads);
-        let mut out = Vec::with_capacity(sequences.len());
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = sequences
-                .chunks(chunk)
-                .map(|batch| {
-                    s.spawn(move |_| {
-                        batch
-                            .iter()
-                            .map(|seq| self.classify(seq))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                out.extend(h.join().expect("batch worker panicked"));
-            }
-        })
-        .expect("batch scope");
-        out
+        let jobs: Vec<Box<dyn FnOnce() -> Vec<Classification> + Send>> = sequences
+            .chunks(chunk)
+            .map(|batch| {
+                let engine = self.clone();
+                let batch = batch.to_vec();
+                Box::new(move || {
+                    let mut scratch = engine.make_scratch();
+                    batch
+                        .iter()
+                        .map(|seq| engine.classify_with_scratch(seq, &mut scratch))
+                        .collect::<Vec<_>>()
+                }) as Box<dyn FnOnce() -> Vec<Classification> + Send>
+            })
+            .collect();
+        pool.scatter(jobs).into_iter().flatten().collect()
     }
 
     /// The final hidden state in f64 (for parity tests against the
@@ -128,82 +211,145 @@ impl CsdInferenceEngine {
     /// Panics on an empty sequence or out-of-vocabulary token.
     pub fn final_hidden_f64(&self, seq: &[usize]) -> Vec<f64> {
         assert!(!seq.is_empty(), "empty sequence");
+        let mut scratch = self.make_scratch();
         if self.level.is_fixed_point() {
-            let (_, h) = self.run_fx_states(seq);
-            h.to_f64_vec()
+            self.run_states_fx(seq, &mut scratch.fx_buffers);
+            scratch.fx_buffers.h.to_f64_vec()
         } else {
-            let (_, h) = self.run_f64_states(seq);
-            h.to_f64_vec()
+            self.run_states_f64(seq, &mut scratch.f64_buffers);
+            scratch.f64_buffers.h.to_f64_vec()
         }
     }
 
-    fn forward_f64(&self, seq: &[usize]) -> f64 {
-        let (_, h) = self.run_f64_states(seq);
-        hidden::classify_f64(&h, &self.weights.fc_w_f64, self.weights.fc_b_f64)
-    }
-
-    fn run_f64_states(&self, seq: &[usize]) -> (Vector<f64>, Vector<f64>) {
-        let hdim = self.weights.dims().hidden;
-        let mut c = Vector::zeros(hdim);
-        let mut h = Vector::zeros(hdim);
-        for &item in seq {
-            let x = preprocess::run_f64(&self.weights.embedding_f64, item);
-            // §III-C: each CU receives its own copies of x_t and h_{t−1}.
-            let xs = preprocess::fanout(&x);
-            let hs = hidden::fanout_h(&h);
-            let g = self.run_gate_cus_f64(&hs, &xs);
-            let (c_next, h_next) = hidden::run_f64(&g[0], &g[1], &g[3], &g[2], &c);
-            c = c_next;
-            h = h_next;
+    /// Walks the sequence updating `(C, h)` in `s`; leaves the final
+    /// states in `s.c` / `s.h`.
+    fn run_states_f64(&self, seq: &[usize], s: &mut InferenceScratch<f64>) {
+        let core = &self.core;
+        s.reset();
+        match self.path {
+            GatePath::Fused => {
+                let hdim = core.weights.dims().hidden;
+                for &item in seq {
+                    preprocess::run_into(&core.weights.embedding_f64, item, &mut s.x);
+                    s.h.concat_into(&s.x, &mut s.z);
+                    core.fused_f64.w.matvec_into(&s.z, &mut s.g);
+                    s.g.add_assign(&core.fused_f64.b);
+                    gates::activate_fused_f64(&mut s.g, hdim);
+                    hidden::update_fused_f64(&s.g, &mut s.c, &mut s.h);
+                }
+            }
+            GatePath::PerCuSerial | GatePath::PerCuParallel => {
+                for &item in seq {
+                    let x = preprocess::run_f64(&core.weights.embedding_f64, item);
+                    // §III-C: each CU receives its own copies of x_t, h_{t−1}.
+                    let xs = preprocess::fanout(&x);
+                    let hs = hidden::fanout_h(&s.h);
+                    let g = self.run_gate_cus_f64(&hs, &xs);
+                    let (c_next, h_next) = hidden::run_f64(&g[0], &g[1], &g[3], &g[2], &s.c);
+                    s.c = c_next;
+                    s.h = h_next;
+                }
+            }
         }
-        (c, h)
     }
 
     fn run_gate_cus_f64(&self, hs: &[Vector<f64>; 4], xs: &[Vector<f64>; 4]) -> [Vector<f64>; 4] {
-        let w = &self.weights;
-        let cu = |kind: GateKind, slot: usize| {
-            gates::run_f64(
-                kind,
-                &w.gate_w_f64[kind.index()],
-                &w.gate_b_f64[kind.index()],
-                &hs[slot],
-                &xs[slot],
-            )
-        };
-        if self.parallel_cus {
-            let mut out: [Option<Vector<f64>>; 4] = [None, None, None, None];
-            crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = GateKind::ALL
-                    .iter()
-                    .enumerate()
-                    .map(|(slot, &kind)| s.spawn(move |_| cu(kind, slot)))
-                    .collect();
-                for (slot, hdl) in handles.into_iter().enumerate() {
-                    out[slot] = Some(hdl.join().expect("gate CU panicked"));
-                }
-            })
-            .expect("CU scope");
-            out.map(|v| v.expect("all CUs ran"))
+        if self.path == GatePath::PerCuParallel {
+            let jobs: Vec<Box<dyn FnOnce() -> Vector<f64> + Send>> = GateKind::ALL
+                .iter()
+                .enumerate()
+                .map(|(slot, &kind)| {
+                    let core = Arc::clone(&self.core);
+                    let h = hs[slot].clone();
+                    let x = xs[slot].clone();
+                    Box::new(move || {
+                        gates::run_f64(
+                            kind,
+                            &core.weights.gate_w_f64[kind.index()],
+                            &core.weights.gate_b_f64[kind.index()],
+                            &h,
+                            &x,
+                        )
+                    }) as Box<dyn FnOnce() -> Vector<f64> + Send>
+                })
+                .collect();
+            let mut out = WorkerPool::global().scatter(jobs).into_iter();
+            std::array::from_fn(|_| out.next().expect("four gate CUs"))
         } else {
-            std::array::from_fn(|slot| cu(GateKind::ALL[slot], slot))
+            let w = &self.core.weights;
+            std::array::from_fn(|slot| {
+                let kind = GateKind::ALL[slot];
+                gates::run_f64(
+                    kind,
+                    &w.gate_w_f64[kind.index()],
+                    &w.gate_b_f64[kind.index()],
+                    &hs[slot],
+                    &xs[slot],
+                )
+            })
         }
     }
 
-    fn forward_fx(&self, seq: &[usize]) -> f64 {
-        let (_, h) = self.run_fx_states(seq);
-        hidden::classify_fx(&h, &self.weights.fc_w_fx, self.weights.fc_b_fx).to_f64()
+    fn run_states_fx(&self, seq: &[usize], s: &mut InferenceScratch<Fx6>) {
+        let core = &self.core;
+        s.reset();
+        match self.path {
+            GatePath::Fused => {
+                let hdim = core.weights.dims().hidden;
+                for &item in seq {
+                    preprocess::run_into(&core.weights.embedding_fx, item, &mut s.x);
+                    s.h.concat_into(&s.x, &mut s.z);
+                    let narrow_ok = core.packed_fx.as_ref().is_some_and(|p| {
+                        p.matvec_into(s.z.as_slice(), &mut s.narrow_z, s.g.as_mut_slice())
+                    });
+                    if !narrow_ok {
+                        core.fused_fx.w.matvec_into(&s.z, &mut s.g);
+                    }
+                    s.g.add_assign(&core.fused_fx.b);
+                    gates::activate_fused_fx(&mut s.g, hdim);
+                    hidden::update_fused_fx(&s.g, &mut s.c, &mut s.h);
+                }
+            }
+            GatePath::PerCuSerial | GatePath::PerCuParallel => {
+                for &item in seq {
+                    let x = preprocess::run_fx(&core.weights.embedding_fx, item);
+                    let xs = preprocess::fanout(&x);
+                    let hs = hidden::fanout_h(&s.h);
+                    let g = self.run_gate_cus_fx(&hs, &xs);
+                    let (c_next, h_next) = hidden::run_fx(&g[0], &g[1], &g[3], &g[2], &s.c);
+                    s.c = c_next;
+                    s.h = h_next;
+                }
+            }
+        }
     }
 
-    fn run_fx_states(&self, seq: &[usize]) -> (Vector<Fx6>, Vector<Fx6>) {
-        let hdim = self.weights.dims().hidden;
-        let mut c: Vector<Fx6> = Vector::zeros(hdim);
-        let mut h: Vector<Fx6> = Vector::zeros(hdim);
-        for &item in seq {
-            let x = preprocess::run_fx(&self.weights.embedding_fx, item);
-            let xs = preprocess::fanout(&x);
-            let hs = hidden::fanout_h(&h);
-            let w = &self.weights;
-            let cu = |kind: GateKind, slot: usize| {
+    fn run_gate_cus_fx(&self, hs: &[Vector<Fx6>; 4], xs: &[Vector<Fx6>; 4]) -> [Vector<Fx6>; 4] {
+        if self.path == GatePath::PerCuParallel {
+            let jobs: Vec<Box<dyn FnOnce() -> Vector<Fx6> + Send>> = GateKind::ALL
+                .iter()
+                .enumerate()
+                .map(|(slot, &kind)| {
+                    let core = Arc::clone(&self.core);
+                    let h = hs[slot].clone();
+                    let x = xs[slot].clone();
+                    Box::new(move || {
+                        gates::run_fx(
+                            kind,
+                            &core.weights.gate_w_fx[kind.index()],
+                            &core.weights.gate_b_fx[kind.index()],
+                            &h,
+                            &x,
+                        )
+                    }) as Box<dyn FnOnce() -> Vector<Fx6> + Send>
+                })
+                .collect();
+            let mut out = WorkerPool::global().scatter(jobs).into_iter();
+            std::array::from_fn(|_| out.next().expect("four gate CUs"))
+        } else {
+            let w = &self.core.weights;
+            std::array::from_fn(|slot| {
+                let kind = GateKind::ALL[slot];
                 gates::run_fx(
                     kind,
                     &w.gate_w_fx[kind.index()],
@@ -211,29 +357,8 @@ impl CsdInferenceEngine {
                     &hs[slot],
                     &xs[slot],
                 )
-            };
-            let g: [Vector<Fx6>; 4] = if self.parallel_cus {
-                let mut out: [Option<Vector<Fx6>>; 4] = [None, None, None, None];
-                crossbeam::thread::scope(|s| {
-                    let handles: Vec<_> = GateKind::ALL
-                        .iter()
-                        .enumerate()
-                        .map(|(slot, &kind)| s.spawn(move |_| cu(kind, slot)))
-                        .collect();
-                    for (slot, hdl) in handles.into_iter().enumerate() {
-                        out[slot] = Some(hdl.join().expect("gate CU panicked"));
-                    }
-                })
-                .expect("CU scope");
-                out.map(|v| v.expect("all CUs ran"))
-            } else {
-                std::array::from_fn(|slot| cu(GateKind::ALL[slot], slot))
-            };
-            let (c_next, h_next) = hidden::run_fx(&g[0], &g[1], &g[3], &g[2], &c);
-            c = c_next;
-            h = h_next;
+            })
         }
-        (c, h)
     }
 }
 
@@ -294,6 +419,24 @@ mod tests {
     }
 
     #[test]
+    fn all_gate_paths_identical() {
+        let m = model();
+        let w = ModelWeights::from_model(&m);
+        let s = seq(40);
+        for level in OptimizationLevel::ALL {
+            let fused = CsdInferenceEngine::new(&w, level).classify(&s);
+            let per_cu = CsdInferenceEngine::new(&w, level)
+                .with_gate_path(GatePath::PerCuSerial)
+                .classify(&s);
+            let parallel = CsdInferenceEngine::new(&w, level)
+                .with_parallel_cus(true)
+                .classify(&s);
+            assert_eq!(fused, per_cu, "{level}");
+            assert_eq!(fused, parallel, "{level}");
+        }
+    }
+
+    #[test]
     fn parallel_cus_identical_to_serial() {
         let m = model();
         let w = ModelWeights::from_model(&m);
@@ -320,6 +463,50 @@ mod tests {
             assert_eq!(*got, engine.classify(seq));
         }
         assert_eq!(parallel.len(), 13);
+    }
+
+    #[test]
+    fn batch_of_one_sequence() {
+        let m = model();
+        let engine =
+            CsdInferenceEngine::new(&ModelWeights::from_model(&m), OptimizationLevel::FixedPoint);
+        let batch = vec![seq(25)];
+        let got = engine.classify_batch(&batch);
+        assert_eq!(got, vec![engine.classify(&batch[0])]);
+    }
+
+    #[test]
+    fn batch_of_pool_threads_plus_one() {
+        // One more sequence than workers: ceil-division chunking must
+        // cover every sequence with no empty trailing chunk.
+        let m = model();
+        let engine =
+            CsdInferenceEngine::new(&ModelWeights::from_model(&m), OptimizationLevel::Vanilla);
+        let n = WorkerPool::global().threads() + 1;
+        let batch: Vec<Vec<usize>> = (0..n)
+            .map(|k| (0..12).map(|i| (i * 7 + k) % 278).collect())
+            .collect();
+        let got = engine.classify_batch(&batch);
+        assert_eq!(got.len(), n);
+        for (seq, res) in batch.iter().zip(&got) {
+            assert_eq!(*res, engine.classify(seq));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let m = model();
+        let engine =
+            CsdInferenceEngine::new(&ModelWeights::from_model(&m), OptimizationLevel::FixedPoint);
+        let mut scratch = engine.make_scratch();
+        for n in [1, 5, 40, 3] {
+            let s = seq(n);
+            assert_eq!(
+                engine.classify_with_scratch(&s, &mut scratch),
+                engine.classify(&s),
+                "len {n}"
+            );
+        }
     }
 
     #[test]

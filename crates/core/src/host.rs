@@ -10,9 +10,7 @@
 //! classification (computed bit-faithfully by the engine) and the
 //! simulated device time.
 
-use csd_device::{
-    BufferHandle, DeviceRuntime, KernelHandle, Nanos, RuntimeError, SmartSsd,
-};
+use csd_device::{BufferHandle, DeviceRuntime, KernelHandle, Nanos, RuntimeError, SmartSsd};
 use csd_nn::ModelWeights;
 
 use crate::bitstream::{link, Xclbin};
@@ -85,10 +83,7 @@ impl HostProgram {
     /// Returns a [`RuntimeError`] if buffer allocation fails, or
     /// [`RuntimeError::ShapeMismatch`] when the weights' dimensions do not
     /// match the image's compiled loop bounds.
-    pub fn program(
-        weights: &ModelWeights,
-        image: Xclbin,
-    ) -> Result<Self, RuntimeError> {
+    pub fn program(weights: &ModelWeights, image: Xclbin) -> Result<Self, RuntimeError> {
         let engine = CsdInferenceEngine::new(weights, image.level);
         if engine.weights().dims() != image.dims {
             return Err(RuntimeError::ShapeMismatch);
@@ -312,8 +307,7 @@ mod tests {
             &csd_hls::DeviceProfile::alveo_u200(),
         )
         .expect("links");
-        let wrong =
-            ModelWeights::from_model(&SequenceClassifier::new(ModelConfig::tiny(30), 2));
+        let wrong = ModelWeights::from_model(&SequenceClassifier::new(ModelConfig::tiny(30), 2));
         assert_eq!(
             HostProgram::program(&wrong, image).unwrap_err(),
             RuntimeError::ShapeMismatch

@@ -95,6 +95,53 @@ pub fn run_fx(
     }
 }
 
+/// Applies the gate activations in place to a fused `4H` pre-activation
+/// vector (TF gate order `i f c o`, so rows `2H..3H` are the softsign
+/// candidate and the rest are sigmoid), f64 path.
+///
+/// Uses exactly the same scalar expressions as [`run_f64`], so a fused
+/// matvec followed by this call is bit-identical to the four per-CU
+/// launches.
+///
+/// # Panics
+///
+/// Panics if `pre.len() != 4 * hidden`.
+pub fn activate_fused_f64(pre: &mut Vector<f64>, hidden: usize) {
+    assert_eq!(pre.len(), 4 * hidden, "fused gate length mismatch");
+    let data = pre.as_mut_slice();
+    for (g, block) in data.chunks_exact_mut(hidden).enumerate() {
+        if GateKind::ALL[g].is_candidate() {
+            for v in block {
+                *v /= 1.0 + v.abs();
+            }
+        } else {
+            for v in block {
+                *v = 1.0 / (1.0 + (-*v).exp());
+            }
+        }
+    }
+}
+
+/// Fixed-point twin of [`activate_fused_f64`]: the LUT sigmoid / exact
+/// softsign applied per gate block in place.
+///
+/// # Panics
+///
+/// Panics if `pre.len() != 4 * hidden`.
+pub fn activate_fused_fx(pre: &mut Vector<Fx6>, hidden: usize) {
+    assert_eq!(pre.len(), 4 * hidden, "fused gate length mismatch");
+    let data = pre.as_mut_slice();
+    for (g, block) in data.chunks_exact_mut(hidden).enumerate() {
+        if GateKind::ALL[g].is_candidate() {
+            for v in block {
+                *v = softsign_fx(*v);
+            }
+        } else {
+            csd_fxp::sigmoid_fx_lut_slice(block);
+        }
+    }
+}
+
 /// The hardware structure of one CU: the `H × Z` MAC nest followed by the
 /// activation loop. `#pragma HLS DATAFLOW` (§III-C) overlaps the two.
 pub fn spec(kind: GateKind, level: OptimizationLevel, dims: &LstmDims) -> KernelSpec {
@@ -183,6 +230,49 @@ mod tests {
         }
     }
 
+    #[test]
+    fn fused_activation_is_bit_identical_to_per_gate() {
+        let (w, b, h, x) = setup();
+        let z = h.concat(&x);
+        // Build the fused pre-activation vector by stacking the per-gate
+        // pre-activations (all four gates share w/b here, which is fine:
+        // only the activation split is under test).
+        let pre = w.matvec(&z).add(&b);
+        let mut fused: Vector<f64> = Vector::from([pre.as_slice(); 4].concat());
+        activate_fused_f64(&mut fused, 32);
+        for (g, kind) in GateKind::ALL.into_iter().enumerate() {
+            let expected = run_f64(kind, &w, &b, &h, &x);
+            assert_eq!(
+                &fused.as_slice()[g * 32..(g + 1) * 32],
+                expected.as_slice(),
+                "{kind:?}"
+            );
+        }
+
+        let wq = Matrix::<Fx6>::from_f64_flat(32, 40, &w.to_f64_flat());
+        let bq = Vector::<Fx6>::from_f64_slice(&b.to_f64_vec());
+        let hq = Vector::<Fx6>::from_f64_slice(&h.to_f64_vec());
+        let xq = Vector::<Fx6>::from_f64_slice(&x.to_f64_vec());
+        let preq = wq.matvec(&hq.concat(&xq)).add(&bq);
+        let mut fusedq: Vector<Fx6> = Vector::from([preq.as_slice(); 4].concat());
+        activate_fused_fx(&mut fusedq, 32);
+        for (g, kind) in GateKind::ALL.into_iter().enumerate() {
+            let expected = run_fx(kind, &wq, &bq, &hq, &xq);
+            assert_eq!(
+                &fusedq.as_slice()[g * 32..(g + 1) * 32],
+                expected.as_slice(),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fused gate length mismatch")]
+    fn fused_activation_rejects_bad_length() {
+        let mut pre = Vector::zeros(7);
+        activate_fused_f64(&mut pre, 2);
+    }
+
     fn gates_budget() -> ResourceEstimate {
         // The budget policy gives each gate CU 20% of the device.
         let cap = DeviceProfile::alveo_u200().capacity;
@@ -220,8 +310,8 @@ mod tests {
     #[test]
     fn fixed_point_flattens_within_budget() {
         let dims = LstmDims::paper();
-        let est = spec(GateKind::Input, OptimizationLevel::FixedPoint, &dims)
-            .estimate(&gates_budget());
+        let est =
+            spec(GateKind::Input, OptimizationLevel::FixedPoint, &dims).estimate(&gates_budget());
         // The row loop pipelines: steady-state interval ≪ fill.
         assert!(est.timing.interval_cycles < est.timing.fill_cycles);
         assert!(est.timing.interval_cycles <= 4);
@@ -231,8 +321,8 @@ mod tests {
     #[test]
     fn float_cannot_flatten() {
         let dims = LstmDims::paper();
-        let est = spec(GateKind::Input, OptimizationLevel::IiOptimized, &dims)
-            .estimate(&gates_budget());
+        let est =
+            spec(GateKind::Input, OptimizationLevel::IiOptimized, &dims).estimate(&gates_budget());
         // Float rows stay sequential: interval equals fill magnitude.
         assert!(est.timing.interval_cycles > 1_000);
     }

@@ -22,8 +22,16 @@
 //!   `kernel_preprocess`, the four `kernel_gates` compute units, and
 //!   `kernel_hidden_state`.
 //! - [`weights`] — host-side weight ingest and 10^6 quantization (§III-D).
-//! - [`engine`] — [`CsdInferenceEngine`]: bit-faithful classification with
-//!   the four gate CUs running on real threads.
+//! - [`engine`] — [`CsdInferenceEngine`]: bit-faithful classification;
+//!   the default software hot path fuses the four gate matrices into one
+//!   `4H×Z` matvec over preallocated scratch, with the per-CU
+//!   formulation (serial or on the persistent worker pool) preserved for
+//!   hardware-mirroring fidelity.
+//! - [`scratch`] — the preallocated buffers behind the zero-allocation
+//!   steady state.
+//! - [`pool`] — the process-wide persistent worker pool backing
+//!   [`classify_batch`](engine::CsdInferenceEngine::classify_batch) and
+//!   the parallel-CU path.
 //! - [`timing`] — regenerates Fig. 3 and the FPGA row of Table I from the
 //!   HLS latency model.
 //! - [`schedule`] — the §III-C software pipeline (preprocess prefetching
@@ -56,7 +64,10 @@
 //! assert!((p_fpga - p_f64).abs() < 0.05);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the packed gate matvec carries one narrowly
+// scoped `allow` for its runtime-dispatched `#[target_feature]` copy
+// (see `weights::PackedGatesFx`); everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitstream;
@@ -67,18 +78,22 @@ pub mod kernels;
 pub mod mixed;
 pub mod monitor;
 pub mod opt;
+pub mod pool;
 pub mod schedule;
+pub mod scratch;
 pub mod timing;
 pub mod weights;
 
 pub use bitstream::{link, LinkError, Xclbin};
-pub use engine::{Classification, CsdInferenceEngine};
+pub use engine::{Classification, CsdInferenceEngine, GatePath};
 pub use fleet::{CsdFleet, FleetScan};
 pub use host::{DeviceRun, HostProgram};
-pub use monitor::{Alert, MonitorConfig, MonitorPool, StreamMonitor};
 pub use kernels::LstmDims;
 pub use mixed::MixedPrecisionEngine;
+pub use monitor::{Alert, MonitorConfig, MonitorPool, StreamMonitor};
 pub use opt::OptimizationLevel;
+pub use pool::WorkerPool;
 pub use schedule::{Bottleneck, PipelineSchedule, ScheduleEvent};
+pub use scratch::{EngineScratch, InferenceScratch};
 pub use timing::{fig3, table1_fpga_row, Fig3Row, KernelBreakdown};
-pub use weights::QuantizedWeights;
+pub use weights::{FusedGates, PackedGatesFx, QuantizedWeights};

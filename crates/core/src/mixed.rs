@@ -62,9 +62,7 @@ impl<const LOW: u32, const HIGH: u32> MixedPrecisionEngine<LOW, HIGH> {
             gate_w: std::array::from_fn(|g| {
                 Matrix::from_f64_flat(h, z, &q.gate_w_f64[g].to_f64_flat())
             }),
-            gate_b: std::array::from_fn(|g| {
-                Vector::from_f64_slice(&q.gate_b_f64[g].to_f64_vec())
-            }),
+            gate_b: std::array::from_fn(|g| Vector::from_f64_slice(&q.gate_b_f64[g].to_f64_vec())),
             fc_w: Vector::from_f64_slice(&q.fc_w_f64.to_f64_vec()),
             fc_b: Fixed::from_f64(q.fc_b_f64),
         }
@@ -89,11 +87,9 @@ impl<const LOW: u32, const HIGH: u32> MixedPrecisionEngine<LOW, HIGH> {
             assert!(item < self.dims.vocab, "item {item} out of vocabulary");
             let x = Vector::from(self.embedding.row(item).to_vec());
             // h enters the gate stage at LOW precision.
-            let h_low: Vector<Fixed<LOW>> =
-                h.iter().map(|v| v.rescale::<LOW>()).collect();
+            let h_low: Vector<Fixed<LOW>> = h.iter().map(|v| v.rescale::<LOW>()).collect();
             let z = h_low.concat(&x);
-            let mut gates: [Vector<Fixed<HIGH>>; 4] =
-                std::array::from_fn(|_| Vector::zeros(hdim));
+            let mut gates: [Vector<Fixed<HIGH>>; 4] = std::array::from_fn(|_| Vector::zeros(hdim));
             for kind in GateKind::ALL {
                 let g = kind.index();
                 let pre = self.gate_w[g].matvec(&z).add(&self.gate_b[g]);
@@ -199,7 +195,9 @@ mod tests {
         let mixed = MixedPrecisionEngine::<4, 8>::new(&w);
         let mut agree = 0;
         for k in 0..10u64 {
-            let s: Vec<usize> = (0..100).map(|i| ((i as u64 * 13 + k * 7) % 278) as usize).collect();
+            let s: Vec<usize> = (0..100)
+                .map(|i| ((i as u64 * 13 + k * 7) % 278) as usize)
+                .collect();
             if mixed.classify(&s).is_positive == model.predict(&s) {
                 agree += 1;
             }

@@ -291,7 +291,7 @@ mod tests {
             m.observe(c % 16);
         }
         assert_eq!(m.classifications(), 0);
-        m.observe(7 % 16);
+        m.observe(7);
         assert_eq!(m.classifications(), 1, "first full window classifies");
     }
 

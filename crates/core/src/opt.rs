@@ -50,12 +50,8 @@ impl OptimizationLevel {
     pub fn inner_loop_pragmas(self) -> Pragmas {
         match self {
             OptimizationLevel::Vanilla => Pragmas::new().pipeline(1),
-            OptimizationLevel::IiOptimized => {
-                Pragmas::new().pipeline(1).unroll(4).partition()
-            }
-            OptimizationLevel::FixedPoint => {
-                Pragmas::new().pipeline(1).unroll_full().partition()
-            }
+            OptimizationLevel::IiOptimized => Pragmas::new().pipeline(1).unroll(4).partition(),
+            OptimizationLevel::FixedPoint => Pragmas::new().pipeline(1).unroll_full().partition(),
         }
     }
 
@@ -92,10 +88,7 @@ mod tests {
 
     #[test]
     fn formats() {
-        assert_eq!(
-            OptimizationLevel::Vanilla.format(),
-            NumericFormat::Float32
-        );
+        assert_eq!(OptimizationLevel::Vanilla.format(), NumericFormat::Float32);
         assert_eq!(
             OptimizationLevel::FixedPoint.format(),
             NumericFormat::FixedPoint64
@@ -118,7 +111,9 @@ mod tests {
     #[test]
     fn only_fixed_point_pipelines_outer_loops() {
         assert_eq!(
-            OptimizationLevel::Vanilla.outer_loop_pragmas().pipeline_ii(),
+            OptimizationLevel::Vanilla
+                .outer_loop_pragmas()
+                .pipeline_ii(),
             None
         );
         assert_eq!(

@@ -1,0 +1,258 @@
+//! A persistent worker pool shared by the engine's parallel paths.
+//!
+//! The previous engine spawned fresh OS threads per timestep (gate CUs)
+//! and per batch call via scoped threads. Thread creation costs dwarf a
+//! 32-element gate matvec, so the hot paths now submit work to one
+//! process-wide pool of long-lived workers ([`WorkerPool::global`]),
+//! mirroring how the physical CUs are instantiated once at bitstream
+//! programming and then fed per-timestep inputs.
+//!
+//! [`WorkerPool::scatter`] is the only submission primitive the engine
+//! needs: run a batch of jobs, return results in submission order. While
+//! waiting, the submitting thread drains pending pool jobs itself, so
+//! nested scatters (a batch worker fanning out gate CUs) cannot deadlock
+//! even when every worker is busy.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: Mutex<QueueState>,
+    available: Condvar,
+}
+
+struct QueueState {
+    pending: VecDeque<Job>,
+    closed: bool,
+}
+
+impl Queue {
+    fn push(&self, job: Job) {
+        let mut state = self.jobs.lock().expect("pool queue poisoned");
+        state.pending.push_back(job);
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Blocks until a job is available (workers) or the pool closes.
+    fn pop_blocking(&self) -> Option<Job> {
+        let mut state = self.jobs.lock().expect("pool queue poisoned");
+        loop {
+            if let Some(job) = state.pending.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("pool queue poisoned");
+        }
+    }
+
+    /// Takes a job only if one is immediately available (helpers).
+    fn try_pop(&self) -> Option<Job> {
+        self.jobs
+            .lock()
+            .expect("pool queue poisoned")
+            .pending
+            .pop_front()
+    }
+
+    fn close(&self) {
+        self.jobs.lock().expect("pool queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// A fixed-size pool of long-lived worker threads.
+///
+/// Most callers want the process-wide [`WorkerPool::global`]; constructing
+/// private pools is supported for tests. Workers survive job panics: a
+/// panicking [`scatter`](Self::scatter) job forwards its payload to the
+/// submitting thread, which re-raises it.
+pub struct WorkerPool {
+    queue: Arc<Queue>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Builds a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        });
+        for worker in 0..threads {
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name(format!("csd-pool-{worker}"))
+                .spawn(move || {
+                    while let Some(job) = queue.pop_blocking() {
+                        // Payloads are routed to submitters via scatter's
+                        // result channel; the worker itself never unwinds.
+                        let _ = catch_unwind(AssertUnwindSafe(job));
+                    }
+                })
+                .expect("spawn pool worker");
+        }
+        Self { queue, threads }
+    }
+
+    /// The single process-wide pool, sized to the machine's available
+    /// parallelism and created on first use.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            WorkerPool::new(std::thread::available_parallelism().map_or(4, |n| n.get()))
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job on the pool and returns their results in submission
+    /// order. The calling thread helps drain the pool while waiting, so
+    /// scatters may nest arbitrarily without deadlocking.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the first observed panicking job.
+    pub fn scatter<R, I>(&self, jobs: I) -> Vec<R>
+    where
+        R: Send + 'static,
+        I: IntoIterator<Item = Box<dyn FnOnce() -> R + Send + 'static>>,
+    {
+        let (result_tx, result_rx) = channel();
+        let mut submitted = 0usize;
+        for (index, job) in jobs.into_iter().enumerate() {
+            let tx = result_tx.clone();
+            self.queue.push(Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(job));
+                // The submitter may already be unwinding a panic from an
+                // earlier job; a dead channel is fine then.
+                let _ = tx.send((index, outcome));
+            }));
+            submitted += 1;
+        }
+        drop(result_tx);
+
+        let mut slots: Vec<Option<R>> = (0..submitted).map(|_| None).collect();
+        let mut received = 0usize;
+        while received < submitted {
+            match result_rx.recv_timeout(Duration::from_millis(1)) {
+                Ok((index, Ok(value))) => {
+                    slots[index] = Some(value);
+                    received += 1;
+                }
+                Ok((_, Err(payload))) => resume_unwind(payload),
+                Err(RecvTimeoutError::Timeout) => {
+                    // Help: run one pending pool job (possibly our own).
+                    if let Some(job) = self.queue.try_pop() {
+                        let _ = catch_unwind(AssertUnwindSafe(job));
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("result senders outlive their jobs")
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index reported"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.queue.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scatter_preserves_submission_order() {
+        let pool = WorkerPool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let results = pool.scatter(jobs);
+        assert_eq!(results, (0..32usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scatter_does_not_deadlock() {
+        // One worker, two levels of scatter: only possible because the
+        // submitting thread drains the queue while waiting.
+        let pool = WorkerPool::new(1);
+        let outer: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..3usize)
+            .map(|i| {
+                Box::new(move || {
+                    let inner: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..4usize)
+                        .map(|j| Box::new(move || i * 10 + j) as Box<dyn FnOnce() -> usize + Send>)
+                        .collect();
+                    WorkerPool::global().scatter(inner).into_iter().sum()
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let sums = pool.scatter(outer);
+        assert_eq!(sums, vec![6, 46, 86]);
+    }
+
+    #[test]
+    fn workers_survive_panicking_jobs() {
+        let pool = WorkerPool::new(2);
+        let boom: Vec<Box<dyn FnOnce() + Send>> =
+            vec![Box::new(|| panic!("job failure")) as Box<dyn FnOnce() + Send>];
+        let outcome = catch_unwind(AssertUnwindSafe(|| pool.scatter(boom)));
+        assert!(outcome.is_err(), "panic should reach the submitter");
+        // The pool still works afterwards.
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| 7u32) as Box<dyn FnOnce() -> u32 + Send>];
+        assert_eq!(pool.scatter(jobs), vec![7]);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = WorkerPool::global() as *const WorkerPool;
+        let b = WorkerPool::global() as *const WorkerPool;
+        assert_eq!(a, b);
+        assert!(WorkerPool::global().threads() >= 1);
+    }
+
+    #[test]
+    fn empty_scatter_returns_empty() {
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = Vec::new();
+        assert!(pool.scatter(jobs).is_empty());
+    }
+
+    #[test]
+    fn all_jobs_run_exactly_once() {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let pool = WorkerPool::new(3);
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..50)
+            .map(|_| {
+                Box::new(|| {
+                    COUNTER.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        pool.scatter(jobs);
+        assert_eq!(COUNTER.load(Ordering::SeqCst), 50);
+    }
+}

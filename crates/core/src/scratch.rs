@@ -1,0 +1,106 @@
+//! Preallocated working memory for the zero-allocation inference path.
+//!
+//! The fused serial path walks a sequence touching only the buffers held
+//! here: the per-timestep loop performs no heap allocation at all. This
+//! mirrors the hardware, where every kernel-side array is a fixed BRAM
+//! buffer sized at synthesis from the model dimensions (§III-B), not
+//! storage acquired per item.
+
+use csd_fxp::Fx6;
+use csd_tensor::{Scalar, Vector};
+
+use crate::kernels::LstmDims;
+
+/// Reusable buffers for one in-flight sequence at one precision.
+///
+/// Allocated once (per engine call or per batch worker) and reset between
+/// sequences; the timestep loop only reads and overwrites them.
+#[derive(Debug, Clone)]
+pub struct InferenceScratch<T> {
+    /// Embedding of the current item (`E` elements).
+    pub x: Vector<T>,
+    /// Concatenated `[h_{t−1}, x_t]` gate input (`Z = H + E` elements).
+    pub z: Vector<T>,
+    /// Fused gate vector: pre-activations then activations in place
+    /// (`4H` elements, TF gate order `i f c o`).
+    pub g: Vector<T>,
+    /// Cell state `C_t` (`H` elements).
+    pub c: Vector<T>,
+    /// Hidden state `h_t` (`H` elements).
+    pub h: Vector<T>,
+    /// Staging for the narrow-MAC gate matvec (`Z` capacity): the raw
+    /// input narrowed to `i32` for the packed fixed-point path. Unused
+    /// (but cheap) on the float instance.
+    pub narrow_z: Vec<i32>,
+}
+
+impl<T: Scalar> InferenceScratch<T> {
+    /// Allocates all buffers for the given model dimensions.
+    pub fn new(dims: LstmDims) -> Self {
+        Self {
+            x: Vector::zeros(dims.embed),
+            z: Vector::zeros(dims.z()),
+            g: Vector::zeros(4 * dims.hidden),
+            c: Vector::zeros(dims.hidden),
+            h: Vector::zeros(dims.hidden),
+            narrow_z: Vec::with_capacity(dims.z()),
+        }
+    }
+
+    /// Zeroes the recurrent state so the next sequence starts fresh. The
+    /// non-state buffers (`x`, `z`, `g`) are fully overwritten every
+    /// timestep and need no clearing.
+    pub fn reset(&mut self) {
+        self.c.as_mut_slice().fill(T::zero());
+        self.h.as_mut_slice().fill(T::zero());
+    }
+}
+
+/// Both precisions' scratch, so one allocation serves an engine at any
+/// [`OptimizationLevel`](crate::opt::OptimizationLevel).
+#[derive(Debug, Clone)]
+pub struct EngineScratch {
+    /// Float-path buffers.
+    pub f64_buffers: InferenceScratch<f64>,
+    /// Fixed-point-path buffers.
+    pub fx_buffers: InferenceScratch<Fx6>,
+}
+
+impl EngineScratch {
+    /// Allocates scratch for the given model dimensions.
+    pub fn new(dims: LstmDims) -> Self {
+        Self {
+            f64_buffers: InferenceScratch::new(dims),
+            fx_buffers: InferenceScratch::new(dims),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_sized_from_dims() {
+        let dims = LstmDims::paper();
+        let s: InferenceScratch<f64> = InferenceScratch::new(dims);
+        assert_eq!(s.x.len(), dims.embed);
+        assert_eq!(s.z.len(), dims.hidden + dims.embed);
+        assert_eq!(s.g.len(), 4 * dims.hidden);
+        assert_eq!(s.c.len(), dims.hidden);
+        assert_eq!(s.h.len(), dims.hidden);
+    }
+
+    #[test]
+    fn reset_clears_only_state() {
+        let dims = LstmDims::paper();
+        let mut s: InferenceScratch<f64> = InferenceScratch::new(dims);
+        s.c[0] = 1.5;
+        s.h[3] = -2.0;
+        s.g[7] = 9.0;
+        s.reset();
+        assert!(s.c.iter().all(|&v| v == 0.0));
+        assert!(s.h.iter().all(|&v| v == 0.0));
+        assert_eq!(s.g[7], 9.0);
+    }
+}

@@ -98,7 +98,11 @@ pub fn breakdown_streamed(level: OptimizationLevel, dims: &LstmDims) -> KernelBr
     let hid = hidden::spec(level, dims).streamed().estimate(&small);
     let gate_worst = GateKind::ALL
         .iter()
-        .map(|&k| gates::spec(k, level, dims).streamed().estimate(&gate_budget))
+        .map(|&k| {
+            gates::spec(k, level, dims)
+                .streamed()
+                .estimate(&gate_budget)
+        })
         .map(|est: KernelEstimate| {
             if level.is_fixed_point() {
                 est.timing.interval_cycles
@@ -221,9 +225,6 @@ mod tests {
     fn speedup_vs_gpu_is_paper_scale() {
         // Paper: 344.6× vs the A100 row (741.35 µs).
         let speedup = 741.353_36 / table1_fpga_row();
-        assert!(
-            speedup > 200.0 && speedup < 700.0,
-            "speedup {speedup}×"
-        );
+        assert!(speedup > 200.0 && speedup < 700.0, "speedup {speedup}×");
     }
 }

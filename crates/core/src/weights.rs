@@ -9,10 +9,190 @@
 
 use csd_fxp::Fx6;
 use csd_nn::ModelWeights;
-use csd_tensor::{Matrix, Vector};
+use csd_tensor::{Matrix, Scalar, Vector};
 use serde::{Deserialize, Serialize};
 
 use crate::kernels::LstmDims;
+
+/// The four per-gate `H × Z` matrices stacked row-wise into one `4H × Z`
+/// matrix (TF gate order `i f c o`, gate `g` owning rows `g·H..(g+1)·H`),
+/// with the biases stacked the same way.
+///
+/// One matvec against this matrix computes all four gate pre-activations
+/// of a timestep, replacing four separate matvec launches. Each fused row
+/// is byte-identical to the corresponding per-gate row, so results match
+/// the per-gate path bit for bit in both precisions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedGates<T> {
+    /// Stacked `4H × Z` gate weights.
+    pub w: Matrix<T>,
+    /// Stacked `4H` gate biases.
+    pub b: Vector<T>,
+}
+
+fn fuse_gates<T: Scalar>(ws: &[Matrix<T>; 4], bs: &[Vector<T>; 4]) -> FusedGates<T> {
+    let (h, z) = (ws[0].rows(), ws[0].cols());
+    let mut w_flat = Vec::with_capacity(4 * h * z);
+    let mut b_flat = Vec::with_capacity(4 * h);
+    for g in 0..4 {
+        assert_eq!((ws[g].rows(), ws[g].cols()), (h, z), "gate shape mismatch");
+        assert_eq!(bs[g].len(), h, "gate bias length mismatch");
+        w_flat.extend_from_slice(ws[g].as_flat());
+        b_flat.extend_from_slice(bs[g].as_slice());
+    }
+    FusedGates {
+        w: Matrix::from_flat(4 * h, z, w_flat),
+        b: Vector::from(b_flat),
+    }
+}
+
+/// The fused fixed-point gate matrix repacked into `i32` raw values — the
+/// software analogue of mapping the gate MACs onto the FPGA's narrow DSP
+/// multipliers instead of a wide soft multiplier.
+///
+/// Quantized LSTM weights are far below `2^31` in raw 10^6-scaled form,
+/// and every gate-input column is either a bounded activation (`|h| ≤ 1`,
+/// so `|raw| ≤ 10^6`) or a quantized embedding, so each product fits a
+/// 32×32→64-bit multiply and a whole `Z`-term row sum accumulates exactly
+/// in an `i64`. Integer addition is associative and exact when nothing
+/// overflows, so the narrow row sum equals the wide `i128` sum bit for
+/// bit; [`PackedGatesFx::pack`] refuses weights that cannot guarantee
+/// this, and [`PackedGatesFx::matvec_into`] refuses inputs outside the
+/// proven range, in both cases falling back to the wide path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedGatesFx {
+    /// Row-major `rows × cols` raw weights, narrowed to `i32`.
+    w: Vec<i32>,
+    rows: usize,
+    cols: usize,
+    /// Largest `|raw|` of an input element for which every partial sum
+    /// provably stays inside `i64`.
+    z_limit: i64,
+    /// Whether this CPU can run the AVX2-compiled copy of the row loop
+    /// (detected once at pack time). Same arithmetic either way; the
+    /// baseline x86-64 target lacks the signed 32×32→64 SIMD multiply,
+    /// so the vector body must be compiled — and gated — explicitly.
+    use_avx2: bool,
+}
+
+impl PackedGatesFx {
+    /// Narrows a fused gate matrix, or `None` when some weight exceeds
+    /// `i32` or is so large that no useful input range stays exact.
+    pub fn pack(fused: &FusedGates<Fx6>) -> Option<Self> {
+        let (rows, cols) = (fused.w.rows(), fused.w.cols());
+        let mut w = Vec::with_capacity(rows * cols);
+        let mut max_abs: i64 = 1;
+        for &v in fused.w.as_flat() {
+            let raw = v.raw();
+            w.push(i32::try_from(raw).ok()?);
+            max_abs = max_abs.max(raw.abs());
+        }
+        let z_limit = (i64::MAX / max_abs / cols.max(1) as i64).min(i32::MAX as i64);
+        // An engine input always holds |h| ≤ 1; a limit below one means
+        // even that cannot be guaranteed exact, so don't pack at all.
+        if z_limit < Fx6::SCALE {
+            return None;
+        }
+        Some(Self {
+            w,
+            rows,
+            cols,
+            z_limit,
+            use_avx2: avx2_available(),
+        })
+    }
+
+    /// Fused matvec over narrow MACs: `out[r] = rescale(Σ w[r][k]·z[k])`.
+    ///
+    /// Returns `false` — leaving `out` untouched — when any `|z|` exceeds
+    /// the exactness bound, so the caller can fall back to the wide path.
+    /// `z_narrow` is caller scratch for the narrowed input (resized here).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `z` or `out` disagree with the packed shape.
+    pub fn matvec_into(&self, z: &[Fx6], z_narrow: &mut Vec<i32>, out: &mut [Fx6]) -> bool {
+        assert_eq!(z.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+        z_narrow.clear();
+        for v in z {
+            let raw = v.raw();
+            if raw.abs() > self.z_limit {
+                return false;
+            }
+            z_narrow.push(raw as i32);
+        }
+        #[cfg(target_arch = "x86_64")]
+        if self.use_avx2 {
+            // SAFETY: `use_avx2` is only set when the running CPU
+            // reported AVX2 support at pack time.
+            #[allow(unsafe_code)]
+            unsafe {
+                self.rows_avx2(z_narrow, out)
+            };
+            return true;
+        }
+        matvec_rows(&self.w, self.cols, z_narrow, out);
+        true
+    }
+
+    /// The row loop compiled with AVX2 enabled, so the widening MACs
+    /// vectorize (`vpmuldq`). Same source, same integer results.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(unsafe_code)]
+    unsafe fn rows_avx2(&self, z_narrow: &[i32], out: &mut [Fx6]) {
+        matvec_rows(&self.w, self.cols, z_narrow, out);
+    }
+}
+
+/// Whether the AVX2-compiled row loop may run on this machine.
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Shared body of the narrow-MAC row loop: `out[r] = rescale(Σ w[r]·z)`.
+/// Fixed-width inner blocks keep the reduction vectorizable; integer
+/// addition makes any grouping exact, so every compilation of this loop
+/// produces identical raw sums.
+#[inline(always)]
+fn matvec_rows(w: &[i32], cols: usize, z_narrow: &[i32], out: &mut [Fx6]) {
+    for (row, o) in w.chunks_exact(cols).zip(out.iter_mut()) {
+        let mut acc: i64 = 0;
+        let mut wb = row.chunks_exact(8);
+        let mut zb = z_narrow.chunks_exact(8);
+        for (ws, zs) in wb.by_ref().zip(zb.by_ref()) {
+            let mut block: i64 = 0;
+            for k in 0..8 {
+                block += ws[k] as i64 * zs[k] as i64;
+            }
+            acc += block;
+        }
+        for (&wv, &zv) in wb.remainder().iter().zip(zb.remainder()) {
+            acc += wv as i64 * zv as i64;
+        }
+        *o = Fx6::from_raw(div_round_i64(acc, Fx6::SCALE));
+    }
+}
+
+/// Rounded division, half-away-from-zero — the same correction
+/// `Fixed::dot` applies to its wide accumulator.
+fn div_round_i64(num: i64, den: i64) -> i64 {
+    debug_assert!(den > 0);
+    let half = den / 2;
+    if num >= 0 {
+        (num + half) / den
+    } else {
+        (num - half) / den
+    }
+}
 
 /// The full parameter set in kernel-ready layout: per-gate `H × Z`
 /// matrices over `[h | x]` columns (TF gate order `i f c o`), in both f64
@@ -77,9 +257,8 @@ impl QuantizedWeights {
             }
             m
         });
-        let gate_b_f64: [Vector<f64>; 4] = std::array::from_fn(|g| {
-            Vector::from(w.lstm_bias[g * h..(g + 1) * h].to_vec())
-        });
+        let gate_b_f64: [Vector<f64>; 4] =
+            std::array::from_fn(|g| Vector::from(w.lstm_bias[g * h..(g + 1) * h].to_vec()));
         let fc_w_f64 = Vector::from(w.fc_weights.clone());
 
         Self {
@@ -88,9 +267,7 @@ impl QuantizedWeights {
             gate_w_fx: std::array::from_fn(|g| {
                 Matrix::from_f64_flat(h, z, &gate_w_f64[g].to_f64_flat())
             }),
-            gate_b_fx: std::array::from_fn(|g| {
-                Vector::from_f64_slice(&gate_b_f64[g].to_f64_vec())
-            }),
+            gate_b_fx: std::array::from_fn(|g| Vector::from_f64_slice(&gate_b_f64[g].to_f64_vec())),
             fc_w_fx: Vector::from_f64_slice(&fc_w_f64.to_f64_vec()),
             fc_b_fx: Fx6::from_f64(w.fc_bias),
             embedding_f64,
@@ -104,6 +281,18 @@ impl QuantizedWeights {
     /// The model dimensions.
     pub fn dims(&self) -> LstmDims {
         self.dims
+    }
+
+    /// Builds the fused `4H × Z` gate matrix, float view. Computed on
+    /// demand (typically once, at engine construction) so the serialized
+    /// form of this struct stays the per-gate layout the device consumes.
+    pub fn fused_f64(&self) -> FusedGates<f64> {
+        fuse_gates(&self.gate_w_f64, &self.gate_b_f64)
+    }
+
+    /// Builds the fused `4H × Z` gate matrix, quantized view.
+    pub fn fused_fx(&self) -> FusedGates<Fx6> {
+        fuse_gates(&self.gate_w_fx, &self.gate_b_fx)
     }
 
     /// Bytes occupied by the quantized parameter buffers on the device
@@ -160,20 +349,22 @@ impl QuantizedWeights {
         if &image[0..4] != b"CSDW" {
             return Err("bad magic".to_string());
         }
-        let word = |at: usize| {
-            u32::from_le_bytes(image[at..at + 4].try_into().expect("4 bytes")) as usize
-        };
+        let word =
+            |at: usize| u32::from_le_bytes(image[at..at + 4].try_into().expect("4 bytes")) as usize;
         let dims = LstmDims {
             vocab: word(4),
             embed: word(8),
             hidden: word(12),
         };
         let body = &image[16..];
-        if body.len() % 8 != 0 {
+        if !body.len().is_multiple_of(8) {
             return Err("payload not i64-aligned".to_string());
         }
-        let expected =
-            dims.vocab * dims.embed + 4 * (dims.hidden * (dims.hidden + dims.embed)) + 4 * dims.hidden + dims.hidden + 1;
+        let expected = dims.vocab * dims.embed
+            + 4 * (dims.hidden * (dims.hidden + dims.embed))
+            + 4 * dims.hidden
+            + dims.hidden
+            + 1;
         if body.len() / 8 != expected {
             return Err(format!(
                 "expected {expected} parameters, found {}",
@@ -189,13 +380,11 @@ impl QuantizedWeights {
 
     /// Worst-case quantization error introduced across all parameters.
     pub fn max_quantization_error(&self) -> f64 {
-        let mut worst: f64 = self
-            .embedding_f64
-            .max_abs_diff(&Matrix::from_f64_flat(
-                self.dims.vocab,
-                self.dims.embed,
-                &self.embedding_fx.to_f64_flat(),
-            ));
+        let mut worst: f64 = self.embedding_f64.max_abs_diff(&Matrix::from_f64_flat(
+            self.dims.vocab,
+            self.dims.embed,
+            &self.embedding_fx.to_f64_flat(),
+        ));
         for g in 0..4 {
             let dq = Matrix::from_f64_flat(
                 self.dims.hidden,
@@ -244,6 +433,64 @@ mod tests {
             assert_eq!(q.gate_w_f64[g], *rebuilt.lstm_cell().weight(g));
             assert_eq!(q.gate_b_f64[g], *rebuilt.lstm_cell().bias(g));
         }
+    }
+
+    #[test]
+    fn fused_rows_are_the_per_gate_rows() {
+        let q = weights();
+        let h = q.dims().hidden;
+        let fused = q.fused_f64();
+        let fused_fx = q.fused_fx();
+        assert_eq!(fused.w.rows(), 4 * h);
+        assert_eq!(fused.w.cols(), q.dims().z());
+        assert_eq!(fused.b.len(), 4 * h);
+        for g in 0..4 {
+            for j in 0..h {
+                assert_eq!(fused.w.row(g * h + j), q.gate_w_f64[g].row(j));
+                assert_eq!(fused.b[g * h + j], q.gate_b_f64[g][j]);
+                assert_eq!(fused_fx.w.row(g * h + j), q.gate_w_fx[g].row(j));
+                assert_eq!(fused_fx.b[g * h + j], q.gate_b_fx[g][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_matvec_is_bit_identical_to_wide_path() {
+        let q = weights();
+        let fused = q.fused_fx();
+        let packed = PackedGatesFx::pack(&fused).expect("paper weights fit i32");
+        let z: Vec<Fx6> = (0..q.dims().z())
+            .map(|i| Fx6::from_f64(0.13 * i as f64 - 1.7))
+            .collect();
+        let zv = Vector::from(z);
+        let wide = fused.w.matvec(&zv);
+        let mut narrow = Vector::zeros(fused.w.rows());
+        let mut z_scratch = Vec::new();
+        assert!(packed.matvec_into(zv.as_slice(), &mut z_scratch, narrow.as_mut_slice()));
+        assert_eq!(wide, narrow);
+    }
+
+    #[test]
+    fn packed_matvec_declines_out_of_range_input() {
+        let q = weights();
+        let fused = q.fused_fx();
+        let packed = PackedGatesFx::pack(&fused).expect("paper weights fit i32");
+        let mut z = vec![Fx6::ZERO; q.dims().z()];
+        z[0] = Fx6::from_raw(i64::MAX / 2);
+        let mut out = vec![Fx6::ONE; fused.w.rows()];
+        let mut z_scratch = Vec::new();
+        assert!(!packed.matvec_into(&z, &mut z_scratch, &mut out));
+        // Declined call must leave the output untouched.
+        assert!(out.iter().all(|&v| v == Fx6::ONE));
+    }
+
+    #[test]
+    fn pack_refuses_weights_beyond_i32() {
+        let fused = FusedGates {
+            w: Matrix::from_flat(1, 2, vec![Fx6::from_raw(i64::from(i32::MAX) + 1), Fx6::ONE]),
+            b: Vector::from(vec![Fx6::ZERO]),
+        };
+        assert!(PackedGatesFx::pack(&fused).is_none());
     }
 
     #[test]

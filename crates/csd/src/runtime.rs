@@ -392,6 +392,9 @@ mod tests {
         let k = rt1.register_kernel("k", Nanos(1));
         let buf2 = rt2.alloc_buffer(0, 1).expect("alloc");
         // rt1 has no buffers: buf from rt2 is out of range here.
-        assert_eq!(rt1.enqueue(k, &[buf2]).unwrap_err(), RuntimeError::BadHandle);
+        assert_eq!(
+            rt1.enqueue(k, &[buf2]).unwrap_err(),
+            RuntimeError::BadHandle
+        );
     }
 }

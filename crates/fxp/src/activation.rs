@@ -50,6 +50,20 @@ impl FxActivation {
 /// assert_eq!(y.to_f64(), 0.5);
 /// ```
 pub fn softsign_fx<const P: u32>(x: Fixed<P>) -> Fixed<P> {
+    // Fast path: when `raw * scale` fits comfortably in an i64 (always,
+    // for the value ranges LSTM states reach), the same rounded division
+    // runs in native 64-bit arithmetic instead of software i128 division.
+    if x.raw().abs() <= i64::MAX / (2 * Fixed::<P>::SCALE) {
+        let num = x.raw() * Fixed::<P>::SCALE;
+        let den = x.raw().abs() + Fixed::<P>::SCALE;
+        let half = den / 2;
+        let out = if num >= 0 {
+            (num + half) / den
+        } else {
+            (num - half) / den
+        };
+        return Fixed::from_raw(out);
+    }
     let raw = x.raw() as i128;
     let scale = Fixed::<P>::SCALE as i128;
     let den = raw.abs() + scale;
@@ -102,28 +116,58 @@ pub fn sigmoid_fx<const P: u32>(x: Fixed<P>) -> Fixed<P> {
 /// 6 × 10⁻⁴. The inference engine uses this; [`sigmoid_fx`]'s 5-segment
 /// PLAN approximation is kept for the activation ablation.
 pub fn sigmoid_fx_lut<const P: u32>(x: Fixed<P>) -> Fixed<P> {
-    const RANGE: f64 = 8.0;
-    const ENTRIES: usize = 256;
+    sigmoid_lut_one(x, sigmoid_table())
+}
+
+/// [`sigmoid_fx_lut`] applied across a slice in place. Identical values,
+/// but the table reference is resolved once and the independent lookups
+/// pipeline — the form the fused gate kernel uses on its pre-activation
+/// block.
+pub fn sigmoid_fx_lut_slice<const P: u32>(xs: &mut [Fixed<P>]) {
+    let table = sigmoid_table();
+    for x in xs {
+        *x = sigmoid_lut_one(*x, table);
+    }
+}
+
+#[inline]
+fn sigmoid_lut_one<const P: u32>(x: Fixed<P>, table: &[f64; LUT_ENTRIES]) -> Fixed<P> {
     let v = x.to_f64();
-    if v <= -RANGE {
+    if v <= -LUT_RANGE {
         return Fixed::ZERO;
     }
-    if v >= RANGE {
+    if v >= LUT_RANGE {
         return Fixed::ONE;
     }
-    let pos = (v + RANGE) / (2.0 * RANGE) * (ENTRIES as f64 - 1.0);
+    let pos = (v + LUT_RANGE) / (2.0 * LUT_RANGE) * (LUT_ENTRIES as f64 - 1.0);
     let i = pos.floor() as usize;
     let frac = pos - i as f64;
-    let at = |k: usize| {
-        let xk = -RANGE + (2.0 * RANGE) * k as f64 / (ENTRIES as f64 - 1.0);
-        1.0 / (1.0 + (-xk).exp())
-    };
-    let y = if i + 1 < ENTRIES {
-        at(i) * (1.0 - frac) + at(i + 1) * frac
+    let y = if i + 1 < LUT_ENTRIES {
+        table[i] * (1.0 - frac) + table[i + 1] * frac
     } else {
-        at(i)
+        table[i]
     };
     Fixed::from_f64(y)
+}
+
+const LUT_RANGE: f64 = 8.0;
+const LUT_ENTRIES: usize = 256;
+
+/// The BRAM contents: 256 true-sigmoid samples over `[-8, 8]`, computed
+/// once per process. (The pre-optimization code recomputed the two
+/// bracketing entries with `exp()` on every call — the software analogue
+/// of re-deriving the BRAM image per lookup.)
+fn sigmoid_table() -> &'static [f64; LUT_ENTRIES] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[f64; LUT_ENTRIES]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0.0; LUT_ENTRIES];
+        for (k, slot) in table.iter_mut().enumerate() {
+            let xk = -LUT_RANGE + (2.0 * LUT_RANGE) * k as f64 / (LUT_ENTRIES as f64 - 1.0);
+            *slot = 1.0 / (1.0 + (-xk).exp());
+        }
+        table
+    })
 }
 
 #[cfg(test)]
@@ -201,10 +245,7 @@ mod tests {
             let x = i as f64 * 0.06;
             let approx = sigmoid_fx_lut(Fx6::from_f64(x)).to_f64();
             let exact = 1.0 / (1.0 + (-x).exp());
-            assert!(
-                (approx - exact).abs() < 6e-4,
-                "x={x}: {approx} vs {exact}"
-            );
+            assert!((approx - exact).abs() < 6e-4, "x={x}: {approx} vs {exact}");
         }
     }
 
@@ -212,6 +253,14 @@ mod tests {
     fn sigmoid_lut_saturates_cleanly() {
         assert_eq!(sigmoid_fx_lut(Fx6::from_f64(20.0)), Fx6::ONE);
         assert_eq!(sigmoid_fx_lut(Fx6::from_f64(-20.0)), Fx6::ZERO);
+    }
+
+    #[test]
+    fn sigmoid_lut_slice_matches_scalar_calls() {
+        let mut xs: Vec<Fx6> = (-40..=40).map(|i| Fx6::from_f64(i as f64 * 0.31)).collect();
+        let expected: Vec<Fx6> = xs.iter().map(|&x| sigmoid_fx_lut(x)).collect();
+        sigmoid_fx_lut_slice(&mut xs);
+        assert_eq!(xs, expected);
     }
 
     #[test]

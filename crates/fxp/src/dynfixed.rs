@@ -65,22 +65,34 @@ impl DynFixed {
 
     /// Adds two values.
     ///
+    /// Deliberately an inherent method, not `std::ops::Add`: addition is
+    /// only defined between equal scales, and the panic on mismatch
+    /// should be visible at the call site, not hidden behind `+`.
+    ///
     /// # Panics
     ///
     /// Panics when scales differ or the sum overflows.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Self) -> Self {
         assert_eq!(self.scale_pow, rhs.scale_pow, "scale mismatch");
         Self {
-            raw: self.raw.checked_add(rhs.raw).expect("dynfixed add overflow"),
+            raw: self
+                .raw
+                .checked_add(rhs.raw)
+                .expect("dynfixed add overflow"),
             scale_pow: self.scale_pow,
         }
     }
 
     /// Multiplies two values, rescaling the double-width product.
     ///
+    /// Deliberately an inherent method for the same reason as
+    /// [`DynFixed::add`].
+    ///
     /// # Panics
     ///
     /// Panics when scales differ or the rescaled product overflows.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Self) -> Self {
         assert_eq!(self.scale_pow, rhs.scale_pow, "scale mismatch");
         let den = 10i128.pow(self.scale_pow);

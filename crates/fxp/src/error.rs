@@ -70,8 +70,7 @@ impl ScaleSweep {
         let rows = scale_pows
             .iter()
             .map(|&p| {
-                let qa: Vec<DynFixed> =
-                    values.iter().map(|&v| DynFixed::from_f64(v, p)).collect();
+                let qa: Vec<DynFixed> = values.iter().map(|&v| DynFixed::from_f64(v, p)).collect();
                 let qb: Vec<DynFixed> =
                     reversed.iter().map(|&v| DynFixed::from_f64(v, p)).collect();
                 let dot = DynFixed::dot(&qa, &qb).to_f64();

@@ -52,7 +52,7 @@ pub mod dynfixed;
 pub mod error;
 pub mod scaled;
 
-pub use activation::{sigmoid_fx, sigmoid_fx_lut, softsign_fx, FxActivation};
+pub use activation::{sigmoid_fx, sigmoid_fx_lut, sigmoid_fx_lut_slice, softsign_fx, FxActivation};
 pub use dynfixed::DynFixed;
 pub use error::{max_abs_error, quantization_bound, ScaleSweep, ScaleSweepRow};
 pub use scaled::{Fixed, FixedError, Fx6};

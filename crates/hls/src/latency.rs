@@ -286,19 +286,15 @@ fn body_instance_resources(
                 + op_cost(format, Op::Mul)
                 + op_cost(format, Op::Add)
         }
-        LoopBody::Map(ops) => ops
-            .iter()
-            .fold(ResourceEstimate::zero(), |acc, &op| acc + op_cost(format, op)),
+        LoopBody::Map(ops) => ops.iter().fold(ResourceEstimate::zero(), |acc, &op| {
+            acc + op_cost(format, op)
+        }),
         LoopBody::Nested(inner) => estimate_loop(inner, format, lat, budget).resources,
     }
 }
 
 /// Largest unroll factor `≤ requested` whose replicated body fits `budget`.
-fn clamp_unroll(
-    requested: u32,
-    instance: &ResourceEstimate,
-    budget: &ResourceEstimate,
-) -> u32 {
+fn clamp_unroll(requested: u32, instance: &ResourceEstimate, budget: &ResourceEstimate) -> u32 {
     let mut u = requested.max(1);
     while u > 1 && !instance.times(u).fits_within(budget) {
         u -= 1;
@@ -339,8 +335,7 @@ fn estimate_loop(
                 // Two reads per MAC over two BRAM ports: serialized pairs.
                 (lat.mem_read as u64) * applied_u as u64
             };
-            let depth =
-                read + lat.mul as u64 + tree_levels * lat.add as u64 + lat.add as u64;
+            let depth = read + lat.mul as u64 + tree_levels * lat.add as u64 + lat.add as u64;
             if eff_trips == 1 {
                 // Fully unrolled: a pure combinational/pipelined tree.
                 LoopEstimate {
@@ -547,11 +542,7 @@ mod tests {
 
     #[test]
     fn full_unroll_becomes_adder_tree() {
-        let nest = LoopNest::new(
-            32,
-            LoopBody::Mac,
-            Pragmas::new().unroll_full().partition(),
-        );
+        let nest = LoopNest::new(32, LoopBody::Mac, Pragmas::new().unroll_full().partition());
         let est = estimate_loop(
             &nest,
             NumericFormat::FixedPoint64,
@@ -590,11 +581,7 @@ mod tests {
             ff: 200_000,
             bram: 100,
         };
-        let nest = LoopNest::new(
-            40,
-            LoopBody::Mac,
-            Pragmas::new().unroll_full().partition(),
-        );
+        let nest = LoopNest::new(40, LoopBody::Mac, Pragmas::new().unroll_full().partition());
         let f = estimate_loop(
             &nest,
             NumericFormat::Float32,

@@ -225,9 +225,7 @@ mod tests {
         let wide = op_cost(NumericFormat::FixedPoint64, Op::Mul);
         let narrow = op_cost(NumericFormat::FixedPoint32, Op::Mul);
         assert!(narrow.dsp < wide.dsp);
-        assert!(
-            OpLatencies::fixed_point32().mul <= OpLatencies::fixed_point64().mul
-        );
+        assert!(OpLatencies::fixed_point32().mul <= OpLatencies::fixed_point64().mul);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property-based tests for the HLS estimator's structural invariants.
 
 use csd_hls::{
-    Clock, DeviceProfile, KernelSpec, LoopBody, LoopNest, NumericFormat, Op, Pragmas,
-    PowerModel, ResourceEstimate,
+    Clock, DeviceProfile, KernelSpec, LoopBody, LoopNest, NumericFormat, Op, PowerModel, Pragmas,
+    ResourceEstimate,
 };
 use proptest::prelude::*;
 

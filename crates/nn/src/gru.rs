@@ -216,7 +216,12 @@ impl GruClassifier {
     pub fn new(vocab: usize, embed_dim: usize, hidden: usize, seed: u64) -> Self {
         Self {
             embedding: Embedding::new(vocab, embed_dim, seed),
-            cell: GruCell::new(embed_dim, hidden, Activation::Softsign, seed.wrapping_add(1)),
+            cell: GruCell::new(
+                embed_dim,
+                hidden,
+                Activation::Softsign,
+                seed.wrapping_add(1),
+            ),
             head: Dense::new(hidden, seed.wrapping_add(2)),
         }
     }

@@ -35,8 +35,8 @@ mod tests {
 
     #[test]
     fn matches_naive_formula_in_stable_region() {
-        for &(z, y) in &[(0.5, 1.0), (-1.2, 0.0), (2.0, 1.0), (0.0, 0.5)] {
-            let p: f64 = 1.0 / (1.0 + (-z as f64).exp());
+        for &(z, y) in &[(0.5f64, 1.0), (-1.2, 0.0), (2.0, 1.0), (0.0, 0.5)] {
+            let p: f64 = 1.0 / (1.0 + (-z).exp());
             let naive = -(y * p.ln() + (1.0 - y) * (1.0 - p).ln());
             assert!((bce_loss(z, y) - naive).abs() < 1e-12, "z={z} y={y}");
         }

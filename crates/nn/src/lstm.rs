@@ -121,9 +121,7 @@ impl LstmCell {
             Vector::zeros(hidden),
             Vector::zeros(hidden),
         ];
-        for j in 0..hidden {
-            b[GATE_F][j] = 1.0;
-        }
+        b[GATE_F].as_mut_slice().fill(1.0);
         Self {
             input_dim,
             hidden,
@@ -190,9 +188,8 @@ impl LstmCell {
         assert_eq!(x.len(), self.input_dim, "input dim mismatch");
         assert_eq!(state.h.len(), self.hidden, "hidden dim mismatch");
         let z = state.h.concat(x);
-        let mut pre: [Vector<f64>; 4] = std::array::from_fn(|g| {
-            self.w[g].matvec(&z).add(&self.b[g])
-        });
+        let mut pre: [Vector<f64>; 4] =
+            std::array::from_fn(|g| self.w[g].matvec(&z).add(&self.b[g]));
         let gate: [Vector<f64>; 4] = std::array::from_fn(|g| {
             let act = if g == GATE_C {
                 self.cell_act
@@ -210,10 +207,7 @@ impl LstmCell {
         // `pre` is moved into the cache after `gate` is computed from it.
         let cache = StepCache {
             z,
-            pre: std::mem::replace(
-                &mut pre,
-                std::array::from_fn(|_| Vector::zeros(0)),
-            ),
+            pre: std::mem::replace(&mut pre, std::array::from_fn(|_| Vector::zeros(0))),
             gate,
             c_prev: state.c.clone(),
             c: c.clone(),
@@ -271,22 +265,21 @@ impl LstmCell {
         }
         // Weight/bias gradients: dW_g += da_g ⊗ z ; db_g += da_g.
         let zlen = cache.z.len();
-        for g in 0..4 {
-            for r in 0..h {
-                let dv = d_pre[g][r];
+        for ((dpg, gw), gb) in d_pre.iter().zip(&mut grads.w).zip(&mut grads.b) {
+            for (r, &dv) in dpg.as_slice().iter().enumerate() {
                 if dv == 0.0 {
                     continue;
                 }
-                for c in 0..zlen {
-                    *grads.w[g].get_mut(r, c) += dv * cache.z[c];
+                for (c, &zc) in cache.z.as_slice().iter().enumerate() {
+                    *gw.get_mut(r, c) += dv * zc;
                 }
-                grads.b[g][r] += dv;
+                gb[r] += dv;
             }
         }
         // dz = Σ_g W_gᵀ da_g
         let mut d_z = Vector::zeros(zlen);
-        for g in 0..4 {
-            d_z = d_z.add(&self.w[g].vecmat(&d_pre[g]));
+        for (wg, dpg) in self.w.iter().zip(&d_pre) {
+            d_z = d_z.add(&wg.vecmat(dpg));
         }
         let d_h_prev = Vector::from(d_z.as_slice()[..h].to_vec());
         let d_x = Vector::from(d_z.as_slice()[h..].to_vec());
@@ -508,8 +501,7 @@ mod tests {
     #[test]
     fn apply_gradients_descends() {
         let mut cell = tiny_cell(Activation::Softsign);
-        let xs: Vec<Vector<f64>> =
-            (0..3).map(|_| Vector::from(vec![1.0, -1.0, 0.5])).collect();
+        let xs: Vec<Vector<f64>> = (0..3).map(|_| Vector::from(vec![1.0, -1.0, 0.5])).collect();
         let loss = |cell: &LstmCell| {
             let (state, _) = LstmLayer::new(cell.clone()).forward(&xs);
             state.h.iter().sum::<f64>()

@@ -222,12 +222,7 @@ mod tests {
         let fn_ = pos - tp;
         let fp = ((tp as f64 / precision) - tp as f64).round() as u64;
         let tn = neg - fp;
-        let cm = ConfusionMatrix {
-            tp,
-            tn,
-            fp,
-            fn_,
-        };
+        let cm = ConfusionMatrix { tp, tn, fp, fn_ };
         assert!((cm.accuracy() - 0.9833).abs() < 0.002);
         assert!((cm.f1() - 0.9840).abs() < 0.002);
     }

@@ -365,7 +365,11 @@ mod tests {
             ..TrainOptions::default()
         });
         let history = trainer.fit(&mut model, &train, &test);
-        let evals = history.records().iter().filter(|r| r.test.is_some()).count();
+        let evals = history
+            .records()
+            .iter()
+            .filter(|r| r.test.is_some())
+            .count();
         assert_eq!(evals, 2);
     }
 

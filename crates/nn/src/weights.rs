@@ -252,14 +252,13 @@ impl ModelWeights {
             }
         }
         let take = |name: &str, expected: usize| -> Result<Vec<f64>, WeightsError> {
-            let (_, values) = sections
-                .iter()
-                .find(|(n, _)| n == name)
-                .ok_or_else(|| WeightsError::BadSection {
+            let (_, values) = sections.iter().find(|(n, _)| n == name).ok_or_else(|| {
+                WeightsError::BadSection {
                     section: name.to_string(),
                     expected,
                     found: 0,
-                })?;
+                }
+            })?;
             if values.len() != expected {
                 return Err(WeightsError::BadSection {
                     section: name.to_string(),
@@ -370,7 +369,9 @@ mod tests {
     #[test]
     fn bad_number_reported() {
         let w = ModelWeights::from_model(&trained_ish_model());
-        let text = w.to_text().replace("[fc_bias]\n", "[fc_bias]\nnot_a_number ");
+        let text = w
+            .to_text()
+            .replace("[fc_bias]\n", "[fc_bias]\nnot_a_number ");
         let err = ModelWeights::from_text(&text).unwrap_err();
         assert!(matches!(err, WeightsError::BadNumber(_)), "{err}");
         assert!(err.to_string().contains("not_a_number"));

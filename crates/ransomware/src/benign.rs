@@ -205,7 +205,9 @@ pub fn manual_interaction(vocab: &ApiVocabulary, os: WindowsVersion, seed: u64) 
 
 fn hash(name: &str) -> u64 {
     name.bytes().fold(0x9e37_79b9_7f4a_7c15u64, |h, b| {
-        (h ^ b as u64).rotate_left(5).wrapping_mul(0x2545_f491_4f6c_dd1d)
+        (h ^ b as u64)
+            .rotate_left(5)
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
     })
 }
 

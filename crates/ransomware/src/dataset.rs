@@ -107,9 +107,7 @@ impl Dataset {
                 let n_test = ((self.len() as f64) * test_fraction).round() as usize;
                 let (test_idx, train_idx) = idx.split_at(n_test.clamp(1, self.len() - 1));
                 let take = |ids: &[usize]| {
-                    Dataset::from_entries(
-                        ids.iter().map(|&i| self.entries[i].clone()).collect(),
-                    )
+                    Dataset::from_entries(ids.iter().map(|&i| self.entries[i].clone()).collect())
                 };
                 (take(train_idx), take(test_idx))
             }
@@ -118,8 +116,7 @@ impl Dataset {
                     self.entries.iter().map(|e| e.source.as_str()).collect();
                 sources.sort_unstable();
                 sources.dedup();
-                let mut sources: Vec<String> =
-                    sources.into_iter().map(str::to_string).collect();
+                let mut sources: Vec<String> = sources.into_iter().map(str::to_string).collect();
                 sources.shuffle(&mut rng);
                 let target = ((self.len() as f64) * test_fraction).round() as usize;
                 let n_sources = sources.len();

@@ -283,7 +283,10 @@ mod tests {
 
     #[test]
     fn lookup_by_name() {
-        assert_eq!(FamilyProfile::by_name("Wannacry").map(|f| f.variants), Some(7));
+        assert_eq!(
+            FamilyProfile::by_name("Wannacry").map(|f| f.variants),
+            Some(7)
+        );
         assert!(FamilyProfile::by_name("NotAFamily").is_none());
     }
 

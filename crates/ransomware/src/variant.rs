@@ -90,7 +90,7 @@ impl Variant {
         b.recon();
         b.mutex_check();
         if f.c2_before_encrypt {
-            b.c2_exchange(self.index % 2 == 0);
+            b.c2_exchange(self.index.is_multiple_of(2));
         }
         b.key_setup(f.crypto_stack);
         if f.deletes_shadow_copies {
@@ -309,7 +309,11 @@ impl<'a, 'r> TraceBuilder<'a, 'r> {
         self.push("LookupPrivilegeValueW");
         self.push("AdjustTokenPrivileges");
         // vssadmin delete shadows /all /quiet
-        self.choice(&["CreateProcessW", "ShellExecuteExW", "CreateProcessInternalW"]);
+        self.choice(&[
+            "CreateProcessW",
+            "ShellExecuteExW",
+            "CreateProcessInternalW",
+        ]);
         self.push("WaitForSingleObject");
         self.maybe(0.5, "DeviceIoControl");
         self.push("CloseHandle");
@@ -453,12 +457,7 @@ mod tests {
         let vocab = vocab();
         for v in Variant::corpus() {
             let t = v.generate(&vocab, WindowsVersion::Win10, 0);
-            assert!(
-                t.len() >= 400,
-                "{} trace too short: {}",
-                v.id(),
-                t.len()
-            );
+            assert!(t.len() >= 400, "{} trace too short: {}", v.id(), t.len());
             assert!(t.iter().all(|&tok| tok < vocab.len()));
         }
     }

@@ -1,8 +1,8 @@
 //! Property-based tests for the corpus substrate.
 
 use csd_ransomware::{
-    sliding_windows, window::window_count, ApiVocabulary, DatasetBuilder, FamilyProfile,
-    Sandbox, SplitKind, Variant, WindowsVersion,
+    sliding_windows, window::window_count, ApiVocabulary, DatasetBuilder, FamilyProfile, Sandbox,
+    SplitKind, Variant, WindowsVersion,
 };
 use proptest::prelude::*;
 

@@ -144,6 +144,23 @@ impl<T: Scalar> Matrix<T> {
             .collect()
     }
 
+    /// Matrix–vector product written into a caller-owned buffer — the
+    /// allocation-free form of [`matvec`](Self::matvec) used by the fused
+    /// inference hot path. Produces bit-identical results to `matvec`
+    /// because each output element is the same [`Scalar::dot_slices`] over
+    /// the same row data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, x: &Vector<T>, out: &mut Vector<T>) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+        for (r, o) in out.as_mut_slice().iter_mut().enumerate() {
+            *o = T::dot_slices(&self.data[r * self.cols..(r + 1) * self.cols], x.as_slice());
+        }
+    }
+
     /// Vector–matrix product `xᵀ · self` (used for the one-hot × embedding
     /// lookup in `kernel_preprocess`).
     ///
@@ -205,7 +222,11 @@ impl<T: Scalar> Matrix<T> {
     ///
     /// Panics on shape mismatch.
     pub fn add(&self, rhs: &Self) -> Self {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         Self {
             rows: self.rows,
             cols: self.cols,
@@ -254,7 +275,11 @@ impl<T: Scalar> Matrix<T> {
     ///
     /// Panics on shape mismatch.
     pub fn max_abs_diff(&self, rhs: &Self) -> f64 {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&rhs.data)
@@ -345,6 +370,23 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn matvec_bad_shape_panics() {
         let _ = sample().matvec(&Vector::from(vec![1.0]));
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec_exactly() {
+        let m = sample();
+        let x = Vector::from(vec![0.3, -1.7, 2.9]);
+        let mut out = Vector::zeros(2);
+        m.matvec_into(&x, &mut out);
+        assert_eq!(out, m.matvec(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "output length mismatch")]
+    fn matvec_into_wrong_out_panics() {
+        let m = sample();
+        let mut out = Vector::zeros(3);
+        m.matvec_into(&Vector::from(vec![1.0, 2.0, 3.0]), &mut out);
     }
 
     #[test]

@@ -69,6 +69,29 @@ impl Scalar for f64 {
     fn to_f64(self) -> f64 {
         self
     }
+
+    /// Four-lane accumulation: breaks the loop-carried FP add chain so
+    /// the hot matvec is throughput- rather than latency-bound. The
+    /// summation order differs from naive left-to-right but is fixed and
+    /// deterministic, so every caller (all engine gate paths, the
+    /// offline model) sees identical bits for identical inputs.
+    fn dot_slices(lhs: &[Self], rhs: &[Self]) -> Self {
+        assert_eq!(lhs.len(), rhs.len(), "dot product length mismatch");
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        let mut la = lhs.chunks_exact(4);
+        let mut rb = rhs.chunks_exact(4);
+        for (a, b) in (&mut la).zip(&mut rb) {
+            a0 += a[0] * b[0];
+            a1 += a[1] * b[1];
+            a2 += a[2] * b[2];
+            a3 += a[3] * b[3];
+        }
+        let mut total = (a0 + a1) + (a2 + a3);
+        for (a, b) in la.remainder().iter().zip(rb.remainder()) {
+            total += a * b;
+        }
+        total
+    }
 }
 
 impl<const P: u32> Scalar for Fixed<P> {

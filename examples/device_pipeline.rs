@@ -13,7 +13,10 @@ use csd_inference::nn::{ModelConfig, ModelWeights, SequenceClassifier};
 fn main() {
     // The P2P advantage in isolation, across transfer sizes.
     println!("SSD -> FPGA transfer paths (idle device):");
-    println!("{:>10} {:>14} {:>14} {:>8}", "bytes", "P2P", "via host", "gain");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8}",
+        "bytes", "P2P", "via host", "gain"
+    );
     for shift in [12u32, 16, 20, 24] {
         let bytes = 1u64 << shift;
         let p2p = SmartSsd::new_smartssd().transfer(TransferPath::SsdToFpgaP2p, bytes);

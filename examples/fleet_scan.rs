@@ -28,8 +28,7 @@ fn main() {
     let weights = ModelWeights::from_model(&model);
 
     // The scan workload: the held-out windows, resident on the SSDs.
-    let sequences: Vec<Vec<usize>> =
-        test.entries().iter().map(|e| e.sequence.clone()).collect();
+    let sequences: Vec<Vec<usize>> = test.entries().iter().map(|e| e.sequence.clone()).collect();
     let labels: Vec<bool> = test.entries().iter().map(|e| e.is_ransomware).collect();
     println!("scan workload: {} stored sequences", sequences.len());
 
@@ -66,8 +65,7 @@ fn main() {
     // Fleet-wide CTI update: a retrained model rolls out with one weight
     // migration per device — no recompilation, no downtime.
     println!("\nrolling out a retrained model to a 4-device fleet ...");
-    let mut fleet =
-        CsdFleet::new(4, &weights, OptimizationLevel::FixedPoint).expect("fleet boot");
+    let mut fleet = CsdFleet::new(4, &weights, OptimizationLevel::FixedPoint).expect("fleet boot");
     let retrained = {
         let mut m2 = model.clone();
         Trainer::new(TrainOptions {

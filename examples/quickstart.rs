@@ -6,9 +6,7 @@
 //! ```
 
 use csd_inference::accel::{CsdInferenceEngine, OptimizationLevel};
-use csd_inference::nn::{
-    ModelConfig, ModelWeights, SequenceClassifier, TrainOptions, Trainer,
-};
+use csd_inference::nn::{ModelConfig, ModelWeights, SequenceClassifier, TrainOptions, Trainer};
 
 fn main() {
     // A toy task: sequences of low tokens are "positive", high tokens
@@ -48,10 +46,24 @@ fn main() {
     let p = engine.classify(&positive_seq);
     let n = engine.classify(&negative_seq);
     println!("on-device (fixed-point) classification:");
-    println!("  positive-pattern sequence -> P = {:.4} ({})", p.probability,
-        if p.is_positive { "positive" } else { "negative" });
-    println!("  negative-pattern sequence -> P = {:.4} ({})", n.probability,
-        if n.is_positive { "positive" } else { "negative" });
+    println!(
+        "  positive-pattern sequence -> P = {:.4} ({})",
+        p.probability,
+        if p.is_positive {
+            "positive"
+        } else {
+            "negative"
+        }
+    );
+    println!(
+        "  negative-pattern sequence -> P = {:.4} ({})",
+        n.probability,
+        if n.is_positive {
+            "positive"
+        } else {
+            "negative"
+        }
+    );
     assert!(p.probability > n.probability);
     println!("done: the quantized on-device engine reproduces the trained model.");
 }

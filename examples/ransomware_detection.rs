@@ -12,8 +12,8 @@ use csd_inference::nn::{
     evaluate, ModelConfig, ModelWeights, SequenceClassifier, TrainOptions, Trainer,
 };
 use csd_inference::ransomware::{
-    sliding_windows, DatasetBuilder, FamilyProfile, Sandbox, SplitKind, Variant,
-    WindowsVersion, WINDOW_LEN,
+    sliding_windows, DatasetBuilder, FamilyProfile, Sandbox, SplitKind, Variant, WindowsVersion,
+    WINDOW_LEN,
 };
 
 fn main() {

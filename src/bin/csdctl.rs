@@ -17,11 +17,10 @@
 use std::process::ExitCode;
 
 use csd_inference::accel::{CsdInferenceEngine, OptimizationLevel};
-use csd_inference::nn::{
-    evaluate, ConfusionMatrix, ModelConfig, ModelWeights, SequenceClassifier, TrainOptions,
-    Trainer,
-};
 use csd_inference::accel::{MonitorConfig, StreamMonitor};
+use csd_inference::nn::{
+    evaluate, ConfusionMatrix, ModelConfig, ModelWeights, SequenceClassifier, TrainOptions, Trainer,
+};
 use csd_inference::ransomware::{
     ApiVocabulary, DamageTimeline, Dataset, DatasetBuilder, FamilyProfile, Sandbox, SplitKind,
     Variant, WindowsVersion,

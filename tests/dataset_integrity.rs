@@ -5,8 +5,8 @@ use std::collections::HashSet;
 
 use csd_inference::ransomware::family::table2;
 use csd_inference::ransomware::{
-    sliding_windows, ApiVocabulary, DatasetBuilder, FamilyProfile, Sandbox, SplitKind,
-    Variant, WindowsVersion, WINDOW_LEN,
+    sliding_windows, ApiVocabulary, DatasetBuilder, FamilyProfile, Sandbox, SplitKind, Variant,
+    WindowsVersion, WINDOW_LEN,
 };
 
 #[test]
@@ -82,8 +82,7 @@ fn by_source_split_is_leak_free_at_scale() {
         .benign_windows(500)
         .build();
     let (train, test) = ds.split(0.25, SplitKind::BySource, 11);
-    let train_sources: HashSet<&str> =
-        train.entries().iter().map(|e| e.source.as_str()).collect();
+    let train_sources: HashSet<&str> = train.entries().iter().map(|e| e.source.as_str()).collect();
     assert!(test
         .entries()
         .iter()

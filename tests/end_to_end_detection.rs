@@ -4,32 +4,37 @@
 
 use csd_inference::accel::{CsdInferenceEngine, OptimizationLevel};
 use csd_inference::nn::{
-    evaluate, ConfusionMatrix, ModelConfig, ModelWeights, SequenceClassifier, TrainOptions,
-    Trainer,
+    evaluate, ConfusionMatrix, ModelConfig, ModelWeights, SequenceClassifier, TrainOptions, Trainer,
 };
 use csd_inference::ransomware::{DatasetBuilder, SplitKind};
+
+/// A trained classifier plus the labelled test split it was evaluated on.
+type TrainedFixture = (SequenceClassifier, Vec<(Vec<usize>, bool)>);
 
 /// Trains once and shares the result across the tests in this file
 /// (training dominates the suite's runtime). Debug builds use a smaller
 /// corpus and fewer epochs; release builds the full small-scale task.
-fn train_small() -> &'static (SequenceClassifier, Vec<(Vec<usize>, bool)>) {
-    static TRAINED: std::sync::OnceLock<(SequenceClassifier, Vec<(Vec<usize>, bool)>)> =
-        std::sync::OnceLock::new();
+fn train_small() -> &'static TrainedFixture {
+    static TRAINED: std::sync::OnceLock<TrainedFixture> = std::sync::OnceLock::new();
     TRAINED.get_or_init(|| {
         // Debug builds shrink the task (and use the leakier random split,
         // which stays well-conditioned at tiny scale) so the suite runs in
         // seconds; release builds use the honest held-out-source split.
-        let (r, b, epochs, kind) = if cfg!(debug_assertions) {
-            (110, 130, 8, SplitKind::Random)
+        // The corpus and split seeds are chosen so the by-source split
+        // holds out a mixed set of sources — source-level splitting is
+        // coarse at this scale, and many seeds leave the test set
+        // single-class.
+        let (r, b, epochs, ds_seed, kind, split_seed) = if cfg!(debug_assertions) {
+            (110, 130, 8, 0xE2E, SplitKind::Random, 1)
         } else {
-            (160, 190, 14, SplitKind::BySource)
+            (160, 190, 20, 0xABC, SplitKind::BySource, 3)
         };
-        let dataset = DatasetBuilder::new(0xE2E)
+        let dataset = DatasetBuilder::new(ds_seed)
             .ransomware_windows(r)
             .benign_windows(b)
             .noise(0.12)
             .build();
-        let (train, test) = dataset.split(0.2, kind, 1);
+        let (train, test) = dataset.split(0.2, kind, split_seed);
         let mut model = SequenceClassifier::new(ModelConfig::paper(), 0xE2E);
         let trainer = Trainer::new(TrainOptions {
             epochs,

@@ -16,7 +16,11 @@ use csd_inference::ransomware::{
 fn detector() -> &'static SequenceClassifier {
     static MODEL: std::sync::OnceLock<SequenceClassifier> = std::sync::OnceLock::new();
     MODEL.get_or_init(|| {
-        let (windows, epochs) = if cfg!(debug_assertions) { (240, 8) } else { (400, 14) };
+        let (windows, epochs) = if cfg!(debug_assertions) {
+            (240, 8)
+        } else {
+            (400, 14)
+        };
         let r = windows * 46 / 100;
         let ds = DatasetBuilder::new(0x717)
             .ransomware_windows(r)

@@ -22,8 +22,8 @@ fn fig3_shape_holds() {
 
     // Preprocess is memory-bound and stays flat (paper: "fairly fixed").
     let pre = [vanilla.preprocess_us, ii.preprocess_us, fixed.preprocess_us];
-    let spread = pre.iter().cloned().fold(f64::MIN, f64::max)
-        - pre.iter().cloned().fold(f64::MAX, f64::min);
+    let spread =
+        pre.iter().cloned().fold(f64::MIN, f64::max) - pre.iter().cloned().fold(f64::MAX, f64::min);
     assert!(spread < 0.1, "{pre:?}");
 
     // Hidden state: II helps; fixed point does not help much further.

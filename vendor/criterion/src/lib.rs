@@ -1,0 +1,308 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment cannot reach crates.io, so the workspace patches
+//! `criterion` to this vendored implementation. It keeps the macro and
+//! type surface the benches use (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `Bencher::iter`) and reports simple
+//! wall-clock statistics: each benchmark is warmed up briefly, then timed
+//! over an adaptively chosen iteration count.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time spent measuring one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Wall-clock time spent warming up one benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Top-level benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Returns `self` unchanged; CLI args are ignored in this stand-in.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().to_string(), &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work per iteration; recorded but unused here.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark sample count; accepted for API parity.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.into()), &mut f);
+        self
+    }
+
+    /// Benchmarks `f(bencher, input)` under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (No cross-benchmark reporting to flush.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id that is only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => f.write_str(func),
+            (None, Some(p)) => f.write_str(p),
+            (None, None) => f.write_str("benchmark"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            function: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// The amount of work one iteration represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `self.iters` times and records the elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// True when cargo invoked this bench binary from `cargo test`, which
+/// passes `--test`; benchmarks then run once as a smoke check, as real
+/// criterion does.
+fn is_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    if is_test_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{label}: ok (test mode)");
+        return;
+    }
+    // Warm up and discover a per-iteration estimate.
+    let mut iters = 1u64;
+    let warmup_start = Instant::now();
+    let mut per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed.as_secs_f64() / iters as f64;
+        if warmup_start.elapsed() >= WARMUP_BUDGET || b.elapsed >= WARMUP_BUDGET {
+            break per;
+        }
+        iters = iters.saturating_mul(2);
+    };
+    if per_iter <= 0.0 {
+        per_iter = 1e-9;
+    }
+
+    // Measure: pick an iteration count filling the budget, three samples.
+    let target_iters = ((MEASURE_BUDGET.as_secs_f64() / 3.0 / per_iter).ceil() as u64).max(1);
+    let mut best = f64::INFINITY;
+    let mut worst = 0.0f64;
+    let mut total = 0.0f64;
+    const SAMPLES: usize = 3;
+    for _ in 0..SAMPLES {
+        let mut b = Bencher {
+            iters: target_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed.as_secs_f64() / target_iters as f64;
+        best = best.min(per);
+        worst = worst.max(per);
+        total += per;
+    }
+    let mean = total / SAMPLES as f64;
+    println!(
+        "{label:<60} time: [{} {} {}]",
+        format_time(best),
+        format_time(mean),
+        format_time(worst)
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each benchmark group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_elapsed_time() {
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(b.elapsed > Duration::ZERO || b.elapsed == Duration::ZERO); // ran without panic
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| x.wrapping_mul(x))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,403 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace patches
+//! `serde` to this vendored implementation. Instead of serde's visitor
+//! data model, everything (de)serializes through one dynamic [`Value`]
+//! tree; `#[derive(Serialize, Deserialize)]` (from the vendored
+//! `serde_derive`) generates `to_value`/`from_value` impls, and the
+//! vendored `serde_json` renders/parses the tree as JSON. The observable
+//! behavior the workspace relies on — derived round-trips through
+//! `serde_json::to_string`/`from_str` — is preserved.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The dynamic (de)serialization tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+/// A deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Builds an error with the given description.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Value {
+    /// Looks up a struct field, failing with a named error.
+    pub fn field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::new(format!("missing field `{name}`"))),
+            other => Err(DeError::new(format!(
+                "expected map for field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The sequence elements, or an error.
+    pub fn as_seq(&self) -> Result<&[Value], DeError> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(DeError::new(format!("expected sequence, found {}", other.kind()))),
+        }
+    }
+
+    /// The map entries, or an error.
+    pub fn as_map(&self) -> Result<&[(String, Value)], DeError> {
+        match self {
+            Value::Map(entries) => Ok(entries),
+            other => Err(DeError::new(format!("expected map, found {}", other.kind()))),
+        }
+    }
+
+    /// A short human name for the variant (error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, DeError> {
+        match *self {
+            Value::Int(v) => Ok(v as f64),
+            Value::UInt(v) => Ok(v as f64),
+            Value::Float(v) => Ok(v),
+            ref other => Err(DeError::new(format!("expected number, found {}", other.kind()))),
+        }
+    }
+
+    fn as_i64(&self) -> Result<i64, DeError> {
+        match *self {
+            Value::Int(v) => Ok(v),
+            Value::UInt(v) => i64::try_from(v)
+                .map_err(|_| DeError::new(format!("unsigned value {v} overflows i64"))),
+            Value::Float(v) if v.fract() == 0.0 => Ok(v as i64),
+            ref other => Err(DeError::new(format!(
+                "expected integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, DeError> {
+        match *self {
+            Value::UInt(v) => Ok(v),
+            Value::Int(v) => u64::try_from(v)
+                .map_err(|_| DeError::new(format!("negative value {v} is not unsigned"))),
+            Value::Float(v) if v.fract() == 0.0 && v >= 0.0 => Ok(v as u64),
+            ref other => Err(DeError::new(format!(
+                "expected unsigned integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Conversion into the [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] describing the first structural mismatch.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_int {
+    ($($t:ty => $via:ident),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                #[allow(unused_comparisons)]
+                if (*self as i128) >= 0 && (*self as i128) > i64::MAX as i128 {
+                    Value::UInt(*self as u64)
+                } else {
+                    Value::Int(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide = value.$via()?;
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::new(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(
+    i8 => as_i64, i16 => as_i64, i32 => as_i64, i64 => as_i64, isize => as_i64,
+    u8 => as_u64, u16 => as_u64, u32 => as_u64, u64 => as_u64, usize => as_u64
+);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_f64().map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Real serde borrows from the deserializer input; this value-tree
+    /// stand-in has no input to borrow from, so it leaks the string. The
+    /// workspace only deserializes `&'static str` fields holding a few
+    /// fixed kernel-name tags, so the leak is bounded.
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::new(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(DeError::new(format!("expected char, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_seq()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = value.as_seq()?.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        let found = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::new(format!("expected {N} elements, found {found}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = value.as_seq()?;
+                let expected = [$(stringify!($idx)),+].len();
+                if items.len() != expected {
+                    return Err(DeError::new(format!(
+                        "expected {expected}-tuple, found {} elements",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i32::from_value(&17i32.to_value()), Ok(17));
+        assert_eq!(u64::from_value(&5u64.to_value()), Ok(5));
+        assert_eq!(f64::from_value(&2.5f64.to_value()), Ok(2.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_string().to_value()), Ok("hi".to_string()));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let xs = vec![1.0f64, -2.0, 3.5];
+        assert_eq!(Vec::<f64>::from_value(&xs.to_value()), Ok(xs));
+        let arr = [1u32, 2, 3];
+        assert_eq!(<[u32; 3]>::from_value(&arr.to_value()), Ok(arr));
+        let pair = (4usize, -1i64);
+        assert_eq!(<(usize, i64)>::from_value(&pair.to_value()), Ok(pair));
+        assert_eq!(Option::<f64>::from_value(&Value::Null), Ok(None));
+    }
+
+    #[test]
+    fn structural_errors_are_described() {
+        let err = Value::Int(1).field("x").unwrap_err();
+        assert!(err.to_string().contains("expected map"));
+        let err = <[u32; 2]>::from_value(&vec![1u32].to_value()).unwrap_err();
+        assert!(err.to_string().contains("expected 2 elements"));
+    }
+}

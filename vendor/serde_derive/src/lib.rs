@@ -1,0 +1,590 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the item token stream by hand (no `syn`/`quote` available
+//! offline) and emits impls of the vendored serde's `Serialize`
+//! (`to_value`) and `Deserialize` (`from_value`) traits. Supports the
+//! shapes this workspace actually derives: named-field structs, tuple
+//! structs, unit-only and tuple-variant enums, simple generics
+//! (`Vector<T>`, `Matrix<T>`, `Fixed<const P: u32>`), and the
+//! `#[serde(transparent)]` attribute. Anything else produces a
+//! `compile_error!` naming the unsupported construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored serde's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the vendored serde's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+enum Param {
+    /// A type parameter: (name, declaration with original bounds).
+    Type(String, String),
+    /// A const parameter: (name, full declaration).
+    Const(String, String),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    params: Vec<Param>,
+    body: Body,
+    transparent: bool,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&item),
+                Mode::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().unwrap_or_else(|e| {
+                error(&format!("serde stub derive produced invalid code: {e}"))
+            })
+        }
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("error tokens")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let mut transparent = false;
+
+    // Outer attributes (including #[serde(...)] helpers and doc comments).
+    while pos < tokens.len() {
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                    if group_mentions_transparent(g.stream()) {
+                        transparent = true;
+                    }
+                    pos += 1;
+                } else {
+                    return Err("malformed attribute".to_string());
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                pos += 1;
+                // `pub(crate)` and friends.
+                if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        pos += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    pos += 1;
+    if keyword != "struct" && keyword != "enum" {
+        return Err(format!("cannot derive serde for `{keyword}` items"));
+    }
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    pos += 1;
+
+    // Optional generic parameter list.
+    let mut params = Vec::new();
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        pos += 1;
+        let mut depth = 0usize;
+        let mut current: Vec<TokenTree> = Vec::new();
+        let mut lists: Vec<Vec<TokenTree>> = Vec::new();
+        loop {
+            let tt = tokens
+                .get(pos)
+                .ok_or_else(|| "unterminated generic parameter list".to_string())?
+                .clone();
+            pos += 1;
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    current.push(tt);
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                    current.push(tt);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    lists.push(std::mem::take(&mut current));
+                }
+                _ => current.push(tt),
+            }
+        }
+        if !current.is_empty() {
+            lists.push(current);
+        }
+        for list in lists {
+            params.push(parse_param(&list)?);
+        }
+    }
+
+    if matches!(&tokens.get(pos), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        return Err("`where` clauses are not supported by the serde stub derive".to_string());
+    }
+
+    let body = if keyword == "struct" {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_top_level(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        }
+    };
+
+    Ok(Item {
+        name,
+        params,
+        body,
+        transparent,
+    })
+}
+
+fn group_mentions_transparent(stream: TokenStream) -> bool {
+    let mut iter = stream.into_iter();
+    match (iter.next(), iter.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_param(tokens: &[TokenTree]) -> Result<Param, String> {
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "const" => {
+            let name = match tokens.get(1) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => return Err(format!("expected const param name, found {other:?}")),
+            };
+            let decl = tokens
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            Ok(Param::Const(name, decl))
+        }
+        Some(TokenTree::Ident(id)) => {
+            let decl = tokens
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            Ok(Param::Type(id.to_string(), decl))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+            Err("lifetime parameters are not supported by the serde stub derive".to_string())
+        }
+        other => Err(format!("unsupported generic parameter: {other:?}")),
+    }
+}
+
+/// Field names of a named-field body, in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        // Skip attributes and visibility.
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                pos += 2; // `#` + bracket group
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                pos += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        pos += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut depth = 0usize;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Number of top-level comma-separated entries (tuple struct arity).
+fn count_top_level(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut count = 1;
+    let mut saw_tokens_since_comma = true;
+    for tt in &tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+            }
+            _ => saw_tokens_since_comma = true,
+        }
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                pos += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                pos += 1;
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_top_level(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            return Err(format!(
+                "explicit discriminant on variant `{name}` is not supported by the serde stub"
+            ));
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- generation
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.params.is_empty() {
+        return format!("impl ::serde::{trait_name} for {} ", item.name);
+    }
+    let decls: Vec<String> = item
+        .params
+        .iter()
+        .map(|p| match p {
+            Param::Const(_, decl) => decl.clone(),
+            Param::Type(name, decl) => {
+                if decl.contains(':') {
+                    format!("{decl} + ::serde::{trait_name}")
+                } else {
+                    format!("{name}: ::serde::{trait_name}")
+                }
+            }
+        })
+        .collect();
+    let args: Vec<String> = item
+        .params
+        .iter()
+        .map(|p| match p {
+            Param::Const(name, _) | Param::Type(name, _) => name.clone(),
+        })
+        .collect();
+    format!(
+        "impl<{}> ::serde::{trait_name} for {}<{}> ",
+        decls.join(", "),
+        item.name,
+        args.join(", ")
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::Struct(fields) => ser_struct(item, fields),
+        Body::Enum(variants) => ser_enum(item, variants),
+    };
+    format!(
+        "#[automatically_derived] {}{{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "Serialize")
+    )
+}
+
+fn ser_struct(item: &Item, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(names) if item.transparent && names.len() == 1 => {
+            format!("::serde::Serialize::to_value(&self.{})", names[0])
+        }
+        Fields::Named(names) => {
+            let pushes: Vec<String> = names
+                .iter()
+                .map(|n| {
+                    format!(
+                        "entries.push(({n:?}.to_string(), ::serde::Serialize::to_value(&self.{n})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut entries = Vec::new(); {} ::serde::Value::Map(entries)",
+                pushes.join(" ")
+            )
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn ser_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => {
+                    format!("{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),")
+                }
+                Fields::Tuple(1) => format!(
+                    "{name}::{vname}(f0) => ::serde::Value::Map(vec![({vname:?}.to_string(), \
+                     ::serde::Serialize::to_value(f0))]),"
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let vals: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Value::Map(vec![({vname:?}.to_string(), \
+                         ::serde::Value::Seq(vec![{}]))]),",
+                        binds.join(", "),
+                        vals.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let pushes: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))"))
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![({vname:?}\
+                         .to_string(), ::serde::Value::Map(vec![{}]))]),",
+                        pushes.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{ {} }}", arms.join(" "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::Struct(fields) => de_struct(item, fields),
+        Body::Enum(variants) => de_enum(item, variants),
+    };
+    format!(
+        "#[automatically_derived] {}{{ fn from_value(value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}",
+        impl_header(item, "Deserialize")
+    )
+}
+
+fn de_struct(item: &Item, fields: &Fields) -> String {
+    let name = &item.name;
+    match fields {
+        Fields::Unit => format!("Ok({name})"),
+        Fields::Named(names) if item.transparent && names.len() == 1 => format!(
+            "Ok({name} {{ {}: ::serde::Deserialize::from_value(value)? }})",
+            names[0]
+        ),
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|n| format!("{n}: ::serde::Deserialize::from_value(value.field({n:?})?)?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(value)?))"),
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_seq()?; if items.len() != {n} {{ return \
+                 Err(::serde::DeError::new(format!(\"expected {n} elements, found {{}}\", \
+                 items.len()))); }} Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+    }
+}
+
+fn de_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => None,
+                Fields::Tuple(1) => Some(format!(
+                    "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                )),
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => {{ let items = inner.as_seq()?; if items.len() != {n} {{ \
+                         return Err(::serde::DeError::new(format!(\"variant {vname} expects {n} \
+                         values, found {{}}\", items.len()))); }} Ok({name}::{vname}({})) }},",
+                        inits.join(", ")
+                    ))
+                }
+                Fields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: ::serde::Deserialize::from_value(inner.field({f:?})?)?")
+                        })
+                        .collect();
+                    Some(format!(
+                        "{vname:?} => Ok({name}::{vname} {{ {} }}),",
+                        inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match value {{ \
+           ::serde::Value::Str(tag) => match tag.as_str() {{ \
+             {} \
+             other => Err(::serde::DeError::new(format!(\"unknown variant `{{other}}` of {name}\"))), \
+           }}, \
+           ::serde::Value::Map(entries) if entries.len() == 1 => {{ \
+             let (tag, inner) = &entries[0]; \
+             match tag.as_str() {{ \
+               {} \
+               other => Err(::serde::DeError::new(format!(\"unknown variant `{{other}}` of {name}\"))), \
+             }} \
+           }}, \
+           other => Err(::serde::DeError::new(format!(\"expected {name} variant, found {{}}\", other.kind()))), \
+        }}",
+        unit_arms.join(" "),
+        data_arms.join(" ")
+    )
+}
