@@ -18,10 +18,12 @@
 //! | Family identification (extension) | `exp_family` | — |
 //! | Ablations (activation / scale / CUs / P2P / model) | — | `ablation_*` |
 //! | Fused hot path vs seed serial path | `exp_fused` | `fused_vs_unfused` |
+//! | Lane-batched engine vs PR 1 batch path | `exp_throughput` | — |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pr1_batch;
 pub mod seed_baseline;
 
 use csd_nn::{

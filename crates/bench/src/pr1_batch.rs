@@ -1,0 +1,69 @@
+//! Frozen replica of the PR 1 `classify_batch` implementation — the
+//! baseline the lane-batched engine is measured against.
+//!
+//! PR 1's batch path chunked the input across the persistent worker
+//! pool, but each chunk's job *cloned the engine handle and copied every
+//! sequence* to satisfy the pool's `'static` job bound, and each chunk
+//! ran its sequences one at a time through the serial fused kernels.
+//! This module preserves that exact shape (built only from the engine's
+//! public API) so `exp_throughput` can keep comparing against it after
+//! the live `classify_batch` switched to borrowed lane blocks.
+
+use csd_accel::{Classification, CsdInferenceEngine, WorkerPool};
+
+/// Classifies a batch exactly as PR 1's `classify_batch` did: ceil-sized
+/// chunks scattered onto the global pool, one engine clone and one
+/// sequence copy per chunk, serial per-sequence classification inside.
+///
+/// # Panics
+///
+/// Panics on an empty batch, an empty sequence, or an out-of-vocabulary
+/// token — the same contract as the live engine.
+pub fn classify_batch_pr1(
+    engine: &CsdInferenceEngine,
+    sequences: &[Vec<usize>],
+) -> Vec<Classification> {
+    assert!(!sequences.is_empty(), "empty batch");
+    let pool = WorkerPool::global();
+    let threads = pool.threads().min(sequences.len());
+    // Ceil division: at most `threads` chunks, never an empty one.
+    let chunk = sequences.len().div_ceil(threads);
+    let jobs: Vec<Box<dyn FnOnce() -> Vec<Classification> + Send>> = sequences
+        .chunks(chunk)
+        .map(|batch| {
+            let engine = engine.clone();
+            let batch = batch.to_vec();
+            Box::new(move || {
+                let mut scratch = engine.make_scratch();
+                batch
+                    .iter()
+                    .map(|seq| engine.classify_with_scratch(seq, &mut scratch))
+                    .collect::<Vec<_>>()
+            }) as Box<dyn FnOnce() -> Vec<Classification> + Send>
+        })
+        .collect();
+    pool.scatter(jobs).into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csd_accel::OptimizationLevel;
+    use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};
+
+    #[test]
+    fn pr1_replica_matches_live_engine() {
+        let model = SequenceClassifier::new(ModelConfig::paper(), 9);
+        let engine = CsdInferenceEngine::new(
+            &ModelWeights::from_model(&model),
+            OptimizationLevel::FixedPoint,
+        );
+        let batch: Vec<Vec<usize>> = (0..7)
+            .map(|k| (0..30).map(|i| (i * 17 + k * 5) % 278).collect())
+            .collect();
+        assert_eq!(
+            classify_batch_pr1(&engine, &batch),
+            engine.classify_batch(&batch)
+        );
+    }
+}

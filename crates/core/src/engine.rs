@@ -11,18 +11,19 @@
 //! f64 for the float levels and in 10^6-scaled fixed point for
 //! [`OptimizationLevel::FixedPoint`].
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use csd_fxp::Fx6;
 use csd_nn::ModelWeights;
-use csd_tensor::Vector;
+use csd_tensor::{lanes, Vector};
 use serde::{Deserialize, Serialize};
 
 use crate::kernels::{gates, hidden, preprocess, GateKind};
 use crate::opt::OptimizationLevel;
 use crate::pool::WorkerPool;
-use crate::scratch::{EngineScratch, InferenceScratch};
-use crate::weights::{FusedGates, PackedGatesFx, QuantizedWeights};
+use crate::schedule::LaneSchedule;
+use crate::scratch::{EngineScratch, InferenceScratch, LaneScratch};
+use crate::weights::{FusedGates, LaneGatesFx, PackedGatesFx, QuantizedWeights, LANE_MAX_STEPS};
 
 /// The outcome of classifying one sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -32,6 +33,10 @@ pub struct Classification {
     /// Hard decision at threshold 0.5.
     pub is_positive: bool,
 }
+
+/// One lane shard's output: `(sequence index, result)` pairs in
+/// retirement order, merged back into input order by the caller.
+type ShardResults = Vec<(usize, Classification)>;
 
 /// How the per-timestep gate computation executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +63,10 @@ struct EngineCore {
     /// Narrow-MAC repack of `fused_fx` (`None` when the weights don't
     /// admit the exactness proof; the wide matvec then serves alone).
     packed_fx: Option<PackedGatesFx>,
+    /// Lane-batched repack of `fused_fx` plus the embedding table (`None`
+    /// when the lane exactness proof fails; batches then fall back to the
+    /// serial per-sequence kernels).
+    lane_fx: Option<LaneGatesFx>,
 }
 
 /// The CSD-resident classifier.
@@ -80,12 +89,14 @@ impl CsdInferenceEngine {
         let fused_f64 = weights.fused_f64();
         let fused_fx = weights.fused_fx();
         let packed_fx = PackedGatesFx::pack(&fused_fx);
+        let lane_fx = LaneGatesFx::pack(&fused_fx, &weights.embedding_fx, weights.dims().hidden);
         Self {
             core: Arc::new(EngineCore {
                 weights,
                 fused_f64,
                 fused_fx,
                 packed_fx,
+                lane_fx,
             }),
             level,
             path: GatePath::Fused,
@@ -170,37 +181,365 @@ impl CsdInferenceEngine {
         }
     }
 
-    /// Classifies many sequences, fanning chunks across the persistent
-    /// worker pool — the data-center background-scanning workload (§I:
-    /// "execute the classifier continuously in the background"). Results
-    /// are returned in input order; each worker reuses one scratch for
-    /// its whole chunk.
+    /// Classifies many sequences — the data-center background-scanning
+    /// workload (§I: "execute the classifier continuously in the
+    /// background"). Results are returned in input order.
+    ///
+    /// Convenience wrapper over
+    /// [`classify_batch_refs`](Self::classify_batch_refs) for callers
+    /// holding owned sequences.
     ///
     /// # Panics
     ///
     /// Panics on an empty batch, an empty sequence, or an
     /// out-of-vocabulary token.
     pub fn classify_batch(&self, sequences: &[Vec<usize>]) -> Vec<Classification> {
+        let refs: Vec<&[usize]> = sequences.iter().map(Vec::as_slice).collect();
+        self.classify_batch_refs(&refs)
+    }
+
+    /// Classifies many borrowed sequences in input order, choosing the
+    /// fastest batch execution for this engine's gate path.
+    ///
+    /// On the default [`GatePath::Fused`] path this runs the lane-batched
+    /// engine ([`classify_lanes`](Self::classify_lanes)); the per-CU paths
+    /// keep the hardware-mirroring serial kernels, sharded across the
+    /// persistent worker pool by borrowing — neither the engine nor any
+    /// sequence is cloned per chunk. Every path returns bit-identical
+    /// results.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch, an empty sequence, or an
+    /// out-of-vocabulary token.
+    pub fn classify_batch_refs(&self, sequences: &[&[usize]]) -> Vec<Classification> {
         assert!(!sequences.is_empty(), "empty batch");
+        if sequences.len() == 1 {
+            // A lane block would compute `width` lanes for one sequence;
+            // the serial path is strictly cheaper (and bit-identical).
+            return vec![self.classify(sequences[0])];
+        }
+        match self.path {
+            GatePath::Fused => self.classify_lanes(sequences),
+            GatePath::PerCuSerial | GatePath::PerCuParallel => {
+                self.classify_batch_scoped(sequences)
+            }
+        }
+    }
+
+    /// Serial per-sequence batch execution: chunks scattered onto the
+    /// pool as *scoped* jobs that borrow the engine and the input slices
+    /// directly, each reusing one scratch for its whole chunk.
+    fn classify_batch_scoped(&self, sequences: &[&[usize]]) -> Vec<Classification> {
         let pool = WorkerPool::global();
         let threads = pool.threads().min(sequences.len());
         // Ceil division: at most `threads` chunks, never an empty one.
         let chunk = sequences.len().div_ceil(threads);
-        let jobs: Vec<Box<dyn FnOnce() -> Vec<Classification> + Send>> = sequences
+        let jobs: Vec<Box<dyn FnOnce() -> Vec<Classification> + Send + '_>> = sequences
             .chunks(chunk)
             .map(|batch| {
-                let engine = self.clone();
-                let batch = batch.to_vec();
                 Box::new(move || {
-                    let mut scratch = engine.make_scratch();
+                    let mut scratch = self.make_scratch();
                     batch
                         .iter()
-                        .map(|seq| engine.classify_with_scratch(seq, &mut scratch))
+                        .map(|seq| self.classify_with_scratch(seq, &mut scratch))
                         .collect::<Vec<_>>()
-                }) as Box<dyn FnOnce() -> Vec<Classification> + Send>
+                }) as Box<dyn FnOnce() -> Vec<Classification> + Send + '_>
             })
             .collect();
-        pool.scatter(jobs).into_iter().flatten().collect()
+        pool.scatter_scoped(jobs).into_iter().flatten().collect()
+    }
+
+    /// The lane width [`classify_lanes`](Self::classify_lanes) uses: the
+    /// `CSD_LANE_WIDTH` environment override when set to a positive
+    /// integer, otherwise the widest multiple of 8 whose lane block —
+    /// about `(4H + Z + H) · 8` bytes of `g`/`z`/`c` state per lane —
+    /// fits a 32 KiB L1 data cache, clamped to `[8, 64]`. Multiples of 8
+    /// keep the AVX-512 kernels on their full-width tiles; for the
+    /// paper's dimensions (`H = 32`, `Z = 40`, 1600 bytes per lane) the
+    /// heuristic lands on 16 lanes, i.e. two 8-wide vectors.
+    pub fn lane_width(&self) -> usize {
+        static ENV: OnceLock<Option<usize>> = OnceLock::new();
+        let env = *ENV.get_or_init(|| {
+            std::env::var("CSD_LANE_WIDTH")
+                .ok()?
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&w| w > 0)
+        });
+        if let Some(width) = env {
+            return width;
+        }
+        let dims = self.core.weights.dims();
+        let bytes_per_lane = 8 * (4 * dims.hidden + dims.z() + dims.hidden);
+        let fit = (32 * 1024) / bytes_per_lane.max(1);
+        (fit / 8 * 8).clamp(8, 64)
+    }
+
+    /// Classifies many borrowed sequences with the lane-batched engine at
+    /// the default lane width — see
+    /// [`classify_lanes_with_width`](Self::classify_lanes_with_width).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch, an empty sequence, or an
+    /// out-of-vocabulary token.
+    pub fn classify_lanes(&self, sequences: &[&[usize]]) -> Vec<Classification> {
+        // A batch smaller than the full width still pays for every lane
+        // in the block, so shrink to the next multiple of 8 that covers
+        // it (8 keeps the AVX-512 kernels on full-width tiles).
+        let width = self
+            .lane_width()
+            .min(sequences.len().next_multiple_of(8))
+            .max(1);
+        self.classify_lanes_with_width(sequences, width)
+    }
+
+    /// Classifies many borrowed sequences by advancing `width` of them in
+    /// lockstep per worker: structure-of-arrays state turns the per-item
+    /// `4H×Z` gate matvec into one `4H×Z · Z×width` matrix–matrix kernel
+    /// (see [`csd_tensor::lanes`]). A length-bucketing schedule
+    /// ([`LaneSchedule`]) groups similar lengths, and finished lanes
+    /// retire early and refill from the shard's queue, so ragged batches
+    /// waste almost no lane-steps. Results are bit-identical to
+    /// [`classify`](Self::classify) at every optimization level: the
+    /// float path replays the serial operation order per lane, and the
+    /// fixed-point path computes the exact integer semantics (falling
+    /// back to the serial kernels when the weights fail the lane
+    /// exactness proof or a sequence exceeds
+    /// [`LANE_MAX_STEPS`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch, a zero width, an empty sequence, or an
+    /// out-of-vocabulary token.
+    pub fn classify_lanes_with_width(
+        &self,
+        sequences: &[&[usize]],
+        width: usize,
+    ) -> Vec<Classification> {
+        assert!(!sequences.is_empty(), "empty batch");
+        assert!(width > 0, "lane width must be at least 1");
+        for seq in sequences {
+            assert!(!seq.is_empty(), "empty sequence");
+        }
+        let fixed = self.level.is_fixed_point();
+        if fixed
+            && (self.core.lane_fx.is_none() || sequences.iter().any(|s| s.len() > LANE_MAX_STEPS))
+        {
+            return self.classify_batch_scoped(sequences);
+        }
+        let lengths: Vec<usize> = sequences.iter().map(|s| s.len()).collect();
+        let plan = LaneSchedule::plan(&lengths, width);
+        let pool = WorkerPool::global();
+        let shard_count = pool.threads().min(sequences.len().div_ceil(width)).max(1);
+        let shards = plan.shards(shard_count);
+        let jobs: Vec<Box<dyn FnOnce() -> ShardResults + Send + '_>> = shards
+            .iter()
+            .map(|queue| {
+                Box::new(move || {
+                    if fixed {
+                        let pack = self.core.lane_fx.as_ref().expect("lane pack checked");
+                        self.run_lanes_fx(pack, queue, sequences, width)
+                    } else {
+                        self.run_lanes_f64(queue, sequences, width)
+                    }
+                }) as Box<dyn FnOnce() -> ShardResults + Send + '_>
+            })
+            .collect();
+        let mut out: Vec<Option<Classification>> = vec![None; sequences.len()];
+        for (index, result) in pool.scatter_scoped(jobs).into_iter().flatten() {
+            out[index] = Some(result);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every sequence classified"))
+            .collect()
+    }
+
+    /// Runs one worker's queue of sequences through a fixed-point lane
+    /// block: `width` lanes advance in lockstep, each holding one
+    /// in-flight sequence; a finished lane classifies its hidden column
+    /// and immediately refills from the queue. Lanes whose queue has run
+    /// dry keep computing (the block always runs at full width) — their
+    /// state stays inside every kernel's proven exactness range and is
+    /// never read.
+    fn run_lanes_fx(
+        &self,
+        pack: &LaneGatesFx,
+        queue: &[usize],
+        sequences: &[&[usize]],
+        width: usize,
+    ) -> ShardResults {
+        let w = &self.core.weights;
+        let dims = w.dims();
+        let (hdim, edim, zdim) = (dims.hidden, dims.embed, dims.z());
+        let vocab = w.embedding_fx.rows();
+        let hw = hdim * width;
+        let mut s = LaneScratch::new(dims, width);
+        // Per-lane occupancy: `(sequence index, next position)`.
+        let mut slots: Vec<Option<(usize, usize)>> = vec![None; width];
+        let mut h_vec: Vector<Fx6> = Vector::zeros(hdim);
+        let mut out = Vec::with_capacity(queue.len());
+        let mut next = 0usize;
+        let mut active = 0usize;
+        for slot in slots.iter_mut() {
+            if next < queue.len() {
+                *slot = Some((queue[next], 0));
+                next += 1;
+                active += 1;
+            }
+        }
+        while active > 0 {
+            for (l, slot) in slots.iter().enumerate() {
+                if let Some((si, pos)) = *slot {
+                    let item = sequences[si][pos];
+                    assert!(item < vocab, "item {item} out of vocabulary");
+                    let row = &pack.embedding()[item * edim..(item + 1) * edim];
+                    for (e, &v) in row.iter().enumerate() {
+                        s.z[(hdim + e) * width + l] = v;
+                    }
+                }
+            }
+            lanes::matmul_fx_lanes(
+                pack.weights(),
+                4 * hdim,
+                zdim,
+                &s.z,
+                width,
+                pack.bias_scaled(),
+                &mut s.g,
+            );
+            lanes::rescale_lanes(&mut s.g);
+            lanes::sigmoid_lut_lanes(&mut s.g[..2 * hw]);
+            lanes::softsign_lanes(&mut s.g[2 * hw..3 * hw]);
+            lanes::sigmoid_lut_lanes(&mut s.g[3 * hw..]);
+            lanes::update_lanes(&s.g, hdim, width, &mut s.c, &mut s.z[..hw]);
+            for (l, slot) in slots.iter_mut().enumerate() {
+                let Some((si, pos)) = *slot else { continue };
+                if pos + 1 < sequences[si].len() {
+                    *slot = Some((si, pos + 1));
+                    continue;
+                }
+                for r in 0..hdim {
+                    h_vec[r] = Fx6::from_raw(s.z[r * width + l] as i64);
+                }
+                let p = hidden::classify_fx(&h_vec, &w.fc_w_fx, w.fc_b_fx).to_f64();
+                out.push((
+                    si,
+                    Classification {
+                        probability: p,
+                        is_positive: p >= 0.5,
+                    },
+                ));
+                s.clear_lane(l);
+                if next < queue.len() {
+                    *slot = Some((queue[next], 0));
+                    next += 1;
+                } else {
+                    *slot = None;
+                    active -= 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Float twin of [`run_lanes_fx`](Self::run_lanes_fx): the same lane
+    /// mechanics with each elementwise step written exactly as the serial
+    /// fused path computes it (same operations, same order, per lane), so
+    /// IEEE determinism makes the results bit-identical.
+    fn run_lanes_f64(&self, queue: &[usize], sequences: &[&[usize]], width: usize) -> ShardResults {
+        let core = &self.core;
+        let w = &core.weights;
+        let dims = w.dims();
+        let (hdim, zdim) = (dims.hidden, dims.z());
+        let wflat = core.fused_f64.w.as_flat();
+        let bias = core.fused_f64.b.as_slice();
+        let hw = hdim * width;
+        let mut s = LaneScratch::new(dims, width);
+        let mut slots: Vec<Option<(usize, usize)>> = vec![None; width];
+        let mut h_vec: Vector<f64> = Vector::zeros(hdim);
+        let mut out = Vec::with_capacity(queue.len());
+        let mut next = 0usize;
+        let mut active = 0usize;
+        for slot in slots.iter_mut() {
+            if next < queue.len() {
+                *slot = Some((queue[next], 0));
+                next += 1;
+                active += 1;
+            }
+        }
+        while active > 0 {
+            for (l, slot) in slots.iter().enumerate() {
+                if let Some((si, pos)) = *slot {
+                    let item = sequences[si][pos];
+                    assert!(
+                        item < w.embedding_f64.rows(),
+                        "item {item} out of vocabulary"
+                    );
+                    let row = w.embedding_f64.row(item);
+                    for (e, &v) in row.iter().enumerate() {
+                        s.z[(hdim + e) * width + l] = v;
+                    }
+                }
+            }
+            lanes::matmul_f64_lanes(wflat, 4 * hdim, zdim, &s.z, width, &mut s.g, &mut s.acc);
+            for (r, &b) in bias.iter().enumerate() {
+                for v in &mut s.g[r * width..(r + 1) * width] {
+                    *v += b;
+                }
+            }
+            for (g, block) in s.g.chunks_exact_mut(hw).enumerate() {
+                if GateKind::ALL[g].is_candidate() {
+                    for v in block {
+                        *v /= 1.0 + v.abs();
+                    }
+                } else {
+                    for v in block {
+                        *v = 1.0 / (1.0 + (-*v).exp());
+                    }
+                }
+            }
+            {
+                let (i_g, rest) = s.g.split_at(hw);
+                let (f_g, rest) = rest.split_at(hw);
+                let (cbar, o_g) = rest.split_at(hw);
+                let zh = &mut s.z[..hw];
+                for j in 0..hw {
+                    let ct = f_g[j] * s.c[j] + i_g[j] * cbar[j];
+                    s.c[j] = ct;
+                    zh[j] = o_g[j] * (ct / (1.0 + ct.abs()));
+                }
+            }
+            for (l, slot) in slots.iter_mut().enumerate() {
+                let Some((si, pos)) = *slot else { continue };
+                if pos + 1 < sequences[si].len() {
+                    *slot = Some((si, pos + 1));
+                    continue;
+                }
+                for r in 0..hdim {
+                    h_vec[r] = s.z[r * width + l];
+                }
+                let p = hidden::classify_f64(&h_vec, &w.fc_w_f64, w.fc_b_f64);
+                out.push((
+                    si,
+                    Classification {
+                        probability: p,
+                        is_positive: p >= 0.5,
+                    },
+                ));
+                s.clear_lane(l);
+                if next < queue.len() {
+                    *slot = Some((queue[next], 0));
+                    next += 1;
+                } else {
+                    *slot = None;
+                    active -= 1;
+                }
+            }
+        }
+        out
     }
 
     /// The final hidden state in f64 (for parity tests against the
@@ -373,6 +712,31 @@ mod tests {
 
     fn seq(n: usize) -> Vec<usize> {
         (0..n).map(|i| (i * 37 + 11) % 278).collect()
+    }
+
+    #[test]
+    fn lane_width_heuristic_for_paper_dims() {
+        // (4·32 + 40 + 32)·8 = 1600 B/lane → 20 lanes fit 32 KiB →
+        // round down to the multiple of 8: two full AVX-512 vectors.
+        // (Holds unless CSD_LANE_WIDTH overrides, which tests don't set.)
+        let m = model();
+        let engine =
+            CsdInferenceEngine::new(&ModelWeights::from_model(&m), OptimizationLevel::FixedPoint);
+        assert_eq!(engine.lane_width(), 16);
+    }
+
+    #[test]
+    fn classify_lanes_matches_serial_on_mixed_lengths() {
+        let m = model();
+        let w = ModelWeights::from_model(&m);
+        for level in OptimizationLevel::ALL {
+            let engine = CsdInferenceEngine::new(&w, level);
+            let batch: Vec<Vec<usize>> = [31usize, 1, 100, 7, 55].iter().map(|&n| seq(n)).collect();
+            let refs: Vec<&[usize]> = batch.iter().map(Vec::as_slice).collect();
+            let serial: Vec<_> = batch.iter().map(|s| engine.classify(s)).collect();
+            assert_eq!(engine.classify_lanes(&refs), serial, "{level}");
+            assert_eq!(engine.classify_batch_refs(&refs), serial, "{level}");
+        }
     }
 
     #[test]

@@ -26,16 +26,20 @@
 //!   the default software hot path fuses the four gate matrices into one
 //!   `4H×Z` matvec over preallocated scratch, with the per-CU
 //!   formulation (serial or on the persistent worker pool) preserved for
-//!   hardware-mirroring fidelity.
+//!   hardware-mirroring fidelity. Batches run the *lane-batched* engine:
+//!   many sequences advance in lockstep as structure-of-arrays lane
+//!   blocks, turning the gate matvec into a matrix–matrix kernel while
+//!   staying bit-identical to the serial path at every level.
 //! - [`scratch`] — the preallocated buffers behind the zero-allocation
-//!   steady state.
+//!   steady state, including the lane-block scratch.
 //! - [`pool`] — the process-wide persistent worker pool backing
 //!   [`classify_batch`](engine::CsdInferenceEngine::classify_batch) and
-//!   the parallel-CU path.
+//!   the parallel-CU path, with scoped (borrowing) job submission.
 //! - [`timing`] — regenerates Fig. 3 and the FPGA row of Table I from the
 //!   HLS latency model.
 //! - [`schedule`] — the §III-C software pipeline (preprocess prefetching
-//!   item `t+1` under the compute of item `t`).
+//!   item `t+1` under the compute of item `t`), plus the length-bucketing
+//!   lane schedule for ragged batches.
 //! - [`mixed`] — mixed-precision inference, the paper's §VI future-work
 //!   direction implemented and measured.
 //! - [`monitor`] — the continuous-protection wrapper: rolling window,
@@ -92,8 +96,8 @@ pub use kernels::LstmDims;
 pub use mixed::MixedPrecisionEngine;
 pub use monitor::{Alert, MonitorConfig, MonitorPool, StreamMonitor};
 pub use opt::OptimizationLevel;
-pub use pool::WorkerPool;
-pub use schedule::{Bottleneck, PipelineSchedule, ScheduleEvent};
-pub use scratch::{EngineScratch, InferenceScratch};
+pub use pool::{WorkerPool, WorkerPoolBuilder};
+pub use schedule::{Bottleneck, LaneBucket, LaneSchedule, PipelineSchedule, ScheduleEvent};
+pub use scratch::{EngineScratch, InferenceScratch, LaneScratch};
 pub use timing::{fig3, table1_fpga_row, Fig3Row, KernelBreakdown};
-pub use weights::{FusedGates, PackedGatesFx, QuantizedWeights};
+pub use weights::{FusedGates, LaneGatesFx, PackedGatesFx, QuantizedWeights, LANE_MAX_STEPS};

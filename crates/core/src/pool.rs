@@ -7,11 +7,14 @@
 //! mirroring how the physical CUs are instantiated once at bitstream
 //! programming and then fed per-timestep inputs.
 //!
-//! [`WorkerPool::scatter`] is the only submission primitive the engine
-//! needs: run a batch of jobs, return results in submission order. While
-//! waiting, the submitting thread drains pending pool jobs itself, so
-//! nested scatters (a batch worker fanning out gate CUs) cannot deadlock
-//! even when every worker is busy.
+//! [`WorkerPool::scatter`] is the basic submission primitive: run a batch
+//! of `'static` jobs, return results in submission order. While waiting,
+//! the submitting thread drains pending pool jobs itself, so nested
+//! scatters (a batch worker fanning out gate CUs) cannot deadlock even
+//! when every worker is busy. [`WorkerPool::scatter_scoped`] relaxes the
+//! `'static` bound so jobs can borrow from the caller's stack — the lane
+//! engine paths shard borrowed slices across workers without cloning the
+//! engine or copying sequences.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -106,13 +109,19 @@ impl WorkerPool {
         Self { queue, threads }
     }
 
-    /// The single process-wide pool, sized to the machine's available
-    /// parallelism and created on first use.
+    /// Starts configuring a pool. Equivalent to `WorkerPool::new` but
+    /// reads defaults (including the `CSD_POOL_THREADS` environment
+    /// override) when a knob is left unset.
+    pub fn builder() -> WorkerPoolBuilder {
+        WorkerPoolBuilder { threads: None }
+    }
+
+    /// The single process-wide pool, created on first use. Sized from the
+    /// `CSD_POOL_THREADS` environment variable when set to a positive
+    /// integer, otherwise from the machine's available parallelism.
     pub fn global() -> &'static WorkerPool {
         static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
-        GLOBAL.get_or_init(|| {
-            WorkerPool::new(std::thread::available_parallelism().map_or(4, |n| n.get()))
-        })
+        GLOBAL.get_or_init(|| WorkerPool::builder().build())
     }
 
     /// Number of worker threads.
@@ -171,6 +180,167 @@ impl WorkerPool {
             .map(|slot| slot.expect("every index reported"))
             .collect()
     }
+
+    /// Like [`scatter`](Self::scatter), but jobs may borrow from the
+    /// caller's stack frame (`'env`): run every job on the pool and return
+    /// their results in submission order. The calling thread helps drain
+    /// the pool while waiting, so scoped scatters nest with plain ones
+    /// without deadlocking.
+    ///
+    /// This is what lets the batch paths hand workers *references* to the
+    /// engine and the input sequences instead of cloning an `Arc` handle
+    /// and copying every sequence per chunk.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of the first observed panicking job — but only
+    /// after every submitted job has finished running, so borrowed data is
+    /// never observed by a worker past this call's lifetime.
+    #[allow(unsafe_code)] // one lifetime transmute, justified below.
+    pub fn scatter_scoped<'env, R: Send + 'env>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> R + Send + 'env>>,
+    ) -> Vec<R> {
+        let submitted = jobs.len();
+        let done: Arc<(Mutex<usize>, Condvar)> = Arc::new((Mutex::new(0), Condvar::new()));
+        let (result_tx, result_rx) = channel();
+        // Declared after `result_rx` so it drops (and therefore waits for
+        // every outstanding job) *before* the receiver frees any buffered
+        // `R` values during an unwind.
+        let guard = ScopeGuard {
+            done: Arc::clone(&done),
+            submitted,
+            queue: Arc::clone(&self.queue),
+        };
+        for (index, job) in jobs.into_iter().enumerate() {
+            let tx = result_tx.clone();
+            let done = Arc::clone(&done);
+            let wrapper: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(job));
+                // The submitter may already be unwinding; a dead channel
+                // is fine then.
+                let _ = tx.send((index, outcome));
+                // Drop every capture that can reference `'env` *before*
+                // signalling completion: once the counter says "done" the
+                // submitting frame may return and invalidate the borrows.
+                drop(tx);
+                let (count, cvar) = &*done;
+                *count.lock().expect("scoped counter poisoned") += 1;
+                cvar.notify_all();
+            });
+            // SAFETY: the queue's `Job` type requires `'static`, but this
+            // wrapper only borrows data from the current stack frame
+            // (`'env`). `guard` (declared above, dropped on every exit
+            // path of this function including unwinds) blocks until the
+            // completion counter reaches `submitted`, and each wrapper
+            // increments that counter strictly after its last use of any
+            // `'env` capture. Therefore no borrowed data is accessed
+            // after this function returns, which is the invariant the
+            // `'static` bound exists to enforce.
+            let job: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(
+                    wrapper,
+                )
+            };
+            self.queue.push(job);
+        }
+        drop(result_tx);
+
+        let mut slots: Vec<Option<R>> = (0..submitted).map(|_| None).collect();
+        let mut received = 0usize;
+        while received < submitted {
+            match result_rx.recv_timeout(Duration::from_millis(1)) {
+                Ok((index, Ok(value))) => {
+                    slots[index] = Some(value);
+                    received += 1;
+                }
+                Ok((_, Err(payload))) => resume_unwind(payload),
+                Err(RecvTimeoutError::Timeout) => {
+                    // Help: run one pending pool job (possibly our own).
+                    if let Some(job) = self.queue.try_pop() {
+                        let _ = catch_unwind(AssertUnwindSafe(job));
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("result senders outlive their jobs")
+                }
+            }
+        }
+        drop(guard);
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index reported"))
+            .collect()
+    }
+}
+
+/// Blocks in `Drop` until every job of one `scatter_scoped` call has
+/// signalled completion — the linchpin of that method's safety argument.
+/// Runs on both the normal and the unwinding exit path.
+struct ScopeGuard {
+    done: Arc<(Mutex<usize>, Condvar)>,
+    submitted: usize,
+    queue: Arc<Queue>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        let (count, cvar) = &*self.done;
+        loop {
+            let finished = count.lock().expect("scoped counter poisoned");
+            if *finished >= self.submitted {
+                return;
+            }
+            // Keep helping while we wait so a pool saturated with nested
+            // scatters cannot deadlock against this barrier.
+            let (finished, _) = cvar
+                .wait_timeout(finished, Duration::from_millis(1))
+                .expect("scoped counter poisoned");
+            if *finished >= self.submitted {
+                return;
+            }
+            drop(finished);
+            if let Some(job) = self.queue.try_pop() {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+        }
+    }
+}
+
+/// Configuration for a [`WorkerPool`]; obtained via [`WorkerPool::builder`].
+pub struct WorkerPoolBuilder {
+    threads: Option<usize>,
+}
+
+impl WorkerPoolBuilder {
+    /// Sets the worker count explicitly (clamped to at least one),
+    /// overriding both the environment variable and the machine default.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Builds the pool. When no thread count was set, reads
+    /// `CSD_POOL_THREADS` (positive integer) and falls back to the
+    /// machine's available parallelism.
+    pub fn build(self) -> WorkerPool {
+        let threads = self
+            .threads
+            .or_else(env_pool_threads)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
+        WorkerPool::new(threads)
+    }
+}
+
+/// Parses the `CSD_POOL_THREADS` override; ignored unless it is a
+/// positive integer.
+fn env_pool_threads() -> Option<usize> {
+    std::env::var("CSD_POOL_THREADS")
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
 }
 
 impl Drop for WorkerPool {
@@ -239,6 +409,76 @@ mod tests {
         let pool = WorkerPool::new(2);
         let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = Vec::new();
         assert!(pool.scatter(jobs).is_empty());
+    }
+
+    #[test]
+    fn scatter_scoped_borrows_from_the_stack() {
+        let pool = WorkerPool::new(4);
+        let data: Vec<usize> = (0..128).collect();
+        let chunks: Vec<&[usize]> = data.chunks(16).collect();
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send + '_>> = chunks
+            .iter()
+            .map(|chunk| Box::new(move || chunk.iter().sum::<usize>()) as _)
+            .collect();
+        let sums = pool.scatter_scoped(jobs);
+        let expected: Vec<usize> = chunks.iter().map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn scatter_scoped_preserves_order_and_nests() {
+        let pool = WorkerPool::new(1);
+        let base = [1usize, 2, 3];
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send + '_>> = (0..6usize)
+            .map(|i| {
+                let base = &base;
+                Box::new(move || {
+                    let inner: Vec<Box<dyn FnOnce() -> usize + Send + '_>> =
+                        base.iter().map(|&b| Box::new(move || b * i) as _).collect();
+                    WorkerPool::global().scatter_scoped(inner).into_iter().sum()
+                }) as _
+            })
+            .collect();
+        let results = pool.scatter_scoped(jobs);
+        assert_eq!(results, (0..6usize).map(|i| 6 * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scatter_scoped_waits_out_all_jobs_on_panic() {
+        let pool = WorkerPool::new(2);
+        let flags: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send + '_>> = flags
+            .iter()
+            .enumerate()
+            .map(|(i, flag)| {
+                Box::new(move || {
+                    flag.store(1, Ordering::SeqCst);
+                    if i == 0 {
+                        panic!("scoped job failure");
+                    }
+                    i
+                }) as _
+            })
+            .collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| pool.scatter_scoped(jobs)));
+        assert!(outcome.is_err(), "panic should reach the submitter");
+        // The scope barrier ran every job to completion before the panic
+        // escaped, so every borrowed flag was touched exactly while valid.
+        for flag in &flags {
+            assert_eq!(flag.load(Ordering::SeqCst), 1);
+        }
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| 11u32) as Box<dyn FnOnce() -> u32 + Send>];
+        assert_eq!(pool.scatter(jobs), vec![11]);
+    }
+
+    #[test]
+    fn builder_sets_thread_count() {
+        let pool = WorkerPool::builder().threads(3).build();
+        assert_eq!(pool.threads(), 3);
+        // Explicit zero still yields a working single-thread pool.
+        let pool = WorkerPool::builder().threads(0).build();
+        assert_eq!(pool.threads(), 1);
     }
 
     #[test]

@@ -194,6 +194,126 @@ fn div_round_i64(num: i64, den: i64) -> i64 {
     }
 }
 
+/// Longest sequence (timesteps from a zero state) the lane-batched
+/// fixed-point path accepts.
+///
+/// The lane kernels hold raw values as exact integers in `f64`. Each
+/// timestep grows the cell state by at most `SCALE` in raw magnitude
+/// (`|C_t| ≤ |round(f·C/S)| + |round(i·C'/S)| ≤ |C_{t−1}| + SCALE`, since
+/// the sigmoid gates are ≤ `SCALE` and the candidate is a softsign
+/// output), so after `t` steps `|C| ≤ t · SCALE`. The softsign kernel
+/// needs `|C|·SCALE + den/2 < 2^53`, i.e. `|C| ≤ ~8·10^9 = 8000·SCALE`.
+/// Longer sequences fall back to the serial path (bit-identical anyway).
+pub const LANE_MAX_STEPS: usize = 8_000;
+
+/// The fused fixed-point gate parameters re-encoded for the lane-batched
+/// kernels in [`csd_tensor::lanes`]: every raw integer stored as an exact
+/// `f64`, biases pre-multiplied by `SCALE` so they fold into the matmul
+/// accumulator before the rescale (`round(a/S) + b == round((a + b·S)/S)`
+/// exactly, because `b·S` is a multiple of `S`).
+///
+/// [`LaneGatesFx::pack`] is where the exactness contract is *proven*, not
+/// assumed: it rejects (returns `None`) any weight set whose worst-case
+/// pre-activation accumulator could leave the exact-integer range of
+/// `f64`. The engine then routes rejected models through the serial
+/// fixed-point path, so lane batching never changes a single output bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneGatesFx {
+    /// Row-major `rows × cols` raw weights as exact `f64` values.
+    w: Vec<f64>,
+    /// Per-row raw bias times `SCALE`, as exact `f64` values.
+    bias_scaled: Vec<f64>,
+    /// `vocab × embed` raw embedding table as exact `f64` values — the
+    /// lane gather source (column `hidden + e` of the gate input).
+    embedding: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl LaneGatesFx {
+    /// Re-encodes the fused gates and embedding table, or `None` when the
+    /// exactness proof fails.
+    ///
+    /// The proof obligations, per row `r` of the fused matrix:
+    ///
+    /// 1. every embedding raw value is an exact `f64` integer (< `2^52`);
+    /// 2. `Σ_k |w[r][k]| · zbound[k] + |b_r|·SCALE + SCALE/2 < 2^52`,
+    ///    where `zbound[k] = SCALE` for recurrent columns (`|h| ≤ 1` is
+    ///    an invariant of the update kernel: `h = o ∗ softsign(C)` with
+    ///    `o ≤ 1`) and the column's largest `|raw|` for embedding columns.
+    ///
+    /// Under (2) every FMA partial sum is an exact integer, so the tiled
+    /// SIMD matmul, the scalar fallback, and the reference `i64`/`i128`
+    /// accumulation all produce identical raw gate pre-activations.
+    pub fn pack(fused: &FusedGates<Fx6>, embedding: &Matrix<Fx6>, hidden: usize) -> Option<Self> {
+        const EXACT: i64 = 1 << 52;
+        let (rows, cols) = (fused.w.rows(), fused.w.cols());
+        if cols != hidden + embedding.cols() {
+            return None;
+        }
+        let mut zbound = vec![Fx6::SCALE; cols];
+        for (k, zb) in zbound.iter_mut().enumerate().skip(hidden) {
+            let col = k - hidden;
+            let mut m: i64 = 1;
+            for r in 0..embedding.rows() {
+                let raw = embedding.get(r, col).raw();
+                if raw.abs() >= EXACT {
+                    return None;
+                }
+                m = m.max(raw.abs());
+            }
+            *zb = m;
+        }
+        for r in 0..rows {
+            let mut bound: i128 = 0;
+            for (k, &zb) in zbound.iter().enumerate() {
+                bound += fused.w.get(r, k).raw().unsigned_abs() as i128 * zb as i128;
+            }
+            let b = fused.b[r].raw().unsigned_abs() as i128;
+            bound += b * Fx6::SCALE as i128 + (Fx6::SCALE / 2) as i128;
+            if bound >= EXACT as i128 {
+                return None;
+            }
+        }
+        Some(Self {
+            w: fused.w.as_flat().iter().map(|v| v.raw() as f64).collect(),
+            bias_scaled: fused
+                .b
+                .iter()
+                .map(|v| (v.raw() as i128 * Fx6::SCALE as i128) as f64)
+                .collect(),
+            embedding: embedding.as_flat().iter().map(|v| v.raw() as f64).collect(),
+            rows,
+            cols,
+        })
+    }
+
+    /// Row-major raw weights, `f64`-encoded.
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Per-row `bias · SCALE`, `f64`-encoded.
+    pub fn bias_scaled(&self) -> &[f64] {
+        &self.bias_scaled
+    }
+
+    /// Raw embedding table, `f64`-encoded, `vocab × embed` row-major.
+    pub fn embedding(&self) -> &[f64] {
+        &self.embedding
+    }
+
+    /// Fused gate rows (`4H`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Gate input columns (`Z = H + E`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
 /// The full parameter set in kernel-ready layout: per-gate `H × Z`
 /// matrices over `[h | x]` columns (TF gate order `i f c o`), in both f64
 /// and 10^6-scaled fixed point.

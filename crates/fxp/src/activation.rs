@@ -150,13 +150,24 @@ fn sigmoid_lut_one<const P: u32>(x: Fixed<P>, table: &[f64; LUT_ENTRIES]) -> Fix
     Fixed::from_f64(y)
 }
 
-const LUT_RANGE: f64 = 8.0;
-const LUT_ENTRIES: usize = 256;
+/// Half-width of the sigmoid LUT's input domain: the table linearly
+/// interpolates over `[-8, 8]` and saturates outside it.
+pub const LUT_RANGE: f64 = 8.0;
+/// Number of sigmoid LUT entries (one BRAM's worth).
+pub const LUT_ENTRIES: usize = 256;
 
 /// The BRAM contents: 256 true-sigmoid samples over `[-8, 8]`, computed
 /// once per process. (The pre-optimization code recomputed the two
 /// bracketing entries with `exp()` on every call — the software analogue
 /// of re-deriving the BRAM image per lookup.)
+///
+/// Public so the lane-batched SIMD sigmoid in `csd-tensor` can gather
+/// from the *same* table the scalar path interpolates — a different
+/// table would break the bit-identity contract between the two paths.
+pub fn sigmoid_lut_table() -> &'static [f64; LUT_ENTRIES] {
+    sigmoid_table()
+}
+
 fn sigmoid_table() -> &'static [f64; LUT_ENTRIES] {
     use std::sync::OnceLock;
     static TABLE: OnceLock<[f64; LUT_ENTRIES]> = OnceLock::new();

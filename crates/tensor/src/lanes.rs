@@ -1,0 +1,889 @@
+//! Lane-batched (structure-of-arrays) kernels for the fused LSTM gate
+//! computation.
+//!
+//! The serial inference path processes one sequence at a time: each
+//! timestep is a `4H × Z` matrix–*vector* product plus elementwise
+//! activations. These kernels instead advance `W` sequences ("lanes") in
+//! lockstep with all state stored as `rows × W` lane blocks, so the same
+//! timestep becomes a `4H × Z · Z × W` matrix–*matrix* product and the
+//! activations sweep contiguous lane rows. Memory layout: element
+//! `(row r, lane l)` lives at `buf[r * width + l]`.
+//!
+//! # Bit-identity contract
+//!
+//! Every kernel here is **bit-identical** to the serial scalar code it
+//! replaces — not approximately equal, identical:
+//!
+//! - The `f64` kernels replay the serial operation sequence exactly.
+//!   [`matmul_f64_lanes`] reproduces `f64::dot_slices`' four-accumulator
+//!   chunked summation *per lane* (same adds, same order, no FMA), and
+//!   the pointwise ops are the identical IEEE-754 expressions. Since
+//!   every individual IEEE op is correctly rounded, vectorizing across
+//!   lanes cannot change any bit.
+//! - The fixed-point kernels hold `Fixed<6>` raw integers as exact `f64`
+//!   values (every intermediate stays below `2^53`) and compute the
+//!   *integer-exact* result of the reference formulas — accumulate,
+//!   round-half-away-from-zero rescale, LUT sigmoid, exact softsign —
+//!   using FMA/division sequences whose error terms are provably zero on
+//!   that domain. Callers must uphold the range bounds documented per
+//!   kernel (the engine proves them at weight-pack time).
+//!
+//! On x86-64 with AVX-512 (F+DQ+VL) the fixed-point kernels dispatch to
+//! hand-written intrinsics (with an AVX2+FMA matmul fallback); everywhere
+//! else they fall back to scalar reference code operating on the same
+//! `f64`-encoded integers. The fallbacks produce the same bits, so the
+//! engine's output never depends on the host ISA.
+
+use csd_fxp::activation::{sigmoid_lut_table, LUT_ENTRIES, LUT_RANGE};
+use csd_fxp::{sigmoid_fx_lut, softsign_fx, Fx6};
+
+/// The decimal scale of [`Fx6`] as an `f64` (`10^6`).
+const FSCALE: f64 = Fx6::SCALE as f64;
+
+/// Which SIMD tier the fixed-point lane kernels dispatch to on this host.
+///
+/// Purely informational (bench reports); the result is one of
+/// `"avx512"`, `"avx2"`, or `"scalar"` and never affects output bits.
+pub fn simd_level() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx512_available() {
+            return "avx512";
+        }
+        if avx2_fma_available() {
+            return "avx2";
+        }
+    }
+    "scalar"
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx512_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512dq")
+        && std::arch::is_x86_feature_detected!("avx512vl")
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_fma_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+// ---------------------------------------------------------------------------
+// f64 path
+// ---------------------------------------------------------------------------
+
+/// Lane-batched `out = W · Z` for the float path: `w` is `rows × cols`
+/// row-major, `z` is a `cols × width` lane block, `out` is `rows × width`.
+///
+/// Per lane this reproduces `f64::dot_slices` bit-for-bit: four
+/// accumulators over column chunks of 4 (separate multiply then add — no
+/// FMA contraction), combined as `(a0 + a1) + (a2 + a3)`, remainder
+/// columns added sequentially. `acc` is caller-provided scratch of at
+/// least `4 * width` elements so the hot loop never allocates.
+///
+/// # Panics
+///
+/// Panics when the slice lengths disagree with `rows`/`cols`/`width`.
+pub fn matmul_f64_lanes(
+    w: &[f64],
+    rows: usize,
+    cols: usize,
+    z: &[f64],
+    width: usize,
+    out: &mut [f64],
+    acc: &mut [f64],
+) {
+    assert_eq!(w.len(), rows * cols, "lane matmul weight shape mismatch");
+    assert_eq!(z.len(), cols * width, "lane matmul input shape mismatch");
+    assert_eq!(out.len(), rows * width, "lane matmul output shape mismatch");
+    assert!(acc.len() >= 4 * width, "lane matmul scratch too small");
+    let (a0, rest) = acc.split_at_mut(width);
+    let (a1, rest) = rest.split_at_mut(width);
+    let (a2, rest) = rest.split_at_mut(width);
+    let a3 = &mut rest[..width];
+    let chunks = cols / 4;
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        a0.fill(0.0);
+        a1.fill(0.0);
+        a2.fill(0.0);
+        a3.fill(0.0);
+        for m in 0..chunks {
+            let k = 4 * m;
+            let (w0, w1, w2, w3) = (row[k], row[k + 1], row[k + 2], row[k + 3]);
+            let z0 = &z[k * width..(k + 1) * width];
+            let z1 = &z[(k + 1) * width..(k + 2) * width];
+            let z2 = &z[(k + 2) * width..(k + 3) * width];
+            let z3 = &z[(k + 3) * width..(k + 4) * width];
+            for l in 0..width {
+                a0[l] += w0 * z0[l];
+                a1[l] += w1 * z1[l];
+                a2[l] += w2 * z2[l];
+                a3[l] += w3 * z3[l];
+            }
+        }
+        let o = &mut out[r * width..(r + 1) * width];
+        for l in 0..width {
+            o[l] = (a0[l] + a1[l]) + (a2[l] + a3[l]);
+        }
+        for k in 4 * chunks..cols {
+            let wk = row[k];
+            let zk = &z[k * width..(k + 1) * width];
+            for l in 0..width {
+                o[l] += wk * zk[l];
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-point path: integer-exact arithmetic on f64-encoded Fx6 raws
+// ---------------------------------------------------------------------------
+
+/// Lane-batched fused gate matmul for the fixed-point path, with the bias
+/// folded into the accumulator.
+///
+/// `w` holds the `rows × cols` raw weights converted to `f64`, `z` the
+/// `cols × width` raw inputs, and `bias_scaled[r]` the raw bias times
+/// `SCALE` (so after [`rescale_lanes`] the result equals
+/// `round_half_away(Σ w·z / SCALE) + bias`, the serial semantics —
+/// `round(a/S) + b == round((a + b·S)/S)` exactly because `b·S` is a
+/// multiple of `S`).
+///
+/// Every product and partial sum must stay below `2^53` in magnitude for
+/// the accumulation to be exact; the caller proves the per-row bound
+/// `Σ_k |w[r][k]|·max|z[k]| + |b_r|·SCALE + SCALE/2 < 2^52` at pack time.
+/// Under that bound the result is the exact integer sum no matter how the
+/// additions associate, so the FMA-tiled SIMD versions and the scalar
+/// fallback agree bit-for-bit.
+///
+/// # Panics
+///
+/// Panics when the slice lengths disagree with `rows`/`cols`/`width`.
+pub fn matmul_fx_lanes(
+    w: &[f64],
+    rows: usize,
+    cols: usize,
+    z: &[f64],
+    width: usize,
+    bias_scaled: &[f64],
+    out: &mut [f64],
+) {
+    assert_eq!(w.len(), rows * cols, "lane matmul weight shape mismatch");
+    assert_eq!(z.len(), cols * width, "lane matmul input shape mismatch");
+    assert_eq!(out.len(), rows * width, "lane matmul output shape mismatch");
+    assert_eq!(bias_scaled.len(), rows, "lane matmul bias shape mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if rows.is_multiple_of(8) && width.is_multiple_of(8) && avx512_available() {
+            // SAFETY: avx512f/dq/vl presence checked at runtime just above;
+            // the shape asserts guarantee every pointer offset is in bounds.
+            #[allow(unsafe_code)]
+            unsafe {
+                x86::mm_fma_avx512(w, rows, cols, z, width, bias_scaled, out)
+            };
+            return;
+        }
+        if rows.is_multiple_of(4) && width.is_multiple_of(4) && avx2_fma_available() {
+            // SAFETY: avx2/fma presence checked at runtime just above; the
+            // shape asserts guarantee every pointer offset is in bounds.
+            #[allow(unsafe_code)]
+            unsafe {
+                x86::mm_fma_avx2(w, rows, cols, z, width, bias_scaled, out)
+            };
+            return;
+        }
+    }
+    matmul_fx_scalar(w, rows, cols, z, width, bias_scaled, out);
+}
+
+/// Scalar reference for [`matmul_fx_lanes`] — every `f64` multiply and
+/// add is exact on the proven domain, so this equals the SIMD tiles.
+fn matmul_fx_scalar(
+    w: &[f64],
+    rows: usize,
+    cols: usize,
+    z: &[f64],
+    width: usize,
+    bias_scaled: &[f64],
+    out: &mut [f64],
+) {
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        let o = &mut out[r * width..(r + 1) * width];
+        o.fill(bias_scaled[r]);
+        for (k, &wk) in row.iter().enumerate() {
+            let zk = &z[k * width..(k + 1) * width];
+            for (acc, &zv) in o.iter_mut().zip(zk) {
+                *acc += wk * zv;
+            }
+        }
+    }
+}
+
+/// In-place `x := round_half_away(x / SCALE)` over a block of `f64`-encoded
+/// raw integers — the `10^12 → 10^6` product correction (§III-D), exactly
+/// as `div_round_i64(x, SCALE)` computes it.
+///
+/// Exact for `|x| + SCALE/2 < 2^53`; the matmul row bound guarantees a
+/// stronger `< 2^52`.
+pub fn rescale_lanes(xs: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx512_available() {
+        // SAFETY: avx512f/dq/vl presence checked at runtime just above.
+        #[allow(unsafe_code)]
+        unsafe {
+            x86::rescale_avx512(xs)
+        };
+        return;
+    }
+    for x in xs {
+        *x = div_round_raw(*x as i64, Fx6::SCALE) as f64;
+    }
+}
+
+/// In-place LUT sigmoid over a block of `f64`-encoded raw pre-activations,
+/// bit-identical to `csd_fxp::sigmoid_fx_lut` on each element: 256-entry
+/// table over `[-8, 8]`, linear interpolation, saturation outside.
+///
+/// Exact for `|x| ≤ 2^52` (far beyond any pre-activation the matmul bound
+/// admits).
+pub fn sigmoid_lut_lanes(xs: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx512_available() {
+        // SAFETY: avx512f/dq/vl presence checked at runtime just above.
+        #[allow(unsafe_code)]
+        unsafe {
+            x86::sigmoid_avx512(xs, sigmoid_lut_table())
+        };
+        return;
+    }
+    for x in xs {
+        *x = sigmoid_fx_lut(Fx6::from_raw(*x as i64)).raw() as f64;
+    }
+}
+
+/// In-place exact softsign over a block of `f64`-encoded raw values:
+/// `round_half_away(x·SCALE / (|x| + SCALE))`, bit-identical to
+/// `csd_fxp::softsign_fx`.
+///
+/// Exact for `|x| ≤ ~8·10^9` (`x·SCALE + den/2` must stay below `2^53`);
+/// the engine's sequence-length cap guarantees it.
+pub fn softsign_lanes(xs: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx512_available() {
+        // SAFETY: avx512f/dq/vl presence checked at runtime just above.
+        #[allow(unsafe_code)]
+        unsafe {
+            x86::softsign_avx512(xs)
+        };
+        return;
+    }
+    for x in xs {
+        *x = softsign_fx(Fx6::from_raw(*x as i64)).raw() as f64;
+    }
+}
+
+/// Lane-batched LSTM state update for the fixed-point path:
+/// `C_t = f∗C_{t−1} + i∗C'`, `h_t = o ∗ softsign(C_t)` with every `∗` the
+/// rescaling fixed-point product — bit-identical to the serial
+/// `update_fused_fx`.
+///
+/// `g` is the activated `4H × width` gate block in TF order
+/// (`i f c o`), `c` and `h` are `hidden × width` lane blocks. Exact while
+/// `|C_t| ≤ ~8·10^9` raw (≤ 8000 timesteps from a zero state, since each
+/// step grows `|C|` by at most `SCALE`).
+///
+/// # Panics
+///
+/// Panics when the slice lengths disagree with `hidden`/`width`.
+pub fn update_lanes(g: &[f64], hidden: usize, width: usize, c: &mut [f64], h: &mut [f64]) {
+    let hw = hidden * width;
+    assert_eq!(g.len(), 4 * hw, "lane update gate shape mismatch");
+    assert_eq!(c.len(), hw, "lane update cell shape mismatch");
+    assert_eq!(h.len(), hw, "lane update hidden shape mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if avx512_available() {
+        // SAFETY: avx512f/dq/vl presence checked at runtime just above;
+        // the shape asserts guarantee in-bounds access.
+        #[allow(unsafe_code)]
+        unsafe {
+            x86::update_avx512(g, hw, c, h)
+        };
+        return;
+    }
+    let (gi, gf, gc, go) = (&g[..hw], &g[hw..2 * hw], &g[2 * hw..3 * hw], &g[3 * hw..]);
+    for j in 0..hw {
+        let ct = fx_mul_raw(gf[j] as i64, c[j] as i64) + fx_mul_raw(gi[j] as i64, gc[j] as i64);
+        c[j] = ct as f64;
+        let ss = softsign_fx(Fx6::from_raw(ct)).raw();
+        h[j] = fx_mul_raw(go[j] as i64, ss) as f64;
+    }
+}
+
+/// Round-half-away-from-zero division, the reference rescale semantics.
+fn div_round_raw(num: i64, den: i64) -> i64 {
+    let half = den / 2;
+    if num >= 0 {
+        (num + half) / den
+    } else {
+        (num - half) / den
+    }
+}
+
+/// The rescaling fixed-point product on raw values (`Fx6` `Mul` replica).
+fn fx_mul_raw(a: i64, b: i64) -> i64 {
+    let p = a as i128 * b as i128;
+    let half = (Fx6::SCALE / 2) as i128;
+    let scale = Fx6::SCALE as i128;
+    (if p >= 0 {
+        (p + half) / scale
+    } else {
+        (p - half) / scale
+    }) as i64
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 intrinsics
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{fx_mul_raw, FSCALE, LUT_ENTRIES, LUT_RANGE};
+    use csd_fxp::{sigmoid_fx_lut, softsign_fx, Fx6};
+    use std::arch::x86_64::*;
+
+    /// Exact `round_half_away(x / SCALE)` for `x` an exact integer with
+    /// `|x| + SCALE/2 < 2^53`. The initial quotient estimate
+    /// `floor(m · (1/SCALE))` can be off by at most one, and the residual
+    /// `m − q0·SCALE` is computed exactly (`q0 < 2^33` and
+    /// `SCALE = 2^6 · 15625`, so `q0·SCALE` needs < 47 mantissa bits),
+    /// letting a branchless ±1 correction land the true quotient.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx512f/dq/vl.
+    #[inline]
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    unsafe fn div_round_scale_pd(x: __m512d) -> __m512d {
+        let half = _mm512_set1_pd((Fx6::SCALE / 2) as f64);
+        let inv = _mm512_set1_pd(1.0 / FSCALE);
+        let scale = _mm512_set1_pd(FSCALE);
+        let sgnmask = _mm512_set1_pd(-0.0);
+        let sgn = _mm512_and_pd(x, sgnmask);
+        let mag = _mm512_andnot_pd(sgnmask, x);
+        let m = _mm512_add_pd(mag, half);
+        let q0 = _mm512_roundscale_pd(
+            _mm512_mul_pd(m, inv),
+            _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC,
+        );
+        let r = _mm512_fnmadd_pd(q0, scale, m);
+        let ge = _mm512_cmp_pd_mask(r, scale, _CMP_GE_OQ);
+        let lt = _mm512_cmp_pd_mask(r, _mm512_setzero_pd(), _CMP_LT_OQ);
+        let one = _mm512_set1_pd(1.0);
+        let q1 = _mm512_mask_add_pd(q0, ge, q0, one);
+        let q = _mm512_mask_sub_pd(q1, lt, q1, one);
+        _mm512_or_pd(q, sgn)
+    }
+
+    /// Exact `round_half_away(num/den)` for nonnegative exact-integer
+    /// magnitudes and a variable denominator (softsign). Requires
+    /// `num + den/2 < 2^53` and `q0 · den` representable (< 2^53), both
+    /// guaranteed on the softsign domain (`q0 ≤ SCALE`, `den < 2^34`).
+    ///
+    /// # Safety
+    ///
+    /// Requires avx512f/dq/vl.
+    #[inline]
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    unsafe fn div_round_generic_pd(mag_num: __m512d, den: __m512d, sgn: __m512d) -> __m512d {
+        let half = _mm512_roundscale_pd(
+            _mm512_mul_pd(den, _mm512_set1_pd(0.5)),
+            _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC,
+        );
+        let m = _mm512_add_pd(mag_num, half);
+        let q0 = _mm512_roundscale_pd(
+            _mm512_div_pd(m, den),
+            _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC,
+        );
+        let r = _mm512_fnmadd_pd(q0, den, m);
+        let ge = _mm512_cmp_pd_mask(r, den, _CMP_GE_OQ);
+        let lt = _mm512_cmp_pd_mask(r, _mm512_setzero_pd(), _CMP_LT_OQ);
+        let one = _mm512_set1_pd(1.0);
+        let q1 = _mm512_mask_add_pd(q0, ge, q0, one);
+        let q = _mm512_mask_sub_pd(q1, lt, q1, one);
+        _mm512_or_pd(q, sgn)
+    }
+
+    /// AVX-512 tiled FMA matmul with bias folding: 8-row × 8-lane tiles
+    /// keep 8 independent FMA chains in flight (4-cycle latency × 2 ports
+    /// needs ≥ 8 to saturate). All products and sums are exact integers,
+    /// so the fused multiply-adds introduce no rounding at all.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx512f/dq/vl; `rows % 8 == 0`, `width % 8 == 0`, and the
+    /// slice shapes asserted by the dispatching wrapper.
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    pub(super) unsafe fn mm_fma_avx512(
+        w: &[f64],
+        rows: usize,
+        cols: usize,
+        z: &[f64],
+        width: usize,
+        bias_scaled: &[f64],
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(rows % 8, 0);
+        debug_assert_eq!(width % 8, 0);
+        let nvec = width / 8;
+        let mut r = 0;
+        while r < rows {
+            for v in 0..nvec {
+                let mut a0 = _mm512_set1_pd(bias_scaled[r]);
+                let mut a1 = _mm512_set1_pd(bias_scaled[r + 1]);
+                let mut a2 = _mm512_set1_pd(bias_scaled[r + 2]);
+                let mut a3 = _mm512_set1_pd(bias_scaled[r + 3]);
+                let mut a4 = _mm512_set1_pd(bias_scaled[r + 4]);
+                let mut a5 = _mm512_set1_pd(bias_scaled[r + 5]);
+                let mut a6 = _mm512_set1_pd(bias_scaled[r + 6]);
+                let mut a7 = _mm512_set1_pd(bias_scaled[r + 7]);
+                for k in 0..cols {
+                    let zv = _mm512_loadu_pd(z.as_ptr().add(k * width + v * 8));
+                    a0 = _mm512_fmadd_pd(_mm512_set1_pd(*w.get_unchecked(r * cols + k)), zv, a0);
+                    a1 = _mm512_fmadd_pd(
+                        _mm512_set1_pd(*w.get_unchecked((r + 1) * cols + k)),
+                        zv,
+                        a1,
+                    );
+                    a2 = _mm512_fmadd_pd(
+                        _mm512_set1_pd(*w.get_unchecked((r + 2) * cols + k)),
+                        zv,
+                        a2,
+                    );
+                    a3 = _mm512_fmadd_pd(
+                        _mm512_set1_pd(*w.get_unchecked((r + 3) * cols + k)),
+                        zv,
+                        a3,
+                    );
+                    a4 = _mm512_fmadd_pd(
+                        _mm512_set1_pd(*w.get_unchecked((r + 4) * cols + k)),
+                        zv,
+                        a4,
+                    );
+                    a5 = _mm512_fmadd_pd(
+                        _mm512_set1_pd(*w.get_unchecked((r + 5) * cols + k)),
+                        zv,
+                        a5,
+                    );
+                    a6 = _mm512_fmadd_pd(
+                        _mm512_set1_pd(*w.get_unchecked((r + 6) * cols + k)),
+                        zv,
+                        a6,
+                    );
+                    a7 = _mm512_fmadd_pd(
+                        _mm512_set1_pd(*w.get_unchecked((r + 7) * cols + k)),
+                        zv,
+                        a7,
+                    );
+                }
+                _mm512_storeu_pd(out.as_mut_ptr().add(r * width + v * 8), a0);
+                _mm512_storeu_pd(out.as_mut_ptr().add((r + 1) * width + v * 8), a1);
+                _mm512_storeu_pd(out.as_mut_ptr().add((r + 2) * width + v * 8), a2);
+                _mm512_storeu_pd(out.as_mut_ptr().add((r + 3) * width + v * 8), a3);
+                _mm512_storeu_pd(out.as_mut_ptr().add((r + 4) * width + v * 8), a4);
+                _mm512_storeu_pd(out.as_mut_ptr().add((r + 5) * width + v * 8), a5);
+                _mm512_storeu_pd(out.as_mut_ptr().add((r + 6) * width + v * 8), a6);
+                _mm512_storeu_pd(out.as_mut_ptr().add((r + 7) * width + v * 8), a7);
+            }
+            r += 8;
+        }
+    }
+
+    /// AVX2+FMA fallback matmul: 4-row × 4-lane tiles. Same exact-integer
+    /// argument as the AVX-512 tile, so same bits.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx2/fma; `rows % 4 == 0`, `width % 4 == 0`, and the
+    /// slice shapes asserted by the dispatching wrapper.
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn mm_fma_avx2(
+        w: &[f64],
+        rows: usize,
+        cols: usize,
+        z: &[f64],
+        width: usize,
+        bias_scaled: &[f64],
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(rows % 4, 0);
+        debug_assert_eq!(width % 4, 0);
+        let nvec = width / 4;
+        let mut r = 0;
+        while r < rows {
+            for v in 0..nvec {
+                let mut a0 = _mm256_set1_pd(bias_scaled[r]);
+                let mut a1 = _mm256_set1_pd(bias_scaled[r + 1]);
+                let mut a2 = _mm256_set1_pd(bias_scaled[r + 2]);
+                let mut a3 = _mm256_set1_pd(bias_scaled[r + 3]);
+                for k in 0..cols {
+                    let zv = _mm256_loadu_pd(z.as_ptr().add(k * width + v * 4));
+                    a0 = _mm256_fmadd_pd(_mm256_set1_pd(*w.get_unchecked(r * cols + k)), zv, a0);
+                    a1 = _mm256_fmadd_pd(
+                        _mm256_set1_pd(*w.get_unchecked((r + 1) * cols + k)),
+                        zv,
+                        a1,
+                    );
+                    a2 = _mm256_fmadd_pd(
+                        _mm256_set1_pd(*w.get_unchecked((r + 2) * cols + k)),
+                        zv,
+                        a2,
+                    );
+                    a3 = _mm256_fmadd_pd(
+                        _mm256_set1_pd(*w.get_unchecked((r + 3) * cols + k)),
+                        zv,
+                        a3,
+                    );
+                }
+                _mm256_storeu_pd(out.as_mut_ptr().add(r * width + v * 4), a0);
+                _mm256_storeu_pd(out.as_mut_ptr().add((r + 1) * width + v * 4), a1);
+                _mm256_storeu_pd(out.as_mut_ptr().add((r + 2) * width + v * 4), a2);
+                _mm256_storeu_pd(out.as_mut_ptr().add((r + 3) * width + v * 4), a3);
+            }
+            r += 4;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires avx512f/dq/vl.
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    pub(super) unsafe fn rescale_avx512(xs: &mut [f64]) {
+        let mut i = 0;
+        while i + 8 <= xs.len() {
+            let x = _mm512_loadu_pd(xs.as_ptr().add(i));
+            _mm512_storeu_pd(xs.as_mut_ptr().add(i), div_round_scale_pd(x));
+            i += 8;
+        }
+        for x in &mut xs[i..] {
+            *x = super::div_round_raw(*x as i64, Fx6::SCALE) as f64;
+        }
+    }
+
+    /// Gather-based LUT sigmoid, bit-identical to the scalar
+    /// `sigmoid_fx_lut`: `v = raw / SCALE` uses a true division (matching
+    /// `raw as f64 / SCALE as f64`); the index position replaces the
+    /// scalar's `/ 16.0` with `* 0.0625` (bit-identical: 1/16 is a power
+    /// of two); interpolation uses separate multiplies and adds (no FMA)
+    /// in the scalar's exact expression order; rounding is
+    /// truncate-plus-carry; saturation lanes are overwritten by mask
+    /// blends at the end.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx512f/dq/vl. `t` must have `LUT_ENTRIES` elements.
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    pub(super) unsafe fn sigmoid_avx512(xs: &mut [f64], t: &[f64; LUT_ENTRIES]) {
+        let range = _mm512_set1_pd(LUT_RANGE);
+        let neg_range = _mm512_set1_pd(-LUT_RANGE);
+        let inv_two_range = _mm512_set1_pd(1.0 / (2.0 * LUT_RANGE));
+        let ent = _mm512_set1_pd(LUT_ENTRIES as f64 - 1.0);
+        let zero = _mm512_setzero_pd();
+        let one = _mm512_set1_pd(1.0);
+        let half = _mm512_set1_pd(0.5);
+        let fscale = _mm512_set1_pd(FSCALE);
+        let max_idx = _mm512_set1_epi64((LUT_ENTRIES - 2) as i64);
+        let mut i = 0;
+        while i + 8 <= xs.len() {
+            let raw = _mm512_loadu_pd(xs.as_ptr().add(i));
+            let v = _mm512_div_pd(raw, fscale);
+            let pos = _mm512_mul_pd(_mm512_mul_pd(_mm512_add_pd(v, range), inv_two_range), ent);
+            let posc = _mm512_max_pd(pos, zero);
+            let fi = _mm512_roundscale_pd(posc, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);
+            let idx = _mm512_min_epi64(_mm512_cvttpd_epi64(fi), max_idx);
+            let frac = _mm512_sub_pd(posc, fi);
+            let t0 = _mm512_i64gather_pd::<8>(idx, t.as_ptr());
+            let t1 =
+                _mm512_i64gather_pd::<8>(_mm512_add_epi64(idx, _mm512_set1_epi64(1)), t.as_ptr());
+            let y = _mm512_add_pd(
+                _mm512_mul_pd(t0, _mm512_sub_pd(one, frac)),
+                _mm512_mul_pd(t1, frac),
+            );
+            let yy = _mm512_mul_pd(y, fscale);
+            let tr = _mm512_roundscale_pd(yy, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+            let fr = _mm512_sub_pd(yy, tr);
+            let round_up = _mm512_cmp_pd_mask(fr, half, _CMP_GE_OQ);
+            let r = _mm512_mask_add_pd(tr, round_up, tr, one);
+            let hi = _mm512_cmp_pd_mask(v, range, _CMP_GE_OQ);
+            let lo = _mm512_cmp_pd_mask(v, neg_range, _CMP_LE_OQ);
+            let r = _mm512_mask_mov_pd(r, hi, fscale);
+            let r = _mm512_maskz_mov_pd(!lo, r);
+            _mm512_storeu_pd(xs.as_mut_ptr().add(i), r);
+            i += 8;
+        }
+        for x in &mut xs[i..] {
+            *x = sigmoid_fx_lut(Fx6::from_raw(*x as i64)).raw() as f64;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires avx512f/dq/vl; `|x| ≤ ~8·10^9` for every element.
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    pub(super) unsafe fn softsign_avx512(xs: &mut [f64]) {
+        let fscale = _mm512_set1_pd(FSCALE);
+        let sgnmask = _mm512_set1_pd(-0.0);
+        let mut i = 0;
+        while i + 8 <= xs.len() {
+            let raw = _mm512_loadu_pd(xs.as_ptr().add(i));
+            let sgn = _mm512_and_pd(raw, sgnmask);
+            let mag = _mm512_andnot_pd(sgnmask, raw);
+            let num = _mm512_mul_pd(mag, fscale);
+            let den = _mm512_add_pd(mag, fscale);
+            _mm512_storeu_pd(xs.as_mut_ptr().add(i), div_round_generic_pd(num, den, sgn));
+            i += 8;
+        }
+        for x in &mut xs[i..] {
+            *x = softsign_fx(Fx6::from_raw(*x as i64)).raw() as f64;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires avx512f/dq/vl; `g.len() == 4*hw`, `c.len() == h.len() == hw`,
+    /// and `|C_t| ≤ ~8·10^9` raw throughout.
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    pub(super) unsafe fn update_avx512(g: &[f64], hw: usize, c: &mut [f64], h: &mut [f64]) {
+        let fscale = _mm512_set1_pd(FSCALE);
+        let sgnmask = _mm512_set1_pd(-0.0);
+        let (gi, gf, gc, go) = (&g[..hw], &g[hw..2 * hw], &g[2 * hw..3 * hw], &g[3 * hw..]);
+        let mut j = 0;
+        while j + 8 <= hw {
+            let iv = _mm512_loadu_pd(gi.as_ptr().add(j));
+            let fv = _mm512_loadu_pd(gf.as_ptr().add(j));
+            let cb = _mm512_loadu_pd(gc.as_ptr().add(j));
+            let ov = _mm512_loadu_pd(go.as_ptr().add(j));
+            let cv = _mm512_loadu_pd(c.as_ptr().add(j));
+            let fc = div_round_scale_pd(_mm512_mul_pd(fv, cv));
+            let ic = div_round_scale_pd(_mm512_mul_pd(iv, cb));
+            let ct = _mm512_add_pd(fc, ic);
+            _mm512_storeu_pd(c.as_mut_ptr().add(j), ct);
+            let sgn = _mm512_and_pd(ct, sgnmask);
+            let mag = _mm512_andnot_pd(sgnmask, ct);
+            let num = _mm512_mul_pd(mag, fscale);
+            let den = _mm512_add_pd(mag, fscale);
+            let ss = div_round_generic_pd(num, den, sgn);
+            let hv = div_round_scale_pd(_mm512_mul_pd(ov, ss));
+            _mm512_storeu_pd(h.as_mut_ptr().add(j), hv);
+            j += 8;
+        }
+        while j < hw {
+            let ct = fx_mul_raw(gf[j] as i64, c[j] as i64) + fx_mul_raw(gi[j] as i64, gc[j] as i64);
+            c[j] = ct as f64;
+            let ss = softsign_fx(Fx6::from_raw(ct)).raw();
+            h[j] = fx_mul_raw(go[j] as i64, ss) as f64;
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scalar;
+
+    fn div_round_i64(num: i64, den: i64) -> i64 {
+        div_round_raw(num, den)
+    }
+
+    #[test]
+    fn rescale_matches_integer_reference_across_domain() {
+        let mut probes: Vec<i64> = Vec::new();
+        let mut v: i64 = 1;
+        while v < (1i64 << 52) {
+            probes.push(v);
+            probes.push(-v);
+            probes.push(v + 1);
+            probes.push(v / 3 * 2 + 7);
+            v *= 3;
+        }
+        probes.extend((-30_000_000_000i64..30_000_000_000).step_by(777_777_771));
+        probes.extend([
+            499_999, 500_000, 500_001, 1_499_999, 1_500_000, 1_500_001, 0, 1, -1,
+        ]);
+        // Cover both the vector body and the scalar tail of the kernel.
+        while probes.len() % 8 != 5 {
+            probes.push(0);
+        }
+        let mut got: Vec<f64> = probes.iter().map(|&x| x as f64).collect();
+        rescale_lanes(&mut got);
+        for (&inp, &out) in probes.iter().zip(&got) {
+            assert_eq!(out as i64, div_round_i64(inp, Fx6::SCALE), "rescale {inp}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_matches_scalar_lut_across_domain() {
+        let mut raws: Vec<i64> = (-9_000_000..9_000_000).step_by(7).collect();
+        raws.extend([
+            -8_000_000,
+            8_000_000,
+            -8_000_001,
+            8_000_001,
+            1_000_000_000,
+            -1_000_000_000,
+            0,
+            1,
+            -1,
+        ]);
+        while raws.len() % 8 != 3 {
+            raws.push(0);
+        }
+        let mut got: Vec<f64> = raws.iter().map(|&r| r as f64).collect();
+        sigmoid_lut_lanes(&mut got);
+        for (&inp, &out) in raws.iter().zip(&got) {
+            let expect = sigmoid_fx_lut(Fx6::from_raw(inp)).raw();
+            assert_eq!(out as i64, expect, "sigmoid raw {inp}");
+        }
+    }
+
+    #[test]
+    fn softsign_matches_scalar_across_domain() {
+        let mut raws: Vec<i64> = (-200_000_000..200_000_000).step_by(9973).collect();
+        raws.extend([
+            8_000_000_000,
+            -8_000_000_000,
+            7_999_999_999,
+            -7_999_999_999,
+            0,
+            1,
+            -1,
+            499_999,
+            500_000,
+            500_001,
+        ]);
+        while raws.len() % 8 != 1 {
+            raws.push(0);
+        }
+        let mut got: Vec<f64> = raws.iter().map(|&r| r as f64).collect();
+        softsign_lanes(&mut got);
+        for (&inp, &out) in raws.iter().zip(&got) {
+            let expect = softsign_fx(Fx6::from_raw(inp)).raw();
+            assert_eq!(out as i64, expect, "softsign raw {inp}");
+        }
+    }
+
+    #[test]
+    fn fx_matmul_matches_integer_reference() {
+        const ROWS: usize = 128;
+        const COLS: usize = 40;
+        let wi: Vec<i64> = (0..ROWS * COLS)
+            .map(|i| i as i64 * 2_654_435_761 % 4_000_000 - 2_000_000)
+            .collect();
+        let bias: Vec<i64> = (0..ROWS)
+            .map(|i| (i as i64 * 137) % 3_000_000 - 1_500_000)
+            .collect();
+        let wf: Vec<f64> = wi.iter().map(|&x| x as f64).collect();
+        let bias_scaled: Vec<f64> = bias.iter().map(|&b| (b * Fx6::SCALE) as f64).collect();
+        for width in [1usize, 3, 4, 8, 11, 16] {
+            let zi: Vec<i64> = (0..COLS * width)
+                .map(|i| i as i64 * 40_503 % 2_000_000 - 1_000_000)
+                .collect();
+            let zf: Vec<f64> = zi.iter().map(|&x| x as f64).collect();
+            let mut acc = vec![0.0f64; ROWS * width];
+            matmul_fx_lanes(&wf, ROWS, COLS, &zf, width, &bias_scaled, &mut acc);
+            rescale_lanes(&mut acc);
+            for r in 0..ROWS {
+                for l in 0..width {
+                    let mut s = 0i64;
+                    for k in 0..COLS {
+                        s += wi[r * COLS + k] * zi[k * width + l];
+                    }
+                    // Bias folding: round(a/S) + b == round((a + b·S)/S).
+                    let expect = div_round_i64(s, Fx6::SCALE) + bias[r];
+                    assert_eq!(
+                        acc[r * width + l] as i64,
+                        expect,
+                        "fx matmul r={r} l={l} w={width}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_matches_fx6_reference() {
+        let hidden = 32;
+        for width in [3usize, 8] {
+            let hw = hidden * width;
+            let mut g: Vec<f64> = (0..4 * hw)
+                .map(|i| ((i as i64 * 31_337) % 2_000_001 - 1_000_000) as f64)
+                .collect();
+            // Gates i/f/o are sigmoid outputs: clamp to [0, SCALE].
+            for blk in [0usize, 1, 3] {
+                for x in &mut g[blk * hw..(blk + 1) * hw] {
+                    *x = x.abs() % FSCALE;
+                }
+            }
+            let mut c: Vec<f64> = (0..hw)
+                .map(|i| ((i as i64 * 48_271) % 16_000_000_000 - 8_000_000_000) as f64)
+                .collect();
+            let mut h = vec![0.0f64; hw];
+            let c0 = c.clone();
+            update_lanes(&g, hidden, width, &mut c, &mut h);
+            for j in 0..hw {
+                let fv = Fx6::from_raw(g[hw + j] as i64);
+                let iv = Fx6::from_raw(g[j] as i64);
+                let cb = Fx6::from_raw(g[2 * hw + j] as i64);
+                let ov = Fx6::from_raw(g[3 * hw + j] as i64);
+                let ct = fv * Fx6::from_raw(c0[j] as i64) + iv * cb;
+                assert_eq!(c[j] as i64, ct.raw(), "update c j={j} w={width}");
+                let hh = ov * softsign_fx(ct);
+                assert_eq!(h[j] as i64, hh.raw(), "update h j={j} w={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn f64_matmul_matches_dot_slices_per_lane() {
+        let rows = 128;
+        let cols = 40;
+        let w: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i as i64 * 2_654_435_761 % 4_000_000 - 2_000_000) as f64) * 1e-6)
+            .collect();
+        for width in [1usize, 3, 8, 16] {
+            let z: Vec<f64> = (0..cols * width)
+                .map(|i| ((i as i64 * 40_503 % 2_000_000 - 1_000_000) as f64) * 1e-6)
+                .collect();
+            let mut out = vec![0.0f64; rows * width];
+            let mut acc = vec![0.0f64; 4 * width];
+            matmul_f64_lanes(&w, rows, cols, &z, width, &mut out, &mut acc);
+            for r in 0..rows {
+                for l in 0..width {
+                    let col: Vec<f64> = (0..cols).map(|k| z[k * width + l]).collect();
+                    let expect = f64::dot_slices(&w[r * cols..(r + 1) * cols], &col);
+                    assert_eq!(
+                        out[r * width + l].to_bits(),
+                        expect.to_bits(),
+                        "f64 matmul r={r} l={l} w={width}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_level_reports_a_tier() {
+        assert!(["avx512", "avx2", "scalar"].contains(&simd_level()));
+    }
+}

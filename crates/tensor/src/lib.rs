@@ -12,6 +12,10 @@
 //! *bit-level parity bounds* between the offline model and the FPGA kernel
 //! implementations.
 //!
+//! The [`lanes`] module adds lane-batched (structure-of-arrays) kernels
+//! that advance many sequences in lockstep — the matrix–matrix form of the
+//! fused gate matvec — while remaining bit-identical to the serial path.
+//!
 //! # Example
 //!
 //! ```rust
@@ -23,10 +27,14 @@
 //! assert_eq!(y.as_slice(), &[3.0, 7.0]);
 //! ```
 
-#![forbid(unsafe_code)]
+// deny, not forbid: the lane-batched kernels in [`lanes`] carry narrowly
+// scoped `#[allow(unsafe_code)]` blocks for runtime-dispatched SIMD
+// intrinsics, each with a SAFETY comment. Everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod init;
+pub mod lanes;
 pub mod matrix;
 pub mod scalar;
 pub mod vector;
