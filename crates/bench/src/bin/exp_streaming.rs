@@ -1,0 +1,307 @@
+//! Measures fleet-scale monitoring throughput (verdicts/second) of the
+//! continuous-batching stream multiplexer against the frozen per-PID
+//! serial monitor path across concurrent-stream counts, writing a
+//! machine-readable summary to `BENCH_streaming.json` in the working
+//! directory.
+//!
+//! ```text
+//! cargo run --release -p csd-bench --bin exp_streaming [-- --smoke]
+//! ```
+//!
+//! The workload is the paper's deployment shape: N concurrent process
+//! streams emit API calls round-robin (one call per stream per round, as
+//! a host timeslice would), each stream's monitor classifying a
+//! 100-call window every 10 calls. The serial path classifies each due
+//! window inline, one at a time; the fleet path enqueues due windows on
+//! the mux and drains them through lane-batched lockstep sweeps with
+//! iteration-level slot refill.
+//!
+//! `--smoke` runs a seconds-scale subset (fewer/shorter streams, no
+//! acceptance bar) for CI; the full run checks the acceptance bar — the
+//! mux must deliver ≥1.5× the serial path's verdicts/sec at 512
+//! concurrent streams (~1.9× measured; the ceiling is ~2× because the
+//! serial baseline is itself AVX-512 and bit-identity pins the
+//! activation pipeline — see EXPERIMENTS.md) — and fails loudly below
+//! it. Alert parity between the two paths is asserted before timing
+//! anything.
+
+use std::time::Instant;
+
+use csd_accel::{
+    CsdInferenceEngine, FleetMonitor, MonitorConfig, MuxStats, OptimizationLevel, StreamMuxConfig,
+};
+use csd_bench::serial_monitor::SerialMonitorPool;
+use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};
+use csd_tensor::lanes;
+use serde::Serialize;
+
+/// One (path, stream count) measurement.
+#[derive(Serialize)]
+struct Measurement {
+    path: String,
+    streams: usize,
+    calls_per_stream: usize,
+    windows_total: usize,
+    iterations: u64,
+    mean_us_per_pass: f64,
+    verdicts_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    level: String,
+    window_len: usize,
+    stride: usize,
+    stream_lanes: usize,
+    simd_level: String,
+    measurements: Vec<Measurement>,
+    /// Mux tick-level stats from one untimed representative pass per
+    /// stream count (occupancy, latency percentiles).
+    mux_stats_by_streams: Vec<(usize, MuxStats)>,
+    /// fleet verdicts/sec ÷ serial verdicts/sec, per stream count.
+    speedup_vs_serial_by_streams: Vec<(usize, f64)>,
+}
+
+/// Interleaved rounds each contender runs (see `exp_throughput`): both
+/// are timed back to back within every round and each keeps its best
+/// round, so CPU frequency drift penalizes both alike.
+const ROUNDS: usize = 6;
+
+/// Deterministic per-stream API-call trace (content does not affect
+/// timing; spread over the vocabulary).
+fn trace(stream: usize, calls: usize) -> Vec<usize> {
+    (0..calls)
+        .map(|i| (i * 37 + 11 + stream * 131) % 278)
+        .collect()
+}
+
+/// Windows each stream produces: first full window, then one per stride.
+fn windows_per_stream(calls: usize, config: &MonitorConfig) -> usize {
+    if calls < config.window_len {
+        0
+    } else {
+        (calls - config.window_len) / config.stride + 1
+    }
+}
+
+/// Feeds all streams round-robin into the serial pool.
+fn run_serial(engine: &CsdInferenceEngine, config: MonitorConfig, traces: &[Vec<usize>]) -> usize {
+    let mut pool = SerialMonitorPool::new(engine.clone(), config);
+    let calls = traces[0].len();
+    for i in 0..calls {
+        for (pid, t) in traces.iter().enumerate() {
+            pool.observe(pid as u64, t[i]);
+        }
+    }
+    pool.total_classifications()
+}
+
+/// Feeds all streams round-robin into the fleet monitor and drains.
+fn run_fleet(
+    engine: &CsdInferenceEngine,
+    config: MonitorConfig,
+    mux_config: StreamMuxConfig,
+    traces: &[Vec<usize>],
+) -> FleetMonitor {
+    let mut fleet = FleetMonitor::new(engine.clone(), config, mux_config);
+    let calls = traces[0].len();
+    for i in 0..calls {
+        for (pid, t) in traces.iter().enumerate() {
+            fleet.observe(pid as u64, t[i]);
+        }
+    }
+    let _ = fleet.drain();
+    fleet
+}
+
+/// Doubles the iteration count until one burst runs ≥25 ms (warm-up +
+/// calibration), as in `exp_throughput`.
+fn calibrate(f: &mut dyn FnMut()) -> u64 {
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= 0.025 {
+            return ((0.04 * iters as f64 / elapsed).ceil() as u64).max(iters);
+        }
+        iters *= 2;
+    }
+}
+
+/// Mean µs per call over one burst of `iters` calls.
+fn burst_us(f: &mut dyn FnMut(), iters: u64) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+/// Times the contenders interleaved, reporting each contender's minimum
+/// round mean and per-burst iteration count.
+fn time_interleaved(contenders: &mut [&mut dyn FnMut()], rounds: usize) -> Vec<(u64, f64)> {
+    let iters: Vec<u64> = contenders.iter_mut().map(|f| calibrate(f)).collect();
+    let mut best = vec![f64::INFINITY; contenders.len()];
+    for _ in 0..rounds {
+        for (slot, f) in contenders.iter_mut().enumerate() {
+            best[slot] = best[slot].min(burst_us(f, iters[slot]));
+        }
+    }
+    iters.into_iter().zip(best).collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let level = OptimizationLevel::FixedPoint;
+    let model = SequenceClassifier::new(ModelConfig::paper(), 51);
+    let engine = CsdInferenceEngine::new(&ModelWeights::from_model(&model), level);
+    let config = MonitorConfig::default(); // window 100, stride 10
+    let stream_counts: &[usize] = if smoke { &[16, 64] } else { &[64, 512, 4096] };
+    let calls_per_stream = if smoke { 200 } else { 300 };
+    let rounds = if smoke { 2 } else { ROUNDS };
+    // Deep enough that a full pass never triggers backpressure: drops
+    // would silently shrink the fleet path's work and skew the race.
+    let mux_config = |n: usize| StreamMuxConfig {
+        max_pending: (n * windows_per_stream(calls_per_stream, &config)).max(1),
+        ..StreamMuxConfig::default()
+    };
+
+    // Correctness gate before any timing: identical per-PID alert state
+    // on a probe fleet.
+    {
+        let n = 32;
+        let traces: Vec<Vec<usize>> = (0..n).map(|s| trace(s, calls_per_stream)).collect();
+        let mut serial = SerialMonitorPool::new(engine.clone(), config);
+        for i in 0..calls_per_stream {
+            for (pid, t) in traces.iter().enumerate() {
+                serial.observe(pid as u64, t[i]);
+            }
+        }
+        let fleet = run_fleet(&engine, config, mux_config(n), &traces);
+        for pid in 0..n as u64 {
+            assert_eq!(
+                fleet.alert_for(pid),
+                serial.alert_for(pid),
+                "stream mux diverged from the serial monitor path on pid {pid}"
+            );
+        }
+    }
+
+    let mut measurements = Vec::new();
+    let mut speedup_vs_serial_by_streams = Vec::new();
+    let mut mux_stats_by_streams = Vec::new();
+    let stream_lanes = {
+        // Report the width the default config resolves to.
+        let probe = FleetMonitor::new(engine.clone(), config, StreamMuxConfig::default());
+        probe.mux().width()
+    };
+    println!(
+        "stream mux vs per-PID serial monitors ({level}, window {}, stride {}, lanes {stream_lanes}, simd {}):",
+        config.window_len,
+        config.stride,
+        lanes::simd_level()
+    );
+    for &n in stream_counts {
+        let traces: Vec<Vec<usize>> = (0..n).map(|s| trace(s, calls_per_stream)).collect();
+        let windows_total = n * windows_per_stream(calls_per_stream, &config);
+        let mc = mux_config(n);
+        let mut run_mux = || {
+            std::hint::black_box(run_fleet(&engine, config, mc, &traces));
+        };
+        let mut run_ser = || {
+            std::hint::black_box(run_serial(&engine, config, &traces));
+        };
+        let timed = time_interleaved(&mut [&mut run_mux, &mut run_ser], rounds);
+        for (&(iters, mean), path) in timed.iter().zip(["stream_mux", "serial_monitors"]) {
+            record(
+                &mut measurements,
+                path,
+                n,
+                calls_per_stream,
+                windows_total,
+                iters,
+                mean,
+            );
+        }
+        let speedup = timed[1].1 / timed[0].1;
+        println!(
+            "  streams {n:>4}: mux {:.0} µs, serial {:.0} µs → {speedup:.2}x",
+            timed[0].1, timed[1].1
+        );
+        speedup_vs_serial_by_streams.push((n, speedup));
+        // One untimed pass for the tick-level stats snapshot.
+        let fleet = run_fleet(&engine, config, mc, &traces);
+        let stats = fleet.mux().stats();
+        println!(
+            "  streams {n:>4}: occupancy {:.3}, latency p50 {} / p99 {} ticks, {} verdicts",
+            stats.occupancy, stats.p50_latency_ticks, stats.p99_latency_ticks, stats.verdicts
+        );
+        mux_stats_by_streams.push((n, stats));
+    }
+
+    let report = Report {
+        level: level.to_string(),
+        window_len: config.window_len,
+        stride: config.stride,
+        stream_lanes,
+        simd_level: lanes::simd_level().to_string(),
+        measurements,
+        mux_stats_by_streams,
+        speedup_vs_serial_by_streams: speedup_vs_serial_by_streams.clone(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write("BENCH_streaming.json", json).expect("write BENCH_streaming.json");
+    println!("wrote BENCH_streaming.json");
+
+    if smoke {
+        println!("smoke mode: acceptance bar skipped");
+        return;
+    }
+    let at_512 = speedup_vs_serial_by_streams
+        .iter()
+        .find(|(n, _)| *n == 512)
+        .map(|(_, s)| *s)
+        .expect("512 streams measured");
+    // Honest bar, not aspiration: the serial baseline's fused classify is
+    // itself AVX-512 (its matvec runs the same FMA-bound inner product the
+    // SoA kernels do), and the 0-ULP contract pins the mux to the exact
+    // fixed-point activation pipeline, so the lane batching can only
+    // reclaim the baseline's horizontal reductions, broadcast refetches
+    // and per-window setup — an Amdahl ceiling near 2x, measured at
+    // ~1.9x at 512 streams (see EXPERIMENTS.md for the breakdown). The
+    // assert guards against regressions with margin for the host's
+    // clock drift between runs.
+    assert!(
+        at_512 >= 1.5,
+        "stream mux must be ≥1.5x the per-PID serial monitor path at 512 streams, got {at_512:.2}x"
+    );
+    println!("acceptance: {at_512:.2}x ≥ 1.5x vs serial monitors at 512 streams");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record(
+    out: &mut Vec<Measurement>,
+    path: &str,
+    streams: usize,
+    calls_per_stream: usize,
+    windows_total: usize,
+    iterations: u64,
+    mean_us: f64,
+) {
+    let verdicts_per_sec = windows_total as f64 / (mean_us / 1e6);
+    println!(
+        "  streams {streams:>4} {path:<16} {mean_us:>11.1} µs/pass  ({verdicts_per_sec:>9.0} verdicts/s, {iterations} iters)"
+    );
+    out.push(Measurement {
+        path: path.to_string(),
+        streams,
+        calls_per_stream,
+        windows_total,
+        iterations,
+        mean_us_per_pass: mean_us,
+        verdicts_per_sec,
+    });
+}

@@ -12,6 +12,15 @@
 //! ≥3× the PR 1 batch path's items/sec at batch size 512, sequence
 //! length 100, fixed point — and fails loudly below it. Bit parity
 //! between the two paths is asserted before timing anything.
+//!
+//! Both paths scale with the worker pool, whose size is fixed at first
+//! use, so a single process can only ever record one `pool_threads`
+//! value. The thread sweep re-executes this binary once per thread
+//! count with `CSD_POOL_THREADS` set (`--child-row` protocol: the child
+//! times batch 512 and prints one JSON row), recording multi-thread
+//! rows alongside the in-process measurements. `--threads 1,4,8`
+//! overrides the default sweep (1 and all hardware threads; smoke
+//! sweeps just 2 to exercise the protocol).
 
 use std::time::Instant;
 
@@ -19,7 +28,7 @@ use csd_accel::{CsdInferenceEngine, OptimizationLevel};
 use csd_bench::pr1_batch::classify_batch_pr1;
 use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};
 use csd_tensor::lanes;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One (path, batch size) measurement.
 #[derive(Serialize)]
@@ -32,6 +41,17 @@ struct Measurement {
     items_per_sec: f64,
 }
 
+/// One thread-sweep row, measured at batch 512 by a re-executed child
+/// with `CSD_POOL_THREADS` pinned.
+#[derive(Serialize, Deserialize)]
+struct ThreadRow {
+    pool_threads: usize,
+    batch_size: usize,
+    lane_items_per_sec: f64,
+    pr1_items_per_sec: f64,
+    speedup_lane_vs_pr1: f64,
+}
+
 #[derive(Serialize)]
 struct Report {
     level: String,
@@ -42,6 +62,9 @@ struct Report {
     measurements: Vec<Measurement>,
     /// lane items/sec ÷ PR 1 items/sec, per batch size.
     speedup_vs_pr1_by_batch: Vec<(usize, f64)>,
+    /// Batch-512 throughput at each swept pool size (one child process
+    /// per row).
+    thread_sweep: Vec<ThreadRow>,
 }
 
 const SEQ_LEN: usize = 100;
@@ -98,7 +121,92 @@ fn time_interleaved(contenders: &mut [&mut dyn FnMut()], rounds: usize) -> Vec<(
     iters.into_iter().zip(best).collect()
 }
 
+/// Child-process mode for the thread sweep: time batch 512 on both
+/// paths under the inherited `CSD_POOL_THREADS`, print one JSON row.
+fn child_row() {
+    let level = OptimizationLevel::FixedPoint;
+    let model = SequenceClassifier::new(ModelConfig::paper(), 51);
+    let engine = CsdInferenceEngine::new(&ModelWeights::from_model(&model), level);
+    let sequences = batch(512);
+    let mut run_lanes = || {
+        std::hint::black_box(engine.classify_batch(&sequences));
+    };
+    let mut run_pr1 = || {
+        std::hint::black_box(classify_batch_pr1(&engine, &sequences));
+    };
+    let timed = time_interleaved(&mut [&mut run_lanes, &mut run_pr1], 3);
+    let items = (512 * SEQ_LEN) as f64;
+    let row = ThreadRow {
+        pool_threads: csd_accel::WorkerPool::global().threads(),
+        batch_size: 512,
+        lane_items_per_sec: items / (timed[0].1 / 1e6),
+        pr1_items_per_sec: items / (timed[1].1 / 1e6),
+        speedup_lane_vs_pr1: timed[1].1 / timed[0].1,
+    };
+    println!("{}", serde_json::to_string(&row).expect("serialize row"));
+}
+
+/// Runs the thread sweep: one re-executed child per pool size, each
+/// pinned via `CSD_POOL_THREADS` (the pool's size is fixed at first use,
+/// so it cannot be swept in-process).
+fn thread_sweep(counts: &[usize]) -> Vec<ThreadRow> {
+    let exe = std::env::current_exe().expect("current executable path");
+    let mut rows = Vec::new();
+    for &n in counts {
+        let out = std::process::Command::new(&exe)
+            .arg("--child-row")
+            .env("CSD_POOL_THREADS", n.to_string())
+            .output()
+            .expect("spawn thread-sweep child");
+        assert!(
+            out.status.success(),
+            "thread-sweep child (threads={n}) failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("child stdout utf-8");
+        let line = stdout.lines().last().expect("child printed a row");
+        let row: ThreadRow = serde_json::from_str(line).expect("parse child row");
+        println!(
+            "  threads {:>2}: lanes {:>10.0} items/s, pr1 {:>10.0} items/s → {:.2}x",
+            row.pool_threads,
+            row.lane_items_per_sec,
+            row.pr1_items_per_sec,
+            row.speedup_lane_vs_pr1
+        );
+        rows.push(row);
+    }
+    rows
+}
+
+/// The thread counts to sweep: `--threads a,b,c` if given, else 1 and
+/// all hardware threads (smoke: just 2, to exercise the child protocol
+/// cheaply).
+fn sweep_counts(smoke: bool) -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(list) = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+    {
+        return list
+            .split(',')
+            .map(|s| s.trim().parse().expect("--threads takes positive integers"))
+            .collect();
+    }
+    if smoke {
+        return vec![2];
+    }
+    let max = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut counts = vec![1, max];
+    counts.dedup();
+    counts
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--child-row") {
+        child_row();
+        return;
+    }
     let smoke = std::env::args().any(|a| a == "--smoke");
     let level = OptimizationLevel::FixedPoint;
     let model = SequenceClassifier::new(ModelConfig::paper(), 51);
@@ -144,6 +252,9 @@ fn main() {
         speedup_vs_pr1_by_batch.push((n, speedup));
     }
 
+    println!("thread sweep (batch 512, one child process per pool size):");
+    let thread_sweep = thread_sweep(&sweep_counts(smoke));
+
     let report = Report {
         level: level.to_string(),
         seq_len: SEQ_LEN,
@@ -152,6 +263,7 @@ fn main() {
         pool_threads: csd_accel::WorkerPool::global().threads(),
         measurements,
         speedup_vs_pr1_by_batch: speedup_vs_pr1_by_batch.clone(),
+        thread_sweep,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_throughput.json", json).expect("write BENCH_throughput.json");

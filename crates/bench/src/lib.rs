@@ -19,12 +19,14 @@
 //! | Ablations (activation / scale / CUs / P2P / model) | — | `ablation_*` |
 //! | Fused hot path vs seed serial path | `exp_fused` | `fused_vs_unfused` |
 //! | Lane-batched engine vs PR 1 batch path | `exp_throughput` | — |
+//! | Stream mux vs per-PID serial monitors | `exp_streaming` | — |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod pr1_batch;
 pub mod seed_baseline;
+pub mod serial_monitor;
 
 use csd_nn::{
     evaluate, ClassificationReport, ModelConfig, SequenceClassifier, TrainOptions, Trainer,

@@ -1,0 +1,160 @@
+//! Frozen replica of the pre-mux per-PID serial monitor path — the
+//! baseline `exp_streaming` measures the continuous-batching
+//! [`FleetMonitor`](csd_accel::FleetMonitor) against.
+//!
+//! Before the stream multiplexer landed, `MonitorPool` held one
+//! independent `StreamMonitor` per process: each monitor owned its *own
+//! clone* of the inference engine (weights and scratch included), kept a
+//! `VecDeque` rolling window that was *copied out* into a fresh `Vec` at
+//! every stride boundary, and classified serially, one window at a time,
+//! on the calling thread. This module preserves that exact shape (built
+//! only from the engine's public API) so the benchmark keeps an honest
+//! before/after comparison no matter how the live monitors evolve. The
+//! per-PID engine clone matters at fleet scale: with hundreds of tracked
+//! processes the interleaved per-stream weight copies no longer fit in
+//! cache, which is precisely the footprint problem the shared-engine
+//! stream mux removes.
+
+use std::collections::{HashMap, VecDeque};
+
+use csd_accel::{Alert, CsdInferenceEngine, MonitorConfig, PipelineSchedule};
+
+/// One process's monitor state, in the pre-mux shape: like the original
+/// `StreamMonitor`, it owns a full engine clone.
+#[derive(Debug, Clone)]
+struct SerialStream {
+    engine: CsdInferenceEngine,
+    window: VecDeque<usize>,
+    calls_seen: usize,
+    since_classify: usize,
+    classifications: usize,
+    votes: VecDeque<bool>,
+    alerted: Option<Alert>,
+}
+
+/// A pool of per-PID serial monitors, exactly as the pre-mux
+/// `MonitorPool` behaved: every stride boundary copies the window out of
+/// its ring buffer and classifies it inline with `classify`.
+#[derive(Debug, Clone)]
+pub struct SerialMonitorPool {
+    engine: CsdInferenceEngine,
+    config: MonitorConfig,
+    per_item_us: f64,
+    streams: HashMap<u64, SerialStream>,
+}
+
+impl SerialMonitorPool {
+    /// Builds the replica pool.
+    pub fn new(engine: CsdInferenceEngine, config: MonitorConfig) -> Self {
+        let per_item_us = PipelineSchedule::for_level(engine.level()).steady_item_us;
+        Self {
+            engine,
+            config,
+            per_item_us,
+            streams: HashMap::new(),
+        }
+    }
+
+    /// Feeds one API call for process `pid`, classifying inline at
+    /// stride boundaries; returns a newly-raised alert, if any.
+    pub fn observe(&mut self, pid: u64, call: usize) -> Option<Alert> {
+        let config = self.config;
+        let prototype = &self.engine;
+        let state = self.streams.entry(pid).or_insert_with(|| SerialStream {
+            engine: prototype.clone(),
+            window: VecDeque::with_capacity(config.window_len),
+            calls_seen: 0,
+            since_classify: 0,
+            classifications: 0,
+            votes: VecDeque::with_capacity(config.vote_horizon),
+            alerted: None,
+        });
+        state.calls_seen += 1;
+        if state.window.len() == config.window_len {
+            state.window.pop_front();
+        }
+        state.window.push_back(call);
+        if state.alerted.is_some() || state.window.len() < config.window_len {
+            return None;
+        }
+        state.since_classify += 1;
+        let first_full = state.classifications == 0;
+        if !first_full && state.since_classify < config.stride {
+            return None;
+        }
+        state.since_classify = 0;
+        // The pre-mux path's defining costs: a per-window copy out of the
+        // ring buffer, then one serial classification per window on this
+        // stream's own engine clone.
+        let seq: Vec<usize> = state.window.iter().copied().collect();
+        let verdict = state.engine.classify(&seq);
+        state.classifications += 1;
+        if state.votes.len() == config.vote_horizon {
+            state.votes.pop_front();
+        }
+        state.votes.push_back(verdict.is_positive);
+        let positive_votes = state.votes.iter().filter(|&&v| v).count();
+        if positive_votes >= config.votes_needed {
+            let alert = Alert {
+                at_call: state.calls_seen,
+                probability: verdict.probability,
+                inference_us: state.classifications as f64
+                    * config.window_len as f64
+                    * self.per_item_us,
+            };
+            state.alerted = Some(alert);
+            return Some(alert);
+        }
+        None
+    }
+
+    /// The alert state of process `pid`, if tracked.
+    pub fn alert_for(&self, pid: u64) -> Option<Alert> {
+        self.streams.get(&pid).and_then(|s| s.alerted)
+    }
+
+    /// Window classifications performed for process `pid`.
+    pub fn classifications(&self, pid: u64) -> usize {
+        self.streams.get(&pid).map_or(0, |s| s.classifications)
+    }
+
+    /// Total window classifications across all processes.
+    pub fn total_classifications(&self) -> usize {
+        self.streams.values().map(|s| s.classifications).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csd_accel::{MonitorPool, OptimizationLevel};
+    use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};
+
+    #[test]
+    fn replica_matches_live_monitor_pool() {
+        let model = SequenceClassifier::new(ModelConfig::tiny(16), 9);
+        let engine = CsdInferenceEngine::new(
+            &ModelWeights::from_model(&model),
+            OptimizationLevel::FixedPoint,
+        );
+        let config = MonitorConfig {
+            window_len: 8,
+            stride: 4,
+            votes_needed: 1,
+            vote_horizon: 1,
+        };
+        let mut replica = SerialMonitorPool::new(engine.clone(), config);
+        let mut live = MonitorPool::new(engine, config);
+        for i in 0..300usize {
+            for pid in 0..3u64 {
+                let call = (i * 7 + pid as usize * 3) % 16;
+                let a = replica.observe(pid, call);
+                let b = live.observe(pid, call);
+                assert_eq!(a, b, "call {i} pid {pid}");
+            }
+        }
+        for pid in 0..3u64 {
+            assert_eq!(replica.alert_for(pid), live.alert_for(pid));
+        }
+    }
+}

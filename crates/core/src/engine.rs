@@ -260,14 +260,7 @@ impl CsdInferenceEngine {
     /// heuristic lands on 16 lanes, i.e. two 8-wide vectors.
     pub fn lane_width(&self) -> usize {
         static ENV: OnceLock<Option<usize>> = OnceLock::new();
-        let env = *ENV.get_or_init(|| {
-            std::env::var("CSD_LANE_WIDTH")
-                .ok()?
-                .trim()
-                .parse::<usize>()
-                .ok()
-                .filter(|&w| w > 0)
-        });
+        let env = *ENV.get_or_init(|| crate::env::positive_usize("CSD_LANE_WIDTH"));
         if let Some(width) = env {
             return width;
         }
@@ -338,14 +331,8 @@ impl CsdInferenceEngine {
         let jobs: Vec<Box<dyn FnOnce() -> ShardResults + Send + '_>> = shards
             .iter()
             .map(|queue| {
-                Box::new(move || {
-                    if fixed {
-                        let pack = self.core.lane_fx.as_ref().expect("lane pack checked");
-                        self.run_lanes_fx(pack, queue, sequences, width)
-                    } else {
-                        self.run_lanes_f64(queue, sequences, width)
-                    }
-                }) as Box<dyn FnOnce() -> ShardResults + Send + '_>
+                Box::new(move || self.run_lanes(queue, sequences, width))
+                    as Box<dyn FnOnce() -> ShardResults + Send + '_>
             })
             .collect();
         let mut out: Vec<Option<Classification>> = vec![None; sequences.len()];
@@ -357,109 +344,194 @@ impl CsdInferenceEngine {
             .collect()
     }
 
-    /// Runs one worker's queue of sequences through a fixed-point lane
-    /// block: `width` lanes advance in lockstep, each holding one
-    /// in-flight sequence; a finished lane classifies its hidden column
-    /// and immediately refills from the queue. Lanes whose queue has run
-    /// dry keep computing (the block always runs at full width) — their
-    /// state stays inside every kernel's proven exactness range and is
-    /// never read.
-    fn run_lanes_fx(
-        &self,
-        pack: &LaneGatesFx,
-        queue: &[usize],
-        sequences: &[&[usize]],
-        width: usize,
-    ) -> ShardResults {
+    /// Whether [`step_lanes`](Self::step_lanes) can serve this engine:
+    /// the float levels always step; fixed point additionally needs the
+    /// weights to have passed the lane exactness proof at construction.
+    /// When `false`, per-timestep callers (the stream multiplexer) must
+    /// classify windows through the serial path instead — which is
+    /// bit-identical anyway.
+    pub fn supports_lane_stepping(&self) -> bool {
+        !self.level.is_fixed_point() || self.core.lane_fx.is_some()
+    }
+
+    /// Advances a lane block one timestep in lockstep: lane `l` consumes
+    /// `items[l]` when `Some`, and keeps computing on its (never read)
+    /// stale state when `None`. This is the iteration-level primitive
+    /// behind both the offline batch engine and the continuous-batching
+    /// stream multiplexer ([`crate::stream::StreamMux`]): callers own the
+    /// per-lane occupancy (which sequence, which position) and the engine
+    /// owns one SoA kernel sweep per call.
+    ///
+    /// After the final item of a lane's sequence, read its verdict with
+    /// [`retire_lane`](Self::retire_lane) and zero its state with
+    /// [`LaneScratch::clear_lane`] before assigning the lane a new
+    /// sequence. Stepping is bit-identical to the serial path: a sequence
+    /// fed item by item through a lane produces exactly the bits
+    /// [`classify`](Self::classify) produces, at every optimization
+    /// level, regardless of what the other lanes are doing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-vocabulary item, when `items.len()` differs
+    /// from the scratch width, when the scratch was sized for different
+    /// model dimensions, or on a fixed-point engine whose weights failed
+    /// the lane exactness proof (check
+    /// [`supports_lane_stepping`](Self::supports_lane_stepping)).
+    pub fn step_lanes(&self, scratch: &mut LaneScratch, items: &[Option<usize>]) {
+        let width = scratch.width();
+        assert_eq!(items.len(), width, "one item slot per lane");
+        assert_eq!(
+            scratch.z.len(),
+            self.core.weights.dims().z() * width,
+            "scratch sized for different model dimensions"
+        );
+        if self.level.is_fixed_point() {
+            let pack = self
+                .core
+                .lane_fx
+                .as_ref()
+                .expect("weights failed the lane exactness proof; see supports_lane_stepping");
+            self.step_lanes_fx(pack, scratch, items);
+        } else {
+            self.step_lanes_f64(scratch, items);
+        }
+    }
+
+    /// Applies the FC head to lane `lane`'s current hidden-state column,
+    /// returning the classification of the sequence that lane just
+    /// finished. Call exactly once per sequence, after
+    /// [`step_lanes`](Self::step_lanes) consumed its final item.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is outside the scratch width.
+    pub fn retire_lane(&self, scratch: &LaneScratch, lane: usize) -> Classification {
+        let w = &self.core.weights;
+        let hdim = w.dims().hidden;
+        let width = scratch.width();
+        assert!(lane < width, "lane {lane} out of range for width {width}");
+        let probability = if self.level.is_fixed_point() {
+            let mut h: Vector<Fx6> = Vector::zeros(hdim);
+            for r in 0..hdim {
+                h[r] = Fx6::from_raw(scratch.z[r * width + lane] as i64);
+            }
+            hidden::classify_fx(&h, &w.fc_w_fx, w.fc_b_fx).to_f64()
+        } else {
+            let mut h: Vector<f64> = Vector::zeros(hdim);
+            for r in 0..hdim {
+                h[r] = scratch.z[r * width + lane];
+            }
+            hidden::classify_f64(&h, &w.fc_w_f64, w.fc_b_f64)
+        };
+        Classification {
+            probability,
+            is_positive: probability >= 0.5,
+        }
+    }
+
+    /// One fixed-point lockstep timestep: gather each consuming lane's
+    /// embedding column, then the full SoA kernel sweep. Lanes passed
+    /// `None` keep computing — their state stays inside every kernel's
+    /// proven exactness range and is never read.
+    fn step_lanes_fx(&self, pack: &LaneGatesFx, s: &mut LaneScratch, items: &[Option<usize>]) {
         let w = &self.core.weights;
         let dims = w.dims();
         let (hdim, edim, zdim) = (dims.hidden, dims.embed, dims.z());
         let vocab = w.embedding_fx.rows();
+        let width = s.width();
         let hw = hdim * width;
-        let mut s = LaneScratch::new(dims, width);
-        // Per-lane occupancy: `(sequence index, next position)`.
-        let mut slots: Vec<Option<(usize, usize)>> = vec![None; width];
-        let mut h_vec: Vector<Fx6> = Vector::zeros(hdim);
-        let mut out = Vec::with_capacity(queue.len());
-        let mut next = 0usize;
-        let mut active = 0usize;
-        for slot in slots.iter_mut() {
-            if next < queue.len() {
-                *slot = Some((queue[next], 0));
-                next += 1;
-                active += 1;
-            }
-        }
-        while active > 0 {
-            for (l, slot) in slots.iter().enumerate() {
-                if let Some((si, pos)) = *slot {
-                    let item = sequences[si][pos];
-                    assert!(item < vocab, "item {item} out of vocabulary");
-                    let row = &pack.embedding()[item * edim..(item + 1) * edim];
-                    for (e, &v) in row.iter().enumerate() {
-                        s.z[(hdim + e) * width + l] = v;
-                    }
-                }
-            }
-            lanes::matmul_fx_lanes(
-                pack.weights(),
-                4 * hdim,
-                zdim,
-                &s.z,
-                width,
-                pack.bias_scaled(),
-                &mut s.g,
-            );
-            lanes::rescale_lanes(&mut s.g);
-            lanes::sigmoid_lut_lanes(&mut s.g[..2 * hw]);
-            lanes::softsign_lanes(&mut s.g[2 * hw..3 * hw]);
-            lanes::sigmoid_lut_lanes(&mut s.g[3 * hw..]);
-            lanes::update_lanes(&s.g, hdim, width, &mut s.c, &mut s.z[..hw]);
-            for (l, slot) in slots.iter_mut().enumerate() {
-                let Some((si, pos)) = *slot else { continue };
-                if pos + 1 < sequences[si].len() {
-                    *slot = Some((si, pos + 1));
-                    continue;
-                }
-                for r in 0..hdim {
-                    h_vec[r] = Fx6::from_raw(s.z[r * width + l] as i64);
-                }
-                let p = hidden::classify_fx(&h_vec, &w.fc_w_fx, w.fc_b_fx).to_f64();
-                out.push((
-                    si,
-                    Classification {
-                        probability: p,
-                        is_positive: p >= 0.5,
-                    },
-                ));
-                s.clear_lane(l);
-                if next < queue.len() {
-                    *slot = Some((queue[next], 0));
-                    next += 1;
-                } else {
-                    *slot = None;
-                    active -= 1;
+        for (l, slot) in items.iter().enumerate() {
+            if let Some(item) = *slot {
+                assert!(item < vocab, "item {item} out of vocabulary");
+                let row = &pack.embedding()[item * edim..(item + 1) * edim];
+                for (e, &v) in row.iter().enumerate() {
+                    s.z[(hdim + e) * width + l] = v;
                 }
             }
         }
-        out
+        lanes::matmul_fx_lanes(
+            pack.weights(),
+            4 * hdim,
+            zdim,
+            &s.z,
+            width,
+            pack.bias_scaled(),
+            &mut s.g,
+        );
+        // Separate compact passes beat a fused rescale+activate kernel on
+        // this data: the gate block is L1-resident, so re-reading it is
+        // nearly free, while the small loop bodies pipeline better.
+        lanes::rescale_lanes(&mut s.g);
+        lanes::sigmoid_lut_lanes(&mut s.g[..2 * hw]);
+        lanes::softsign_lanes(&mut s.g[2 * hw..3 * hw]);
+        lanes::sigmoid_lut_lanes(&mut s.g[3 * hw..]);
+        let (c, zh) = (&mut s.c, &mut s.z[..hw]);
+        lanes::update_lanes(&s.g, hdim, width, c, zh);
     }
 
-    /// Float twin of [`run_lanes_fx`](Self::run_lanes_fx): the same lane
-    /// mechanics with each elementwise step written exactly as the serial
-    /// fused path computes it (same operations, same order, per lane), so
-    /// IEEE determinism makes the results bit-identical.
-    fn run_lanes_f64(&self, queue: &[usize], sequences: &[&[usize]], width: usize) -> ShardResults {
+    /// Float twin of [`step_lanes_fx`](Self::step_lanes_fx): each
+    /// elementwise step written exactly as the serial fused path computes
+    /// it (same operations, same order, per lane), so IEEE determinism
+    /// makes the results bit-identical.
+    fn step_lanes_f64(&self, s: &mut LaneScratch, items: &[Option<usize>]) {
         let core = &self.core;
         let w = &core.weights;
         let dims = w.dims();
         let (hdim, zdim) = (dims.hidden, dims.z());
         let wflat = core.fused_f64.w.as_flat();
         let bias = core.fused_f64.b.as_slice();
+        let width = s.width();
         let hw = hdim * width;
-        let mut s = LaneScratch::new(dims, width);
+        for (l, slot) in items.iter().enumerate() {
+            if let Some(item) = *slot {
+                assert!(
+                    item < w.embedding_f64.rows(),
+                    "item {item} out of vocabulary"
+                );
+                let row = w.embedding_f64.row(item);
+                for (e, &v) in row.iter().enumerate() {
+                    s.z[(hdim + e) * width + l] = v;
+                }
+            }
+        }
+        lanes::matmul_f64_lanes(wflat, 4 * hdim, zdim, &s.z, width, &mut s.g, &mut s.acc);
+        for (r, &b) in bias.iter().enumerate() {
+            for v in &mut s.g[r * width..(r + 1) * width] {
+                *v += b;
+            }
+        }
+        for (g, block) in s.g.chunks_exact_mut(hw).enumerate() {
+            if GateKind::ALL[g].is_candidate() {
+                for v in block {
+                    *v /= 1.0 + v.abs();
+                }
+            } else {
+                for v in block {
+                    *v = 1.0 / (1.0 + (-*v).exp());
+                }
+            }
+        }
+        let (i_g, rest) = s.g.split_at(hw);
+        let (f_g, rest) = rest.split_at(hw);
+        let (cbar, o_g) = rest.split_at(hw);
+        let zh = &mut s.z[..hw];
+        for j in 0..hw {
+            let ct = f_g[j] * s.c[j] + i_g[j] * cbar[j];
+            s.c[j] = ct;
+            zh[j] = o_g[j] * (ct / (1.0 + ct.abs()));
+        }
+    }
+
+    /// Runs one worker's queue of sequences through a lane block: `width`
+    /// lanes advance in lockstep via [`step_lanes`](Self::step_lanes),
+    /// each holding one in-flight sequence; a finished lane retires
+    /// ([`retire_lane`](Self::retire_lane)) and immediately refills from
+    /// the queue.
+    fn run_lanes(&self, queue: &[usize], sequences: &[&[usize]], width: usize) -> ShardResults {
+        let mut s = LaneScratch::new(self.core.weights.dims(), width);
+        // Per-lane occupancy: `(sequence index, next position)`.
         let mut slots: Vec<Option<(usize, usize)>> = vec![None; width];
-        let mut h_vec: Vector<f64> = Vector::zeros(hdim);
+        let mut items: Vec<Option<usize>> = vec![None; width];
         let mut out = Vec::with_capacity(queue.len());
         let mut next = 0usize;
         let mut active = 0usize;
@@ -471,64 +543,17 @@ impl CsdInferenceEngine {
             }
         }
         while active > 0 {
-            for (l, slot) in slots.iter().enumerate() {
-                if let Some((si, pos)) = *slot {
-                    let item = sequences[si][pos];
-                    assert!(
-                        item < w.embedding_f64.rows(),
-                        "item {item} out of vocabulary"
-                    );
-                    let row = w.embedding_f64.row(item);
-                    for (e, &v) in row.iter().enumerate() {
-                        s.z[(hdim + e) * width + l] = v;
-                    }
-                }
+            for (item, slot) in items.iter_mut().zip(slots.iter()) {
+                *item = slot.map(|(si, pos)| sequences[si][pos]);
             }
-            lanes::matmul_f64_lanes(wflat, 4 * hdim, zdim, &s.z, width, &mut s.g, &mut s.acc);
-            for (r, &b) in bias.iter().enumerate() {
-                for v in &mut s.g[r * width..(r + 1) * width] {
-                    *v += b;
-                }
-            }
-            for (g, block) in s.g.chunks_exact_mut(hw).enumerate() {
-                if GateKind::ALL[g].is_candidate() {
-                    for v in block {
-                        *v /= 1.0 + v.abs();
-                    }
-                } else {
-                    for v in block {
-                        *v = 1.0 / (1.0 + (-*v).exp());
-                    }
-                }
-            }
-            {
-                let (i_g, rest) = s.g.split_at(hw);
-                let (f_g, rest) = rest.split_at(hw);
-                let (cbar, o_g) = rest.split_at(hw);
-                let zh = &mut s.z[..hw];
-                for j in 0..hw {
-                    let ct = f_g[j] * s.c[j] + i_g[j] * cbar[j];
-                    s.c[j] = ct;
-                    zh[j] = o_g[j] * (ct / (1.0 + ct.abs()));
-                }
-            }
+            self.step_lanes(&mut s, &items);
             for (l, slot) in slots.iter_mut().enumerate() {
                 let Some((si, pos)) = *slot else { continue };
                 if pos + 1 < sequences[si].len() {
                     *slot = Some((si, pos + 1));
                     continue;
                 }
-                for r in 0..hdim {
-                    h_vec[r] = s.z[r * width + l];
-                }
-                let p = hidden::classify_f64(&h_vec, &w.fc_w_f64, w.fc_b_f64);
-                out.push((
-                    si,
-                    Classification {
-                        probability: p,
-                        is_positive: p >= 0.5,
-                    },
-                ));
+                out.push((si, self.retire_lane(&s, l)));
                 s.clear_lane(l);
                 if next < queue.len() {
                     *slot = Some((queue[next], 0));

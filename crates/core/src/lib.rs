@@ -44,6 +44,11 @@
 //!   direction implemented and measured.
 //! - [`monitor`] — the continuous-protection wrapper: rolling window,
 //!   stride classification, alert debouncing (§I's background execution).
+//! - [`stream`] — the continuous-batching stream multiplexer: thousands
+//!   of process streams multiplexed onto one lane block with
+//!   iteration-level admission/retirement (a retiring window's slot
+//!   refills the same tick), backpressure, and tick-level stats; plus
+//!   the [`FleetMonitor`] that runs the monitor semantics at fleet scale.
 //! - [`fleet`] — multi-device scaling (§II's "multiple devices within a
 //!   single node").
 //! - [`bitstream`] — the `v++` link step: schedules the design against a
@@ -76,6 +81,7 @@
 
 pub mod bitstream;
 pub mod engine;
+pub mod env;
 pub mod fleet;
 pub mod host;
 pub mod kernels;
@@ -85,6 +91,7 @@ pub mod opt;
 pub mod pool;
 pub mod schedule;
 pub mod scratch;
+pub mod stream;
 pub mod timing;
 pub mod weights;
 
@@ -94,10 +101,11 @@ pub use fleet::{CsdFleet, FleetScan};
 pub use host::{DeviceRun, HostProgram};
 pub use kernels::LstmDims;
 pub use mixed::MixedPrecisionEngine;
-pub use monitor::{Alert, MonitorConfig, MonitorPool, StreamMonitor};
+pub use monitor::{Alert, MonitorConfig, MonitorPool, RollingWindow, StreamMonitor};
 pub use opt::OptimizationLevel;
 pub use pool::{WorkerPool, WorkerPoolBuilder};
 pub use schedule::{Bottleneck, LaneBucket, LaneSchedule, PipelineSchedule, ScheduleEvent};
 pub use scratch::{EngineScratch, InferenceScratch, LaneScratch};
+pub use stream::{FleetMonitor, MuxStats, OverflowPolicy, StreamMux, StreamMuxConfig, Verdict};
 pub use timing::{fig3, table1_fpga_row, Fig3Row, KernelBreakdown};
 pub use weights::{FusedGates, LaneGatesFx, PackedGatesFx, QuantizedWeights, LANE_MAX_STEPS};

@@ -12,7 +12,12 @@
 //!
 //! [`StreamMonitor`] implements that loop around a
 //! [`CsdInferenceEngine`], with k-of-n vote debouncing and inference-time
-//! accounting from the pipeline schedule.
+//! accounting from the pipeline schedule. The window itself is a
+//! [`RollingWindow`] — a compacting buffer that keeps the current window
+//! contiguous so each classification reads it in place instead of
+//! copying it out. [`MonitorPool`] keeps its historical
+//! observe-returns-alert shape for many processes, now backed by the
+//! continuous-batching [`FleetMonitor`](crate::stream::FleetMonitor).
 
 use std::collections::VecDeque;
 
@@ -20,6 +25,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::engine::CsdInferenceEngine;
 use crate::schedule::PipelineSchedule;
+use crate::stream::{FleetMonitor, StreamMuxConfig};
 
 /// Configuration for the streaming monitor.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,12 +64,91 @@ pub struct Alert {
     pub inference_us: f64,
 }
 
+/// A fixed-length rolling window over a call stream, backed by a
+/// compacting buffer so the current window is always one contiguous
+/// slice.
+///
+/// A `VecDeque` ring would wrap, forcing every consumer to copy the
+/// window out before handing it to the engine; this buffer instead
+/// appends until the dead prefix reaches one window length, then shifts
+/// the live window back to the front — one `window_len`-item move per
+/// `window_len` pushes, so pushes stay amortized O(1), the backing
+/// allocation never exceeds two window lengths, and
+/// [`as_slice`](Self::as_slice) is free.
+#[derive(Debug, Clone)]
+pub struct RollingWindow {
+    buf: Vec<usize>,
+    start: usize,
+    window_len: usize,
+}
+
+impl RollingWindow {
+    /// An empty window of capacity `window_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window_len` is zero.
+    pub fn new(window_len: usize) -> Self {
+        assert!(window_len > 0, "window length must be positive");
+        Self {
+            buf: Vec::with_capacity(2 * window_len),
+            start: 0,
+            window_len,
+        }
+    }
+
+    /// The configured window length.
+    pub fn window_len(&self) -> usize {
+        self.window_len
+    }
+
+    /// Items currently held (at most `window_len`).
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether no item has been pushed since creation/[`clear`](Self::clear).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the window holds `window_len` items.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.window_len
+    }
+
+    /// Appends one item, evicting the oldest once full.
+    pub fn push(&mut self, item: usize) {
+        self.buf.push(item);
+        if self.buf.len() - self.start > self.window_len {
+            self.start += 1;
+        }
+        if self.start == self.window_len {
+            self.buf.copy_within(self.start.., 0);
+            self.buf.truncate(self.window_len);
+            self.start = 0;
+        }
+    }
+
+    /// The live window, oldest first — the full window once
+    /// [`is_full`](Self::is_full).
+    pub fn as_slice(&self) -> &[usize] {
+        &self.buf[self.start..]
+    }
+
+    /// Empties the window, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+}
+
 /// Streaming ransomware monitor around a CSD engine.
 #[derive(Debug, Clone)]
 pub struct StreamMonitor {
     engine: CsdInferenceEngine,
     config: MonitorConfig,
-    window: VecDeque<usize>,
+    window: RollingWindow,
     calls_seen: usize,
     since_classify: usize,
     votes: VecDeque<bool>,
@@ -91,7 +176,7 @@ impl StreamMonitor {
         Self {
             engine,
             config,
-            window: VecDeque::with_capacity(config.window_len),
+            window: RollingWindow::new(config.window_len),
             calls_seen: 0,
             since_classify: 0,
             votes: VecDeque::with_capacity(config.vote_horizon),
@@ -129,11 +214,8 @@ impl StreamMonitor {
     /// Panics on an out-of-vocabulary token.
     pub fn observe(&mut self, call: usize) -> Option<Alert> {
         self.calls_seen += 1;
-        if self.window.len() == self.config.window_len {
-            self.window.pop_front();
-        }
-        self.window.push_back(call);
-        if self.alerted.is_some() || self.window.len() < self.config.window_len {
+        self.window.push(call);
+        if self.alerted.is_some() || !self.window.is_full() {
             return None;
         }
         self.since_classify += 1;
@@ -142,8 +224,9 @@ impl StreamMonitor {
             return None;
         }
         self.since_classify = 0;
-        let seq: Vec<usize> = self.window.iter().copied().collect();
-        let verdict = self.engine.classify(&seq);
+        // The compacting window is contiguous: classify in place, no
+        // per-window copy.
+        let verdict = self.engine.classify(self.window.as_slice());
         self.classifications += 1;
         if self.votes.len() == self.config.vote_horizon {
             self.votes.pop_front();
@@ -188,33 +271,35 @@ impl StreamMonitor {
 /// A pool of per-process monitors sharing one engine — the data-center
 /// deployment shape: the CSD protects a host running many processes, and
 /// each process's API stream gets its own rolling window and vote state.
+///
+/// Since the stream multiplexer landed this is a thin synchronous facade
+/// over [`FleetMonitor`](crate::stream::FleetMonitor): each `observe`
+/// drains the mux immediately, so alerts still surface from the very
+/// call that completed the triggering window, exactly as before (the
+/// mux's low-occupancy shortcut keeps that drain at serial cost).
+/// Callers that can batch their polling should use `FleetMonitor`
+/// directly and let windows from many processes share lane sweeps.
 #[derive(Debug, Clone)]
 pub struct MonitorPool {
-    engine: CsdInferenceEngine,
-    config: MonitorConfig,
-    streams: std::collections::HashMap<u64, StreamMonitor>,
+    fleet: FleetMonitor,
 }
 
 impl MonitorPool {
-    /// Creates a pool; each new process id lazily gets a monitor with
+    /// Creates a pool; each new process id lazily gets monitor state with
     /// `config`.
     ///
     /// # Panics
     ///
     /// Panics on an invalid `config` (see [`StreamMonitor::new`]).
     pub fn new(engine: CsdInferenceEngine, config: MonitorConfig) -> Self {
-        // Validate the config once, eagerly.
-        let _probe = StreamMonitor::new(engine.clone(), config);
         Self {
-            engine,
-            config,
-            streams: std::collections::HashMap::new(),
+            fleet: FleetMonitor::new(engine, config, StreamMuxConfig::default()),
         }
     }
 
     /// Number of processes currently tracked.
     pub fn tracked(&self) -> usize {
-        self.streams.len()
+        self.fleet.tracked()
     }
 
     /// Feeds one API call observed in process `pid`; returns a
@@ -224,33 +309,26 @@ impl MonitorPool {
     ///
     /// Panics on an out-of-vocabulary token.
     pub fn observe(&mut self, pid: u64, call: usize) -> Option<Alert> {
-        let monitor = self
-            .streams
-            .entry(pid)
-            .or_insert_with(|| StreamMonitor::new(self.engine.clone(), self.config));
-        monitor.observe(call)
+        self.fleet.observe(pid, call);
+        self.fleet
+            .drain()
+            .into_iter()
+            .find_map(|(p, alert)| (p == pid).then_some(alert))
     }
 
     /// The alert state of process `pid`, if tracked.
     pub fn alert_for(&self, pid: u64) -> Option<Alert> {
-        self.streams.get(&pid).and_then(StreamMonitor::alert)
+        self.fleet.alert_for(pid)
     }
 
     /// Process ids with latched alerts.
     pub fn alerted_pids(&self) -> Vec<u64> {
-        let mut pids: Vec<u64> = self
-            .streams
-            .iter()
-            .filter(|(_, m)| m.alert().is_some())
-            .map(|(&pid, _)| pid)
-            .collect();
-        pids.sort_unstable();
-        pids
+        self.fleet.alerted_pids()
     }
 
     /// Drops a finished process's state.
     pub fn retire(&mut self, pid: u64) {
-        self.streams.remove(&pid);
+        self.fleet.retire(pid);
     }
 }
 

@@ -326,21 +326,10 @@ impl WorkerPoolBuilder {
     pub fn build(self) -> WorkerPool {
         let threads = self
             .threads
-            .or_else(env_pool_threads)
+            .or_else(|| crate::env::positive_usize("CSD_POOL_THREADS"))
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
         WorkerPool::new(threads)
     }
-}
-
-/// Parses the `CSD_POOL_THREADS` override; ignored unless it is a
-/// positive integer.
-fn env_pool_threads() -> Option<usize> {
-    std::env::var("CSD_POOL_THREADS")
-        .ok()?
-        .trim()
-        .parse::<usize>()
-        .ok()
-        .filter(|&n| n > 0)
 }
 
 impl Drop for WorkerPool {

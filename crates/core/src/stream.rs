@@ -1,0 +1,970 @@
+//! Continuous-batching stream multiplexer: fleet-scale online
+//! classification at lane throughput.
+//!
+//! The paper's deployment is *continuous* monitoring of many concurrent
+//! API-call streams (§I "execute the classifier continuously in the
+//! background"; §II's data-center host runs thousands of processes). The
+//! serial [`StreamMonitor`](crate::monitor::StreamMonitor) classifies one
+//! full window per completed stride — fine for one stream, but a fleet of
+//! processes turns that into thousands of independent serial `classify`
+//! calls, leaving the lane-batched SoA kernels idle exactly where the
+//! workload is most batchable.
+//!
+//! [`StreamMux`] closes that gap with *iteration-level* (continuous)
+//! batching, the scheduling idea behind Orca-style LLM serving applied to
+//! LSTM windows: a fixed block of `W` lane slots advances all in-flight
+//! windows one timestep per [`tick`](StreamMux::tick) through
+//! [`CsdInferenceEngine::step_lanes`]; a window that consumes its last
+//! item retires within the tick ([`CsdInferenceEngine::retire_lane`] — the
+//! FC head), and its slot is refilled from the pending queue *in the same
+//! tick*, so slots never idle waiting for a batch barrier. Admission is
+//! FIFO; a bounded pending queue applies backpressure with a configurable
+//! drop policy. Every verdict is bit-identical to serial
+//! [`classify`](crate::engine::CsdInferenceEngine::classify) of the same
+//! window — the lane-stepping contract — so going online changes nothing
+//! observable except throughput.
+//!
+//! [`FleetMonitor`] stacks the per-process monitor semantics (rolling
+//! window, stride, k-of-n vote debouncing, alert latching — exactly
+//! [`StreamMonitor`](crate::monitor::StreamMonitor)'s) on top of the mux:
+//! `observe` only appends to per-process rolling windows and enqueues
+//! completed windows; `poll`/`drain` run mux ticks and fold retired
+//! verdicts back into per-process vote state, emitting [`Alert`]s.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{Classification, CsdInferenceEngine};
+use crate::monitor::{Alert, MonitorConfig, RollingWindow};
+use crate::schedule::PipelineSchedule;
+use crate::scratch::{EngineScratch, LaneScratch};
+use crate::weights::LANE_MAX_STEPS;
+
+/// What [`StreamMux::submit`] does when the pending queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverflowPolicy {
+    /// Evict the oldest pending window to admit the new one — the
+    /// freshest data wins (default: stale windows age out under
+    /// overload, recent behaviour keeps being classified).
+    DropOldest,
+    /// Refuse the new window, keeping the queue intact.
+    DropNewest,
+}
+
+/// Configuration for a [`StreamMux`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamMuxConfig {
+    /// Number of lane slots `W`. `None` resolves the `CSD_STREAM_LANES`
+    /// environment knob, falling back to the engine's cache-derived
+    /// [`lane_width`](CsdInferenceEngine::lane_width).
+    pub lanes: Option<usize>,
+    /// Bound on the pending-window queue; [`OverflowPolicy`] applies
+    /// beyond it.
+    pub max_pending: usize,
+    /// What to do when `max_pending` is reached.
+    pub policy: OverflowPolicy,
+}
+
+impl Default for StreamMuxConfig {
+    fn default() -> Self {
+        Self {
+            lanes: None,
+            max_pending: 4096,
+            policy: OverflowPolicy::DropOldest,
+        }
+    }
+}
+
+/// One retired window's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// The stream (process) id the window came from.
+    pub stream: u64,
+    /// Caller-supplied position tag (the call index that completed the
+    /// window, for monitors).
+    pub at_call: usize,
+    /// The classification — bit-identical to serial `classify` of the
+    /// same window.
+    pub classification: Classification,
+    /// Ticks from submission to retirement (queue wait + compute).
+    pub latency_ticks: u64,
+}
+
+/// A snapshot of the multiplexer's tick-level counters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MuxStats {
+    /// Lane-sweep ticks executed.
+    pub ticks: u64,
+    /// Windows retired (verdicts emitted).
+    pub verdicts: u64,
+    /// Windows dropped by backpressure.
+    pub dropped: u64,
+    /// Mean fraction of lane slots occupied per tick (1.0 = every sweep
+    /// fully utilized).
+    pub occupancy: f64,
+    /// Median submission-to-verdict latency in ticks, over the most
+    /// recent window of verdicts.
+    pub p50_latency_ticks: u64,
+    /// 99th-percentile submission-to-verdict latency in ticks, over the
+    /// most recent window of verdicts.
+    pub p99_latency_ticks: u64,
+    /// Verdicts per wall-clock second since the mux was created.
+    pub verdicts_per_sec: f64,
+}
+
+/// A window travelling through the mux: pending (`pos == 0`, queued) or
+/// active (occupying a lane at item `pos`).
+#[derive(Debug, Clone)]
+struct Window {
+    stream: u64,
+    at_call: usize,
+    seq: Vec<usize>,
+    pos: usize,
+    enqueued_tick: u64,
+}
+
+/// Verdict latencies kept for percentile stats (a ring of the most
+/// recent retirements, so long-running muxes stay bounded).
+const LATENCY_RING: usize = 4096;
+
+/// The continuous-batching stream multiplexer.
+///
+/// See the [module docs](self) for the scheduling model. Construction
+/// allocates one lane block; `submit` copies each window into a pooled
+/// buffer (buffers recycle through retirements, so the steady state
+/// allocates nothing).
+#[derive(Debug, Clone)]
+pub struct StreamMux {
+    engine: CsdInferenceEngine,
+    width: usize,
+    scratch: LaneScratch,
+    serial_scratch: EngineScratch,
+    /// Per-lane occupancy.
+    slots: Vec<Option<Window>>,
+    /// Reused per-tick gather argument for `step_lanes`.
+    items: Vec<Option<usize>>,
+    pending: VecDeque<Window>,
+    free_bufs: Vec<Vec<usize>>,
+    max_pending: usize,
+    policy: OverflowPolicy,
+    /// Whether the engine's lane-stepping path is available; when not,
+    /// every window takes the (bit-identical) serial path.
+    lane_ok: bool,
+    active: usize,
+    ticks: u64,
+    verdicts: u64,
+    dropped: u64,
+    occupied_steps: u64,
+    latencies: Vec<u64>,
+    lat_next: usize,
+    started: Instant,
+}
+
+impl StreamMux {
+    /// Builds a multiplexer around `engine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.lanes` is `Some(0)` or `config.max_pending`
+    /// is zero.
+    pub fn new(engine: CsdInferenceEngine, config: StreamMuxConfig) -> Self {
+        let width = config
+            .lanes
+            .or_else(|| crate::env::positive_usize("CSD_STREAM_LANES"))
+            .unwrap_or_else(|| engine.lane_width());
+        assert!(width > 0, "a stream mux needs at least one lane");
+        assert!(config.max_pending > 0, "max_pending must be positive");
+        let scratch = LaneScratch::new(engine.weights().dims(), width);
+        let serial_scratch = engine.make_scratch();
+        let lane_ok = engine.supports_lane_stepping();
+        Self {
+            engine,
+            width,
+            scratch,
+            serial_scratch,
+            slots: (0..width).map(|_| None).collect(),
+            items: vec![None; width],
+            pending: VecDeque::new(),
+            free_bufs: Vec::new(),
+            max_pending: config.max_pending,
+            policy: config.policy,
+            lane_ok,
+            active: 0,
+            ticks: 0,
+            verdicts: 0,
+            dropped: 0,
+            occupied_steps: 0,
+            latencies: Vec::with_capacity(LATENCY_RING),
+            lat_next: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Number of lane slots.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Windows queued but not yet occupying a lane.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Windows currently occupying lanes.
+    pub fn in_flight(&self) -> usize {
+        self.active
+    }
+
+    /// Whether no window is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.active == 0 && self.pending.is_empty()
+    }
+
+    /// The engine behind the lanes (for parity checks and accounting).
+    pub fn engine(&self) -> &CsdInferenceEngine {
+        &self.engine
+    }
+
+    /// Current tick-level counters.
+    pub fn stats(&self) -> MuxStats {
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let pct = |q: f64| -> u64 {
+            if sorted.is_empty() {
+                0
+            } else {
+                sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+            }
+        };
+        MuxStats {
+            ticks: self.ticks,
+            verdicts: self.verdicts,
+            dropped: self.dropped,
+            occupancy: if self.ticks == 0 {
+                0.0
+            } else {
+                self.occupied_steps as f64 / (self.ticks * self.width as u64) as f64
+            },
+            p50_latency_ticks: pct(0.50),
+            p99_latency_ticks: pct(0.99),
+            verdicts_per_sec: self.verdicts as f64 / self.started.elapsed().as_secs_f64().max(1e-9),
+        }
+    }
+
+    /// Enqueues one window for classification, copying it into a pooled
+    /// buffer. Returns `false` when the window was refused
+    /// ([`OverflowPolicy::DropNewest`] with a full queue); under
+    /// [`OverflowPolicy::DropOldest`] a full queue evicts its oldest
+    /// window instead and this window is admitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window (the engine's contract).
+    pub fn submit(&mut self, stream: u64, at_call: usize, window: &[usize]) -> bool {
+        assert!(!window.is_empty(), "empty sequence");
+        if self.pending.len() >= self.max_pending {
+            match self.policy {
+                OverflowPolicy::DropOldest => {
+                    let old = self.pending.pop_front().expect("queue full, non-empty");
+                    self.free_bufs.push(old.seq);
+                    self.dropped += 1;
+                }
+                OverflowPolicy::DropNewest => {
+                    self.dropped += 1;
+                    return false;
+                }
+            }
+        }
+        let mut seq = self.free_bufs.pop().unwrap_or_default();
+        seq.clear();
+        seq.extend_from_slice(window);
+        self.pending.push_back(Window {
+            stream,
+            at_call,
+            seq,
+            pos: 0,
+            enqueued_tick: self.ticks,
+        });
+        true
+    }
+
+    /// Classifies a window through the serial path (bit-identical to lane
+    /// stepping) and emits its verdict — the route for windows the lane
+    /// path cannot take and for the low-occupancy drain shortcut.
+    fn classify_serial(&mut self, window: Window, out: &mut Vec<Verdict>) {
+        let c = self
+            .engine
+            .classify_with_scratch(&window.seq, &mut self.serial_scratch);
+        self.emit(window, c, out);
+    }
+
+    /// Records one verdict and recycles the window's buffer.
+    fn emit(&mut self, window: Window, classification: Classification, out: &mut Vec<Verdict>) {
+        let latency = self.ticks - window.enqueued_tick;
+        if self.latencies.len() < LATENCY_RING {
+            self.latencies.push(latency);
+        } else {
+            self.latencies[self.lat_next] = latency;
+        }
+        self.lat_next = (self.lat_next + 1) % LATENCY_RING;
+        self.verdicts += 1;
+        out.push(Verdict {
+            stream: window.stream,
+            at_call: window.at_call,
+            classification,
+            latency_ticks: latency,
+        });
+        self.free_bufs.push(window.seq);
+    }
+
+    /// Fills lane `lane` from the pending queue if possible. Windows the
+    /// lane path cannot serve (no exactness pack, or longer than
+    /// [`LANE_MAX_STEPS`]) classify serially right here — bit-identical —
+    /// rather than occupying a slot they cannot use.
+    fn refill_slot(&mut self, lane: usize, out: &mut Vec<Verdict>) {
+        debug_assert!(self.slots[lane].is_none());
+        while let Some(window) = self.pending.pop_front() {
+            if !self.lane_ok || window.seq.len() > LANE_MAX_STEPS {
+                self.classify_serial(window, out);
+                continue;
+            }
+            // Clear at admission, not retirement: a slot left empty for
+            // a few ticks keeps riding the lockstep kernels, so its
+            // h/C state is garbage by the time a window arrives.
+            self.scratch.clear_lane(lane);
+            self.slots[lane] = Some(window);
+            self.active += 1;
+            return;
+        }
+    }
+
+    /// Runs one lockstep tick, appending retired verdicts to `out` and
+    /// returning how many were emitted. A tick admits pending windows
+    /// into free slots, advances every occupied lane one item, retires
+    /// finished lanes (FC head), and refills each retired slot from the
+    /// queue *within the same tick* — continuous batching with no batch
+    /// barrier. With nothing active or pending this is a no-op.
+    pub fn tick_into(&mut self, out: &mut Vec<Verdict>) -> usize {
+        let before = out.len();
+        for lane in 0..self.width {
+            if self.slots[lane].is_none() {
+                self.refill_slot(lane, out);
+            }
+        }
+        if self.active == 0 {
+            return out.len() - before;
+        }
+        for (item, slot) in self.items.iter_mut().zip(self.slots.iter()) {
+            *item = slot.as_ref().map(|w| w.seq[w.pos]);
+        }
+        // Split borrows: the gather buffer is rebuilt above, so the
+        // engine only needs `scratch` mutably.
+        self.engine.step_lanes(&mut self.scratch, &self.items);
+        self.ticks += 1;
+        self.occupied_steps += self.active as u64;
+        for lane in 0..self.width {
+            let finished = {
+                let Some(w) = self.slots[lane].as_mut() else {
+                    continue;
+                };
+                w.pos += 1;
+                w.pos == w.seq.len()
+            };
+            if !finished {
+                continue;
+            }
+            let window = self.slots[lane].take().expect("checked occupied");
+            let classification = self.engine.retire_lane(&self.scratch, lane);
+            self.active -= 1;
+            self.emit(window, classification, out);
+            // Same-tick refill: the slot starts its next window's first
+            // item on the very next sweep.
+            self.refill_slot(lane, out);
+        }
+        out.len() - before
+    }
+
+    /// Convenience wrapper over [`tick_into`](Self::tick_into).
+    pub fn tick(&mut self) -> Vec<Verdict> {
+        let mut out = Vec::new();
+        self.tick_into(&mut out);
+        out
+    }
+
+    /// Ticks until no window is queued or in flight, returning every
+    /// verdict in retirement order.
+    ///
+    /// A near-empty mux takes a shortcut: when no lane is active and the
+    /// queue holds at most `W/4` windows, they classify serially instead
+    /// of paying full-width lane sweeps — bit-identical results either
+    /// way, so the choice is invisible. This keeps low-concurrency
+    /// callers (a drain after every call, a single tracked process) at
+    /// serial cost while fleets run at lane throughput.
+    pub fn drain(&mut self) -> Vec<Verdict> {
+        let mut out = Vec::new();
+        loop {
+            if self.active == 0 {
+                if self.pending.is_empty() {
+                    break;
+                }
+                if self.pending.len() <= (self.width / 4).max(1) {
+                    while let Some(window) = self.pending.pop_front() {
+                        self.classify_serial(window, &mut out);
+                    }
+                    break;
+                }
+            }
+            self.tick_into(&mut out);
+        }
+        out
+    }
+}
+
+/// Per-process monitor state inside a [`FleetMonitor`]: the rolling
+/// window plus the stride/vote bookkeeping of
+/// [`StreamMonitor`](crate::monitor::StreamMonitor).
+#[derive(Debug, Clone)]
+struct StreamState {
+    window: RollingWindow,
+    calls_seen: usize,
+    since_classify: usize,
+    /// Windows submitted to the mux (drives the first-full-window rule).
+    submitted: usize,
+    /// Verdicts folded into the vote state (drives time accounting).
+    verdicts: usize,
+    votes: VecDeque<bool>,
+    alerted: Option<Alert>,
+}
+
+/// A fleet of per-process ransomware monitors multiplexed onto one lane
+/// block — the data-center deployment shape at lane throughput.
+///
+/// Semantics per process are exactly
+/// [`StreamMonitor`](crate::monitor::StreamMonitor)'s (same windowing,
+/// stride, voting, latching, and 0-ULP-identical verdicts); the
+/// difference is *when* classification happens: `observe` is cheap (it
+/// never classifies), and [`poll`](Self::poll) / [`drain`](Self::drain)
+/// advance all in-flight windows together through the [`StreamMux`].
+/// Alerts therefore surface at the poll/drain after the triggering
+/// window retires, not inside `observe` — the price of batching. Under
+/// backpressure, dropped windows are simply never voted on.
+#[derive(Debug, Clone)]
+pub struct FleetMonitor {
+    mux: StreamMux,
+    config: MonitorConfig,
+    streams: HashMap<u64, StreamState>,
+    per_item_us: f64,
+}
+
+impl FleetMonitor {
+    /// Builds a fleet monitor; each new process id lazily gets monitor
+    /// state with `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.window_len`, `stride`, or `votes_needed` is
+    /// zero, or `votes_needed > vote_horizon` (the
+    /// [`StreamMonitor`](crate::monitor::StreamMonitor) contract), or on
+    /// an invalid `mux_config` (see [`StreamMux::new`]).
+    pub fn new(
+        engine: CsdInferenceEngine,
+        config: MonitorConfig,
+        mux_config: StreamMuxConfig,
+    ) -> Self {
+        assert!(config.window_len > 0, "window length must be positive");
+        assert!(config.stride > 0, "stride must be positive");
+        assert!(config.votes_needed > 0, "votes_needed must be positive");
+        assert!(
+            config.votes_needed <= config.vote_horizon,
+            "cannot need more votes than the horizon holds"
+        );
+        let per_item_us = PipelineSchedule::for_level(engine.level()).steady_item_us;
+        Self {
+            mux: StreamMux::new(engine, mux_config),
+            config,
+            streams: HashMap::new(),
+            per_item_us,
+        }
+    }
+
+    /// The monitor configuration.
+    pub fn config(&self) -> MonitorConfig {
+        self.config
+    }
+
+    /// The underlying multiplexer (stats, occupancy, queue depth).
+    pub fn mux(&self) -> &StreamMux {
+        &self.mux
+    }
+
+    /// Number of processes currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Feeds one API call observed in process `pid`. Never classifies:
+    /// a completed window is enqueued on the mux for the next
+    /// [`poll`](Self::poll) / [`drain`](Self::drain).
+    pub fn observe(&mut self, pid: u64, call: usize) {
+        let config = self.config;
+        let state = self.streams.entry(pid).or_insert_with(|| StreamState {
+            window: RollingWindow::new(config.window_len),
+            calls_seen: 0,
+            since_classify: 0,
+            submitted: 0,
+            verdicts: 0,
+            votes: VecDeque::with_capacity(config.vote_horizon),
+            alerted: None,
+        });
+        state.calls_seen += 1;
+        state.window.push(call);
+        if state.alerted.is_some() || !state.window.is_full() {
+            return;
+        }
+        state.since_classify += 1;
+        let first_full = state.submitted == 0;
+        if !first_full && state.since_classify < config.stride {
+            return;
+        }
+        state.since_classify = 0;
+        state.submitted += 1;
+        self.mux
+            .submit(pid, state.calls_seen, state.window.as_slice());
+    }
+
+    /// Feeds a batch of calls for one process.
+    pub fn observe_all(&mut self, pid: u64, calls: &[usize]) {
+        for &c in calls {
+            self.observe(pid, c);
+        }
+    }
+
+    /// Runs one mux tick and returns newly raised alerts.
+    pub fn poll(&mut self) -> Vec<(u64, Alert)> {
+        let verdicts = self.mux.tick();
+        self.apply(verdicts)
+    }
+
+    /// Classifies everything queued or in flight and returns newly
+    /// raised alerts.
+    pub fn drain(&mut self) -> Vec<(u64, Alert)> {
+        let verdicts = self.mux.drain();
+        self.apply(verdicts)
+    }
+
+    /// Folds retired verdicts into per-process vote state. Verdicts for
+    /// retired (or already-alerted) processes are discarded — alerts
+    /// latch exactly as in the serial monitor.
+    fn apply(&mut self, verdicts: Vec<Verdict>) -> Vec<(u64, Alert)> {
+        let mut alerts = Vec::new();
+        for v in verdicts {
+            let Some(state) = self.streams.get_mut(&v.stream) else {
+                continue;
+            };
+            if state.alerted.is_some() {
+                continue;
+            }
+            state.verdicts += 1;
+            if state.votes.len() == self.config.vote_horizon {
+                state.votes.pop_front();
+            }
+            state.votes.push_back(v.classification.is_positive);
+            let positive_votes = state.votes.iter().filter(|&&b| b).count();
+            if positive_votes >= self.config.votes_needed {
+                let alert = Alert {
+                    at_call: v.at_call,
+                    probability: v.classification.probability,
+                    inference_us: state.verdicts as f64
+                        * self.config.window_len as f64
+                        * self.per_item_us,
+                };
+                state.alerted = Some(alert);
+                alerts.push((v.stream, alert));
+            }
+        }
+        alerts
+    }
+
+    /// The alert state of process `pid`, if tracked.
+    pub fn alert_for(&self, pid: u64) -> Option<Alert> {
+        self.streams.get(&pid).and_then(|s| s.alerted)
+    }
+
+    /// Process ids with latched alerts, ascending.
+    pub fn alerted_pids(&self) -> Vec<u64> {
+        let mut pids: Vec<u64> = self
+            .streams
+            .iter()
+            .filter(|(_, s)| s.alerted.is_some())
+            .map(|(&pid, _)| pid)
+            .collect();
+        pids.sort_unstable();
+        pids
+    }
+
+    /// API calls observed for process `pid` (0 if untracked).
+    pub fn calls_seen(&self, pid: u64) -> usize {
+        self.streams.get(&pid).map_or(0, |s| s.calls_seen)
+    }
+
+    /// Verdicts folded into process `pid`'s vote state so far.
+    pub fn classifications(&self, pid: u64) -> usize {
+        self.streams.get(&pid).map_or(0, |s| s.verdicts)
+    }
+
+    /// Drops a finished process's state. Verdicts still in flight for it
+    /// are discarded on retirement.
+    pub fn retire(&mut self, pid: u64) {
+        self.streams.remove(&pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::StreamMonitor;
+    use crate::opt::OptimizationLevel;
+    use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};
+
+    fn engine(level: OptimizationLevel) -> CsdInferenceEngine {
+        let model = SequenceClassifier::new(ModelConfig::paper(), 21);
+        CsdInferenceEngine::new(&ModelWeights::from_model(&model), level)
+    }
+
+    fn seq(n: usize, salt: usize) -> Vec<usize> {
+        (0..n).map(|i| (i * 37 + 11 + salt * 29) % 278).collect()
+    }
+
+    fn mux_with_width(level: OptimizationLevel, width: usize) -> StreamMux {
+        StreamMux::new(
+            engine(level),
+            StreamMuxConfig {
+                lanes: Some(width),
+                ..StreamMuxConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn streamed_verdicts_match_serial_classify() {
+        for level in OptimizationLevel::ALL {
+            let e = engine(level);
+            let mut mux = StreamMux::new(
+                e.clone(),
+                StreamMuxConfig {
+                    lanes: Some(4),
+                    ..StreamMuxConfig::default()
+                },
+            );
+            let windows: Vec<Vec<usize>> = (0..11).map(|k| seq(5 + k * 9 % 60, k)).collect();
+            for (k, w) in windows.iter().enumerate() {
+                assert!(mux.submit(k as u64, k, w));
+            }
+            let verdicts = mux.drain();
+            assert_eq!(verdicts.len(), windows.len(), "{level}");
+            for v in &verdicts {
+                assert_eq!(
+                    v.classification,
+                    e.classify(&windows[v.stream as usize]),
+                    "{level} stream {}",
+                    v.stream
+                );
+            }
+            assert!(mux.is_idle());
+        }
+    }
+
+    #[test]
+    fn same_tick_refill_keeps_slots_busy() {
+        // 4 equal-length windows through 2 lanes: generation two starts
+        // the tick after generation one retires, so the whole batch takes
+        // 2·len ticks, not 2·len + idle gaps.
+        let mut mux = mux_with_width(OptimizationLevel::FixedPoint, 2);
+        let len = 10;
+        for k in 0..4u64 {
+            mux.submit(k, 0, &seq(len, k as usize));
+        }
+        let verdicts = mux.drain();
+        assert_eq!(verdicts.len(), 4);
+        let stats = mux.stats();
+        assert_eq!(stats.ticks, 2 * len as u64);
+        assert!((stats.occupancy - 1.0).abs() < 1e-12, "no idle lane-steps");
+        // First generation retires at tick len, second at 2·len.
+        assert_eq!(verdicts[0].latency_ticks, len as u64);
+        assert_eq!(verdicts[3].latency_ticks, 2 * len as u64);
+    }
+
+    #[test]
+    fn retirement_order_is_fifo_for_equal_lengths() {
+        let mut mux = mux_with_width(OptimizationLevel::FixedPoint, 2);
+        for k in 0..6u64 {
+            mux.submit(k, k as usize, &seq(8, k as usize));
+        }
+        let verdicts = mux.drain();
+        let order: Vec<u64> = verdicts.iter().map(|v| v.stream).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn drop_oldest_evicts_head() {
+        let mut mux = StreamMux::new(
+            engine(OptimizationLevel::FixedPoint),
+            StreamMuxConfig {
+                lanes: Some(2),
+                max_pending: 2,
+                policy: OverflowPolicy::DropOldest,
+            },
+        );
+        for k in 0..4u64 {
+            assert!(mux.submit(k, k as usize, &seq(6, k as usize)));
+        }
+        assert_eq!(mux.pending(), 2);
+        let verdicts = mux.drain();
+        let kept: Vec<u64> = verdicts.iter().map(|v| v.stream).collect();
+        assert_eq!(kept, vec![2, 3], "oldest two evicted");
+        assert_eq!(mux.stats().dropped, 2);
+    }
+
+    #[test]
+    fn drop_newest_refuses_submission() {
+        let mut mux = StreamMux::new(
+            engine(OptimizationLevel::FixedPoint),
+            StreamMuxConfig {
+                lanes: Some(2),
+                max_pending: 2,
+                policy: OverflowPolicy::DropNewest,
+            },
+        );
+        assert!(mux.submit(0, 0, &seq(6, 0)));
+        assert!(mux.submit(1, 1, &seq(6, 1)));
+        assert!(!mux.submit(2, 2, &seq(6, 2)), "queue full");
+        let verdicts = mux.drain();
+        let kept: Vec<u64> = verdicts.iter().map(|v| v.stream).collect();
+        assert_eq!(kept, vec![0, 1]);
+        assert_eq!(mux.stats().dropped, 1);
+    }
+
+    #[test]
+    fn tick_on_idle_mux_is_noop() {
+        let mut mux = mux_with_width(OptimizationLevel::FixedPoint, 2);
+        assert!(mux.tick().is_empty());
+        assert_eq!(mux.stats().ticks, 0);
+    }
+
+    #[test]
+    fn overlong_windows_take_the_serial_route() {
+        let mut mux = mux_with_width(OptimizationLevel::FixedPoint, 2);
+        let e = engine(OptimizationLevel::FixedPoint);
+        let long: Vec<usize> = (0..LANE_MAX_STEPS + 1).map(|i| i % 278).collect();
+        let short = seq(9, 3);
+        mux.submit(0, 0, &long);
+        mux.submit(1, 1, &short);
+        let verdicts = mux.drain();
+        assert_eq!(verdicts.len(), 2);
+        for v in &verdicts {
+            let expect = if v.stream == 0 {
+                e.classify(&long)
+            } else {
+                e.classify(&short)
+            };
+            assert_eq!(v.classification, expect);
+        }
+    }
+
+    #[test]
+    fn interleaved_submission_and_ticks_match_serial() {
+        let e = engine(OptimizationLevel::FixedPoint);
+        let mut mux = mux_with_width(OptimizationLevel::FixedPoint, 3);
+        let windows: Vec<Vec<usize>> = (0..9).map(|k| seq(4 + (k * 13) % 40, k)).collect();
+        let mut verdicts = Vec::new();
+        for (k, w) in windows.iter().enumerate() {
+            mux.submit(k as u64, k, w);
+            // Advance a few ticks mid-stream: admission interleaves with
+            // retirement.
+            for _ in 0..k % 4 {
+                mux.tick_into(&mut verdicts);
+            }
+        }
+        verdicts.extend(mux.drain());
+        assert_eq!(verdicts.len(), windows.len());
+        for v in &verdicts {
+            assert_eq!(v.classification, e.classify(&windows[v.stream as usize]));
+        }
+    }
+
+    #[test]
+    fn stats_track_occupancy_and_latency() {
+        let mut mux = mux_with_width(OptimizationLevel::FixedPoint, 4);
+        for k in 0..4u64 {
+            mux.submit(k, 0, &seq(12, k as usize));
+        }
+        let _ = mux.drain();
+        let s = mux.stats();
+        assert_eq!(s.verdicts, 4);
+        assert_eq!(s.ticks, 12);
+        assert!((s.occupancy - 1.0).abs() < 1e-12);
+        assert_eq!(s.p50_latency_ticks, 12);
+        assert_eq!(s.p99_latency_ticks, 12);
+        assert!(s.verdicts_per_sec > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_window_rejected() {
+        let mut mux = mux_with_width(OptimizationLevel::FixedPoint, 2);
+        mux.submit(0, 0, &[]);
+    }
+
+    fn small_config() -> MonitorConfig {
+        MonitorConfig {
+            window_len: 8,
+            stride: 4,
+            votes_needed: 1,
+            vote_horizon: 1,
+        }
+    }
+
+    fn tiny_engine() -> CsdInferenceEngine {
+        let model = SequenceClassifier::new(ModelConfig::tiny(16), 9);
+        CsdInferenceEngine::new(
+            &ModelWeights::from_model(&model),
+            OptimizationLevel::FixedPoint,
+        )
+    }
+
+    #[test]
+    fn fleet_matches_stream_monitor_per_process() {
+        let e = tiny_engine();
+        let traces: Vec<(u64, Vec<usize>)> = (0..5u64)
+            .map(|pid| {
+                let n = 60 + (pid as usize) * 37;
+                (
+                    pid,
+                    (0..n).map(|i| (i * 7 + pid as usize * 3) % 16).collect(),
+                )
+            })
+            .collect();
+        // Serial reference: one StreamMonitor per process.
+        let mut reference = HashMap::new();
+        for (pid, calls) in &traces {
+            let mut m = StreamMonitor::new(e.clone(), small_config());
+            m.observe_all(calls);
+            reference.insert(*pid, m.alert());
+        }
+        // Fleet: interleave all processes call by call, drain at the end.
+        let mut fleet = FleetMonitor::new(e, small_config(), StreamMuxConfig::default());
+        let longest = traces.iter().map(|(_, c)| c.len()).max().expect("traces");
+        for i in 0..longest {
+            for (pid, calls) in &traces {
+                if let Some(&c) = calls.get(i) {
+                    fleet.observe(*pid, c);
+                }
+            }
+        }
+        let _ = fleet.drain();
+        for (pid, expected) in &reference {
+            assert_eq!(fleet.alert_for(*pid), *expected, "pid {pid}");
+        }
+    }
+
+    #[test]
+    fn fleet_alerts_latch_across_windows() {
+        let e = tiny_engine();
+        let mut fleet = FleetMonitor::new(e, small_config(), StreamMuxConfig::default());
+        let calls: Vec<usize> = (0..400).map(|i| i % 3).collect();
+        let mut alerts = 0;
+        for &c in &calls {
+            fleet.observe(7, c);
+            alerts += fleet.drain().len();
+        }
+        assert!(alerts <= 1, "alerts must latch");
+        if alerts == 1 {
+            assert!(fleet.alert_for(7).is_some());
+            assert_eq!(fleet.alerted_pids(), vec![7]);
+        }
+    }
+
+    #[test]
+    fn fleet_retire_drops_state_and_ignores_in_flight_verdicts() {
+        let e = tiny_engine();
+        let mut fleet = FleetMonitor::new(e, small_config(), StreamMuxConfig::default());
+        for i in 0..40usize {
+            fleet.observe(1, i % 16);
+            fleet.observe(2, (i + 5) % 16);
+        }
+        assert_eq!(fleet.tracked(), 2);
+        assert!(fleet.mux().pending() > 0, "windows enqueued, not yet run");
+        fleet.retire(1);
+        assert_eq!(fleet.tracked(), 1);
+        // Draining classifies pid 1's in-flight windows but discards the
+        // verdicts; only pid 2 can alert.
+        let alerts = fleet.drain();
+        assert!(alerts.iter().all(|&(pid, _)| pid == 2));
+        assert!(fleet.alert_for(1).is_none());
+    }
+
+    #[test]
+    fn fleet_observe_all_equals_repeated_observe() {
+        let e = tiny_engine();
+        let calls: Vec<usize> = (0..150).map(|i| (i * 7) % 16).collect();
+        let mut one = FleetMonitor::new(e.clone(), small_config(), StreamMuxConfig::default());
+        one.observe_all(3, &calls);
+        let _ = one.drain();
+        let mut two = FleetMonitor::new(e, small_config(), StreamMuxConfig::default());
+        for &c in &calls {
+            two.observe(3, c);
+        }
+        let _ = two.drain();
+        assert_eq!(one.alert_for(3), two.alert_for(3));
+        assert_eq!(one.classifications(3), two.classifications(3));
+        assert_eq!(one.calls_seen(3), two.calls_seen(3));
+    }
+
+    #[test]
+    fn fleet_short_trace_never_classifies() {
+        let e = tiny_engine();
+        let mut fleet = FleetMonitor::new(e, small_config(), StreamMuxConfig::default());
+        fleet.observe_all(1, &[1, 2, 3, 4, 5, 6, 7]); // one short of a window
+        let alerts = fleet.drain();
+        assert!(alerts.is_empty());
+        assert_eq!(fleet.classifications(1), 0);
+        assert_eq!(fleet.mux().stats().verdicts, 0);
+    }
+
+    #[test]
+    fn fleet_stride_longer_than_window() {
+        let e = tiny_engine();
+        let config = MonitorConfig {
+            window_len: 8,
+            stride: 20,
+            votes_needed: 1,
+            vote_horizon: 1,
+        };
+        let mut fleet = FleetMonitor::new(e.clone(), config, StreamMuxConfig::default());
+        let calls: Vec<usize> = (0..70).map(|i| i % 16).collect();
+        fleet.observe_all(5, &calls);
+        let _ = fleet.drain();
+        let mut reference = StreamMonitor::new(e, config);
+        reference.observe_all(&calls);
+        assert_eq!(fleet.alert_for(5), reference.alert());
+        if fleet.alert_for(5).is_none() {
+            assert_eq!(fleet.classifications(5), reference.classifications());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot need more votes")]
+    fn fleet_invalid_vote_config_rejected() {
+        let _ = FleetMonitor::new(
+            tiny_engine(),
+            MonitorConfig {
+                votes_needed: 4,
+                vote_horizon: 3,
+                ..small_config()
+            },
+            StreamMuxConfig::default(),
+        );
+    }
+}

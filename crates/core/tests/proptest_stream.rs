@@ -1,0 +1,164 @@
+//! Property-based parity of the continuous-batching stream multiplexer
+//! against per-window serial classification.
+//!
+//! The mux's contract is the lane engine's, taken online: every
+//! [`Verdict`] must be bit-identical — exact f64 equality on the float
+//! levels, 0 ULP in 10^6-scaled fixed point — to
+//! [`CsdInferenceEngine::classify`] of the same window, no matter how
+//! admission interleaves with ticking, how ragged the window lengths
+//! are, how narrow the lane block is, or how often retirements refill
+//! slots mid-flight. The fleet monitor adds the second contract: with
+//! identical inputs its per-process alert state equals a serial
+//! [`StreamMonitor`] per process, alert for alert.
+
+use std::collections::HashMap;
+
+use csd_accel::{
+    CsdInferenceEngine, MonitorConfig, OptimizationLevel, StreamMonitor, StreamMux,
+    StreamMuxConfig, Verdict,
+};
+use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};
+use proptest::prelude::*;
+
+fn engine(seed: u64, level: OptimizationLevel) -> CsdInferenceEngine {
+    let model = SequenceClassifier::new(ModelConfig::paper(), seed);
+    CsdInferenceEngine::new(&ModelWeights::from_model(&model), level)
+}
+
+fn mux(engine: CsdInferenceEngine, width: usize) -> StreamMux {
+    StreamMux::new(
+        engine,
+        StreamMuxConfig {
+            lanes: Some(width),
+            ..StreamMuxConfig::default()
+        },
+    )
+}
+
+/// Ragged windows: the streams' due classifications.
+fn arb_windows() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(0usize..278, 1..=120), 1..=14)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Streamed verdicts equal serial per-window classification bit for
+    /// bit at every optimization level and lane width, with submissions
+    /// interleaved against ticks so windows are admitted into a mux
+    /// whose lanes are mid-window, retire at different times, and refill
+    /// slots within ticks.
+    #[test]
+    fn streamed_verdicts_bit_identical_to_serial(
+        seed in any::<u64>(),
+        windows in arb_windows(),
+        // Tick budgets run between submissions — the knob that shuffles
+        // admission and retirement orders mid-stream (cycled over
+        // windows, so every submission gets one).
+        ticks_between in prop::collection::vec(0usize..6, 14),
+        level_idx in 0usize..3,
+    ) {
+        let level = OptimizationLevel::ALL[level_idx];
+        let e = engine(seed, level);
+        let serial: Vec<_> = windows.iter().map(|w| e.classify(w)).collect();
+        for width in [1usize, 3, 8, 16] {
+            let mut m = mux(e.clone(), width);
+            let mut verdicts: Vec<Verdict> = Vec::new();
+            for (k, w) in windows.iter().enumerate() {
+                m.submit(k as u64, k, w);
+                for _ in 0..ticks_between[k % ticks_between.len()] {
+                    m.tick_into(&mut verdicts);
+                }
+            }
+            verdicts.extend(m.drain());
+            prop_assert!(m.is_idle());
+            prop_assert_eq!(verdicts.len(), windows.len(), "width {}", width);
+            for v in &verdicts {
+                prop_assert_eq!(
+                    v.classification,
+                    serial[v.stream as usize],
+                    "level {} width {} stream {}", level, width, v.stream
+                );
+            }
+        }
+    }
+
+    /// Draining everything at once (pure batch arrival) agrees with the
+    /// same windows trickled in one tick apart (pure online arrival):
+    /// arrival order must be invisible in the verdicts.
+    #[test]
+    fn arrival_pattern_does_not_change_verdicts(
+        seed in any::<u64>(),
+        windows in prop::collection::vec(prop::collection::vec(0usize..278, 1..=80), 1..=10),
+        level_idx in 0usize..3,
+    ) {
+        let level = OptimizationLevel::ALL[level_idx];
+        let e = engine(seed, level);
+        let mut batch = mux(e.clone(), 4);
+        for (k, w) in windows.iter().enumerate() {
+            batch.submit(k as u64, k, w);
+        }
+        let batch_verdicts = batch.drain();
+
+        let mut online = mux(e, 4);
+        let mut online_verdicts = Vec::new();
+        for (k, w) in windows.iter().enumerate() {
+            online.submit(k as u64, k, w);
+            online.tick_into(&mut online_verdicts);
+        }
+        online_verdicts.extend(online.drain());
+
+        let by_stream = |vs: &[Verdict]| -> Vec<_> {
+            let mut v: Vec<_> = vs.iter().map(|v| (v.stream, v.classification)).collect();
+            v.sort_by_key(|&(s, _)| s);
+            v
+        };
+        prop_assert_eq!(by_stream(&batch_verdicts), by_stream(&online_verdicts));
+    }
+
+    /// The fleet monitor's per-process alert state equals a serial
+    /// `StreamMonitor` per process fed the same calls, across random
+    /// trace lengths and monitor geometries.
+    #[test]
+    fn fleet_monitor_matches_serial_monitors(
+        seed in any::<u64>(),
+        traces in prop::collection::vec(prop::collection::vec(0usize..278, 0..=220), 1..=6),
+        window_len in 4usize..40,
+        stride in 1usize..20,
+    ) {
+        let config = MonitorConfig {
+            window_len,
+            stride,
+            votes_needed: 1,
+            vote_horizon: 2,
+        };
+        let e = engine(seed, OptimizationLevel::FixedPoint);
+        let mut reference = HashMap::new();
+        for (pid, calls) in traces.iter().enumerate() {
+            let mut m = StreamMonitor::new(e.clone(), config);
+            m.observe_all(calls);
+            reference.insert(pid as u64, m.alert());
+        }
+        let mut fleet =
+            csd_accel::FleetMonitor::new(e, config, StreamMuxConfig::default());
+        let longest = traces.iter().map(Vec::len).max().unwrap_or(0);
+        for i in 0..longest {
+            for (pid, calls) in traces.iter().enumerate() {
+                if let Some(&c) = calls.get(i) {
+                    fleet.observe(pid as u64, c);
+                }
+            }
+            // Poll sporadically: alerts may surface late but must match.
+            if i % 7 == 0 {
+                let _ = fleet.poll();
+            }
+        }
+        let _ = fleet.drain();
+        for (pid, expected) in &reference {
+            prop_assert_eq!(
+                fleet.alert_for(*pid), *expected,
+                "pid {} window_len {} stride {}", pid, window_len, stride
+            );
+        }
+    }
+}

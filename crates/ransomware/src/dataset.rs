@@ -323,7 +323,7 @@ impl DatasetBuilder {
                             break 'outer;
                         }
                         entries.push(DatasetEntry {
-                            sequence: w,
+                            sequence: w.to_vec(),
                             is_ransomware: true,
                             source: format!("{}/{os:?}/r{run}", v.id()),
                         });
@@ -355,7 +355,7 @@ impl DatasetBuilder {
                             break 'benign;
                         }
                         entries.push(DatasetEntry {
-                            sequence: w,
+                            sequence: w.to_vec(),
                             is_ransomware: false,
                             source: format!("{}/{os:?}/s{session}", app.name),
                         });
@@ -368,7 +368,7 @@ impl DatasetBuilder {
                         break 'benign;
                     }
                     entries.push(DatasetEntry {
-                        sequence: w,
+                        sequence: w.to_vec(),
                         is_ransomware: false,
                         source: format!("manual/{os:?}/s{session}"),
                     });

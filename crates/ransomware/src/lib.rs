@@ -58,4 +58,4 @@ pub use dataset::{Dataset, DatasetBuilder, SplitKind};
 pub use family::{FamilyProfile, Table2Row};
 pub use sandbox::{ApiTrace, Sandbox, TraceLabel, WindowsVersion};
 pub use variant::Variant;
-pub use window::{sliding_windows, WINDOW_LEN};
+pub use window::{sliding_windows, SlidingWindows, WINDOW_LEN};

@@ -6,14 +6,61 @@
 //! generalizability to varying orders of malicious API calls, we also
 //! employed a sliding window of length 100 to extract sub-sequences at
 //! different stages in each variant's execution" (Appendix A).
+//!
+//! [`sliding_windows`] is zero-copy: it yields `&[usize]` views into the
+//! source trace rather than materializing a `Vec<Vec<usize>>`. A corpus
+//! pass over thousands of detonation traces classifies every window
+//! without a single per-window allocation; only consumers that must own
+//! a window (the dataset builder) copy, and they do it explicitly.
+
+use std::iter::FusedIterator;
 
 /// The paper's window length.
 pub const WINDOW_LEN: usize = 100;
 
+/// Zero-copy iterator over the length-`len` windows of a trace at a
+/// fixed stride — the return type of [`sliding_windows`].
+///
+/// Yields `&[usize]` views into the source slice; [`len`](Self::len)
+/// (via [`ExactSizeIterator`]) reports the remaining window count
+/// without consuming anything.
+#[derive(Debug, Clone)]
+pub struct SlidingWindows<'a> {
+    trace: &'a [usize],
+    len: usize,
+    stride: usize,
+    next_start: usize,
+    remaining: usize,
+}
+
+impl<'a> Iterator for SlidingWindows<'a> {
+    type Item = &'a [usize];
+
+    fn next(&mut self) -> Option<&'a [usize]> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let window = &self.trace[self.next_start..self.next_start + self.len];
+        self.next_start += self.stride;
+        self.remaining -= 1;
+        Some(window)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for SlidingWindows<'_> {}
+impl FusedIterator for SlidingWindows<'_> {}
+
 /// Extracts length-`len` windows from `trace` at the given `stride`,
 /// always starting with the window at offset 0 (early detection).
 ///
-/// Returns an empty vector when the trace is shorter than one window.
+/// Returns an iterator of borrowed views — no window is copied. An
+/// owned copy, where needed, is an explicit `window.to_vec()` at the
+/// consumer. The iterator is empty when the trace is shorter than one
+/// window.
 ///
 /// # Panics
 ///
@@ -24,27 +71,27 @@ pub const WINDOW_LEN: usize = 100;
 /// ```rust
 /// use csd_ransomware::sliding_windows;
 /// let trace: Vec<usize> = (0..10).collect();
-/// let w = sliding_windows(&trace, 4, 3);
+/// let w: Vec<&[usize]> = sliding_windows(&trace, 4, 3).collect();
 /// assert_eq!(w, vec![
-///     vec![0, 1, 2, 3],
-///     vec![3, 4, 5, 6],
-///     vec![6, 7, 8, 9],
+///     &[0, 1, 2, 3][..],
+///     &[3, 4, 5, 6][..],
+///     &[6, 7, 8, 9][..],
 /// ]);
 /// ```
-pub fn sliding_windows(trace: &[usize], len: usize, stride: usize) -> Vec<Vec<usize>> {
+pub fn sliding_windows(trace: &[usize], len: usize, stride: usize) -> SlidingWindows<'_> {
     assert!(len > 0, "window length must be positive");
     assert!(stride > 0, "stride must be positive");
-    if trace.len() < len {
-        return Vec::new();
+    SlidingWindows {
+        trace,
+        len,
+        stride,
+        next_start: 0,
+        remaining: window_count(trace.len(), len, stride),
     }
-    (0..=trace.len() - len)
-        .step_by(stride)
-        .map(|start| trace[start..start + len].to_vec())
-        .collect()
 }
 
-/// The number of windows [`sliding_windows`] would return, without
-/// materializing them.
+/// The number of windows [`sliding_windows`] yields, without touching
+/// the trace.
 ///
 /// # Panics
 ///
@@ -65,8 +112,8 @@ mod tests {
     #[test]
     fn first_window_starts_at_zero() {
         let trace: Vec<usize> = (0..300).collect();
-        let w = sliding_windows(&trace, WINDOW_LEN, 25);
-        assert_eq!(w[0], (0..100).collect::<Vec<_>>());
+        let mut w = sliding_windows(&trace, WINDOW_LEN, 25);
+        assert_eq!(w.next().expect("first window"), &trace[..100]);
     }
 
     #[test]
@@ -78,11 +125,19 @@ mod tests {
     }
 
     #[test]
+    fn windows_are_views_into_the_trace() {
+        let trace: Vec<usize> = (0..300).collect();
+        for (k, w) in sliding_windows(&trace, WINDOW_LEN, 25).enumerate() {
+            assert!(std::ptr::eq(w.as_ptr(), &trace[k * 25]), "borrow, not copy");
+        }
+    }
+
+    #[test]
     fn count_matches_extraction() {
         for (n, len, stride) in [(300, 100, 25), (100, 100, 10), (99, 100, 1), (1000, 100, 7)] {
             let trace: Vec<usize> = (0..n).collect();
             assert_eq!(
-                sliding_windows(&trace, len, stride).len(),
+                sliding_windows(&trace, len, stride).count(),
                 window_count(n, len, stride),
                 "n={n} len={len} stride={stride}"
             );
@@ -90,22 +145,41 @@ mod tests {
     }
 
     #[test]
+    fn exact_size_tracks_remaining() {
+        let trace: Vec<usize> = (0..300).collect();
+        let mut w = sliding_windows(&trace, WINDOW_LEN, 25);
+        assert_eq!(w.len(), 9);
+        w.next();
+        assert_eq!(w.len(), 8);
+        assert_eq!(w.size_hint(), (8, Some(8)));
+    }
+
+    #[test]
     fn short_trace_yields_nothing() {
         let trace: Vec<usize> = (0..50).collect();
-        assert!(sliding_windows(&trace, WINDOW_LEN, 10).is_empty());
+        assert_eq!(sliding_windows(&trace, WINDOW_LEN, 10).next(), None);
         assert_eq!(window_count(50, WINDOW_LEN, 10), 0);
     }
 
     #[test]
     fn exact_length_trace_yields_one() {
         let trace: Vec<usize> = (0..100).collect();
-        assert_eq!(sliding_windows(&trace, WINDOW_LEN, 10).len(), 1);
+        assert_eq!(sliding_windows(&trace, WINDOW_LEN, 10).count(), 1);
     }
 
     #[test]
     fn stride_one_is_dense() {
         let trace: Vec<usize> = (0..110).collect();
-        assert_eq!(sliding_windows(&trace, WINDOW_LEN, 1).len(), 11);
+        assert_eq!(sliding_windows(&trace, WINDOW_LEN, 1).count(), 11);
+    }
+
+    #[test]
+    fn iterator_is_fused() {
+        let trace: Vec<usize> = (0..100).collect();
+        let mut w = sliding_windows(&trace, WINDOW_LEN, 10);
+        assert!(w.next().is_some());
+        assert_eq!(w.next(), None);
+        assert_eq!(w.next(), None, "stays exhausted");
     }
 
     #[test]

@@ -18,7 +18,7 @@ proptest! {
         let trace: Vec<usize> = (0..trace_len).collect();
         let windows = sliding_windows(&trace, len, stride);
         prop_assert_eq!(windows.len(), window_count(trace_len, len, stride));
-        for (k, w) in windows.iter().enumerate() {
+        for (k, w) in windows.enumerate() {
             prop_assert_eq!(w.len(), len);
             prop_assert_eq!(w[0], k * stride);
         }

@@ -355,11 +355,17 @@ mod x86 {
     use std::arch::x86_64::*;
 
     /// Exact `round_half_away(x / SCALE)` for `x` an exact integer with
-    /// `|x| + SCALE/2 < 2^53`. The initial quotient estimate
-    /// `floor(m · (1/SCALE))` can be off by at most one, and the residual
-    /// `m − q0·SCALE` is computed exactly (`q0 < 2^33` and
-    /// `SCALE = 2^6 · 15625`, so `q0·SCALE` needs < 47 mantissa bits),
-    /// letting a branchless ±1 correction land the true quotient.
+    /// `|x| + SCALE/2 ≤ 2^53`: `floor(RN(m / SCALE))` on the magnitude
+    /// `m = |x| + SCALE/2`, with the correctly rounded `m / SCALE` from
+    /// [`div_by_scale_exact_pd`] — no ±1 correction step needed.
+    ///
+    /// Why the floor of the *rounded* quotient is the true floor: RN
+    /// moves `m/SCALE` by at most half an ulp, which for quotients below
+    /// `2^34` (the largest the domain admits: `2^53/10^6 < 2^34`) is at
+    /// most `2^-20 < 10^-6`. The true quotient is either an exact
+    /// integer (`m` a multiple of `SCALE`, rounded to itself) or at
+    /// least `1/SCALE = 10^-6` away from one, so rounding can never
+    /// carry it across an integer boundary.
     ///
     /// # Safety
     ///
@@ -369,29 +375,31 @@ mod x86 {
     #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
     unsafe fn div_round_scale_pd(x: __m512d) -> __m512d {
         let half = _mm512_set1_pd((Fx6::SCALE / 2) as f64);
-        let inv = _mm512_set1_pd(1.0 / FSCALE);
-        let scale = _mm512_set1_pd(FSCALE);
         let sgnmask = _mm512_set1_pd(-0.0);
         let sgn = _mm512_and_pd(x, sgnmask);
         let mag = _mm512_andnot_pd(sgnmask, x);
         let m = _mm512_add_pd(mag, half);
-        let q0 = _mm512_roundscale_pd(
-            _mm512_mul_pd(m, inv),
+        let q = _mm512_roundscale_pd(
+            div_by_scale_exact_pd(m),
             _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC,
         );
-        let r = _mm512_fnmadd_pd(q0, scale, m);
-        let ge = _mm512_cmp_pd_mask(r, scale, _CMP_GE_OQ);
-        let lt = _mm512_cmp_pd_mask(r, _mm512_setzero_pd(), _CMP_LT_OQ);
-        let one = _mm512_set1_pd(1.0);
-        let q1 = _mm512_mask_add_pd(q0, ge, q0, one);
-        let q = _mm512_mask_sub_pd(q1, lt, q1, one);
         _mm512_or_pd(q, sgn)
     }
 
     /// Exact `round_half_away(num/den)` for nonnegative exact-integer
     /// magnitudes and a variable denominator (softsign). Requires
-    /// `num + den/2 < 2^53` and `q0 · den` representable (< 2^53), both
-    /// guaranteed on the softsign domain (`q0 ≤ SCALE`, `den < 2^34`).
+    /// `num + den/2 < 2^53` and the softsign domain bounds
+    /// (`q ≤ SCALE`, `den < 2^34`), under which `m − q0·den` is a small
+    /// integer computed exactly by the FMA.
+    ///
+    /// The quotient estimate avoids `vdivpd` (~10-cycle throughput on
+    /// Skylake-class cores): `rcp14` (relative error < 2^-14) refined by
+    /// one Newton step gives `1/den` to < 2^-27.9 including rounding, so
+    /// `q0 = floor(m · y)` is off from `floor(m/den)` by at most one
+    /// (absolute error ≤ (SCALE + ½)·2^-27.9 < 0.004 before the floor) —
+    /// exactly the range the branchless ±1 residual correction repairs.
+    /// The corrected quotient is the true floor no matter how the
+    /// estimate was produced, so the result is unchanged bit for bit.
     ///
     /// # Safety
     ///
@@ -405,8 +413,10 @@ mod x86 {
             _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC,
         );
         let m = _mm512_add_pd(mag_num, half);
+        let y0 = _mm512_rcp14_pd(den);
+        let y = _mm512_mul_pd(y0, _mm512_fnmadd_pd(den, y0, _mm512_set1_pd(2.0)));
         let q0 = _mm512_roundscale_pd(
-            _mm512_div_pd(m, den),
+            _mm512_mul_pd(m, y),
             _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC,
         );
         let r = _mm512_fnmadd_pd(q0, den, m);
@@ -418,10 +428,46 @@ mod x86 {
         _mm512_or_pd(q, sgn)
     }
 
-    /// AVX-512 tiled FMA matmul with bias folding: 8-row × 8-lane tiles
-    /// keep 8 independent FMA chains in flight (4-cycle latency × 2 ports
-    /// needs ≥ 8 to saturate). All products and sums are exact integers,
-    /// so the fused multiply-adds introduce no rounding at all.
+    /// Correctly rounded `x / SCALE` — the same bits as
+    /// `_mm512_div_pd(x, FSCALE)` and as the scalar `raw as f64 / 1e6` —
+    /// for `x` an exact integer with `|x| ≤ 2^53`, computed with one
+    /// multiply and two FMAs instead of a ~10-cycle `vdivpd`.
+    ///
+    /// Markstein's constant-divisor sequence with `y = RN(1/SCALE)`:
+    /// `q0 = RN(x·y)` is within 2 ulp of `x/SCALE`; the FMA residual
+    /// `r = x − q0·SCALE` is *exact* (its value is a multiple of
+    /// `lsb(q0)·2^6 ≥ 2^-13` bounded by a few ulps of `x`, so it spans
+    /// < 20 bits, since `SCALE = 2^6·15625`); and `q0 + r/SCALE =
+    /// x/SCALE` exactly as reals, so the final `RN(q0 + RN(r·y))` rounds
+    /// `x/SCALE` perturbed by at most ~2^(e−103) (`2^e ≤ |x|/SCALE`).
+    /// That perturbation cannot cross a rounding boundary: `x/SCALE =
+    /// x/(2^6·5^6)` is never exactly a 53-bit midpoint (the numerator of
+    /// its distance to one is a nonzero integer, as `15625·odd` has no
+    /// factor of 2), so the nearest midpoint is at least
+    /// `2^(e−53)/10^6 > 2^(e−73)` away.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx512f/dq/vl.
+    #[inline]
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    unsafe fn div_by_scale_exact_pd(x: __m512d) -> __m512d {
+        let c = _mm512_set1_pd(FSCALE);
+        let y = _mm512_set1_pd(1.0 / FSCALE);
+        let q0 = _mm512_mul_pd(x, y);
+        let r = _mm512_fnmadd_pd(q0, c, x);
+        _mm512_fmadd_pd(r, y, q0)
+    }
+
+    /// AVX-512 tiled FMA matmul with bias folding. Lane-vector pairs get
+    /// an 8-row × 16-lane tile (16 accumulators): per `k` step that is 8
+    /// weight broadcasts + 2 `z` loads feeding 16 FMAs — 5 load-port
+    /// cycles against 8 FMA-port cycles, so the loop runs FMA-bound,
+    /// where the single-vector 8 × 8 tile (9 loads per 8 FMAs) is
+    /// load-port-bound. An odd trailing vector falls back to the 8 × 8
+    /// tile. All products and sums are exact integers, so neither the
+    /// fused multiply-adds nor the tile shape introduce any rounding.
     ///
     /// # Safety
     ///
@@ -443,7 +489,29 @@ mod x86 {
         let nvec = width / 8;
         let mut r = 0;
         while r < rows {
-            for v in 0..nvec {
+            let mut v = 0;
+            while v + 2 <= nvec {
+                let mut acc = [[_mm512_setzero_pd(); 2]; 8];
+                for (i, a) in acc.iter_mut().enumerate() {
+                    let b = _mm512_set1_pd(bias_scaled[r + i]);
+                    *a = [b, b];
+                }
+                for k in 0..cols {
+                    let z0 = _mm512_loadu_pd(z.as_ptr().add(k * width + v * 8));
+                    let z1 = _mm512_loadu_pd(z.as_ptr().add(k * width + (v + 1) * 8));
+                    for (i, a) in acc.iter_mut().enumerate() {
+                        let wk = _mm512_set1_pd(*w.get_unchecked((r + i) * cols + k));
+                        a[0] = _mm512_fmadd_pd(wk, z0, a[0]);
+                        a[1] = _mm512_fmadd_pd(wk, z1, a[1]);
+                    }
+                }
+                for (i, a) in acc.iter().enumerate() {
+                    _mm512_storeu_pd(out.as_mut_ptr().add((r + i) * width + v * 8), a[0]);
+                    _mm512_storeu_pd(out.as_mut_ptr().add((r + i) * width + (v + 1) * 8), a[1]);
+                }
+                v += 2;
+            }
+            while v < nvec {
                 let mut a0 = _mm512_set1_pd(bias_scaled[r]);
                 let mut a1 = _mm512_set1_pd(bias_scaled[r + 1]);
                 let mut a2 = _mm512_set1_pd(bias_scaled[r + 2]);
@@ -499,6 +567,7 @@ mod x86 {
                 _mm512_storeu_pd(out.as_mut_ptr().add((r + 5) * width + v * 8), a5);
                 _mm512_storeu_pd(out.as_mut_ptr().add((r + 6) * width + v * 8), a6);
                 _mm512_storeu_pd(out.as_mut_ptr().add((r + 7) * width + v * 8), a7);
+                v += 1;
             }
             r += 8;
         }
@@ -577,21 +646,23 @@ mod x86 {
         }
     }
 
-    /// Gather-based LUT sigmoid, bit-identical to the scalar
-    /// `sigmoid_fx_lut`: `v = raw / SCALE` uses a true division (matching
-    /// `raw as f64 / SCALE as f64`); the index position replaces the
-    /// scalar's `/ 16.0` with `* 0.0625` (bit-identical: 1/16 is a power
-    /// of two); interpolation uses separate multiplies and adds (no FMA)
-    /// in the scalar's exact expression order; rounding is
-    /// truncate-plus-carry; saturation lanes are overwritten by mask
-    /// blends at the end.
+    /// One vector of LUT sigmoid, bit-identical to the scalar
+    /// `sigmoid_fx_lut`: `v = raw / SCALE` uses the exact constant
+    /// division ([`div_by_scale_exact_pd`], same bits as a true divide);
+    /// the index position replaces the scalar's `/ 16.0` with `* 0.0625`
+    /// (bit-identical: 1/16 is a power of two); interpolation uses
+    /// separate multiplies and adds (no FMA) in the scalar's exact
+    /// expression order; rounding is truncate-plus-carry; saturation
+    /// lanes are overwritten by mask blends at the end.
     ///
     /// # Safety
     ///
-    /// Requires avx512f/dq/vl. `t` must have `LUT_ENTRIES` elements.
+    /// Requires avx512f/dq/vl. `raw` must hold exact integers with
+    /// `|raw| ≤ 2^52`; `t` must have `LUT_ENTRIES` elements.
+    #[inline]
     #[allow(unsafe_code)]
     #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
-    pub(super) unsafe fn sigmoid_avx512(xs: &mut [f64], t: &[f64; LUT_ENTRIES]) {
+    unsafe fn sigmoid_pd(raw: __m512d, t: &[f64; LUT_ENTRIES]) -> __m512d {
         let range = _mm512_set1_pd(LUT_RANGE);
         let neg_range = _mm512_set1_pd(-LUT_RANGE);
         let inv_two_range = _mm512_set1_pd(1.0 / (2.0 * LUT_RANGE));
@@ -601,32 +672,58 @@ mod x86 {
         let half = _mm512_set1_pd(0.5);
         let fscale = _mm512_set1_pd(FSCALE);
         let max_idx = _mm512_set1_epi64((LUT_ENTRIES - 2) as i64);
+        let v = div_by_scale_exact_pd(raw);
+        let pos = _mm512_mul_pd(_mm512_mul_pd(_mm512_add_pd(v, range), inv_two_range), ent);
+        let posc = _mm512_max_pd(pos, zero);
+        let fi = _mm512_roundscale_pd(posc, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);
+        let idx = _mm512_min_epi64(_mm512_cvttpd_epi64(fi), max_idx);
+        let frac = _mm512_sub_pd(posc, fi);
+        let t0 = _mm512_i64gather_pd::<8>(idx, t.as_ptr());
+        let t1 = _mm512_i64gather_pd::<8>(_mm512_add_epi64(idx, _mm512_set1_epi64(1)), t.as_ptr());
+        let y = _mm512_add_pd(
+            _mm512_mul_pd(t0, _mm512_sub_pd(one, frac)),
+            _mm512_mul_pd(t1, frac),
+        );
+        let yy = _mm512_mul_pd(y, fscale);
+        let tr = _mm512_roundscale_pd(yy, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+        let fr = _mm512_sub_pd(yy, tr);
+        let round_up = _mm512_cmp_pd_mask(fr, half, _CMP_GE_OQ);
+        let r = _mm512_mask_add_pd(tr, round_up, tr, one);
+        let hi = _mm512_cmp_pd_mask(v, range, _CMP_GE_OQ);
+        let lo = _mm512_cmp_pd_mask(v, neg_range, _CMP_LE_OQ);
+        let r = _mm512_mask_mov_pd(r, hi, fscale);
+        _mm512_maskz_mov_pd(!lo, r)
+    }
+
+    /// One vector of exact softsign on raw values:
+    /// `round_half_away(x·SCALE / (|x| + SCALE))`.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx512f/dq/vl; `|x| ≤ ~8·10^9` for every element.
+    #[inline]
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    unsafe fn softsign_pd(raw: __m512d) -> __m512d {
+        let fscale = _mm512_set1_pd(FSCALE);
+        let sgnmask = _mm512_set1_pd(-0.0);
+        let sgn = _mm512_and_pd(raw, sgnmask);
+        let mag = _mm512_andnot_pd(sgnmask, raw);
+        let num = _mm512_mul_pd(mag, fscale);
+        let den = _mm512_add_pd(mag, fscale);
+        div_round_generic_pd(num, den, sgn)
+    }
+
+    /// # Safety
+    ///
+    /// Requires avx512f/dq/vl. `t` must have `LUT_ENTRIES` elements.
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    pub(super) unsafe fn sigmoid_avx512(xs: &mut [f64], t: &[f64; LUT_ENTRIES]) {
         let mut i = 0;
         while i + 8 <= xs.len() {
             let raw = _mm512_loadu_pd(xs.as_ptr().add(i));
-            let v = _mm512_div_pd(raw, fscale);
-            let pos = _mm512_mul_pd(_mm512_mul_pd(_mm512_add_pd(v, range), inv_two_range), ent);
-            let posc = _mm512_max_pd(pos, zero);
-            let fi = _mm512_roundscale_pd(posc, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);
-            let idx = _mm512_min_epi64(_mm512_cvttpd_epi64(fi), max_idx);
-            let frac = _mm512_sub_pd(posc, fi);
-            let t0 = _mm512_i64gather_pd::<8>(idx, t.as_ptr());
-            let t1 =
-                _mm512_i64gather_pd::<8>(_mm512_add_epi64(idx, _mm512_set1_epi64(1)), t.as_ptr());
-            let y = _mm512_add_pd(
-                _mm512_mul_pd(t0, _mm512_sub_pd(one, frac)),
-                _mm512_mul_pd(t1, frac),
-            );
-            let yy = _mm512_mul_pd(y, fscale);
-            let tr = _mm512_roundscale_pd(yy, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
-            let fr = _mm512_sub_pd(yy, tr);
-            let round_up = _mm512_cmp_pd_mask(fr, half, _CMP_GE_OQ);
-            let r = _mm512_mask_add_pd(tr, round_up, tr, one);
-            let hi = _mm512_cmp_pd_mask(v, range, _CMP_GE_OQ);
-            let lo = _mm512_cmp_pd_mask(v, neg_range, _CMP_LE_OQ);
-            let r = _mm512_mask_mov_pd(r, hi, fscale);
-            let r = _mm512_maskz_mov_pd(!lo, r);
-            _mm512_storeu_pd(xs.as_mut_ptr().add(i), r);
+            _mm512_storeu_pd(xs.as_mut_ptr().add(i), sigmoid_pd(raw, t));
             i += 8;
         }
         for x in &mut xs[i..] {
@@ -640,16 +737,10 @@ mod x86 {
     #[allow(unsafe_code)]
     #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
     pub(super) unsafe fn softsign_avx512(xs: &mut [f64]) {
-        let fscale = _mm512_set1_pd(FSCALE);
-        let sgnmask = _mm512_set1_pd(-0.0);
         let mut i = 0;
         while i + 8 <= xs.len() {
             let raw = _mm512_loadu_pd(xs.as_ptr().add(i));
-            let sgn = _mm512_and_pd(raw, sgnmask);
-            let mag = _mm512_andnot_pd(sgnmask, raw);
-            let num = _mm512_mul_pd(mag, fscale);
-            let den = _mm512_add_pd(mag, fscale);
-            _mm512_storeu_pd(xs.as_mut_ptr().add(i), div_round_generic_pd(num, den, sgn));
+            _mm512_storeu_pd(xs.as_mut_ptr().add(i), softsign_pd(raw));
             i += 8;
         }
         for x in &mut xs[i..] {
@@ -664,8 +755,6 @@ mod x86 {
     #[allow(unsafe_code)]
     #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
     pub(super) unsafe fn update_avx512(g: &[f64], hw: usize, c: &mut [f64], h: &mut [f64]) {
-        let fscale = _mm512_set1_pd(FSCALE);
-        let sgnmask = _mm512_set1_pd(-0.0);
         let (gi, gf, gc, go) = (&g[..hw], &g[hw..2 * hw], &g[2 * hw..3 * hw], &g[3 * hw..]);
         let mut j = 0;
         while j + 8 <= hw {
@@ -678,11 +767,7 @@ mod x86 {
             let ic = div_round_scale_pd(_mm512_mul_pd(iv, cb));
             let ct = _mm512_add_pd(fc, ic);
             _mm512_storeu_pd(c.as_mut_ptr().add(j), ct);
-            let sgn = _mm512_and_pd(ct, sgnmask);
-            let mag = _mm512_andnot_pd(sgnmask, ct);
-            let num = _mm512_mul_pd(mag, fscale);
-            let den = _mm512_add_pd(mag, fscale);
-            let ss = div_round_generic_pd(num, den, sgn);
+            let ss = softsign_pd(ct);
             let hv = div_round_scale_pd(_mm512_mul_pd(ov, ss));
             _mm512_storeu_pd(h.as_mut_ptr().add(j), hv);
             j += 8;
@@ -746,6 +831,24 @@ mod tests {
             1,
             -1,
         ]);
+        // Constant-division worst cases for the FMA sequence: raws whose
+        // quotient is near representable values (multiples of 15625 make
+        // raw/10^6 land exactly on the 2^-6 grid) and the top of the
+        // documented |raw| ≤ 2^52 domain.
+        let mut m: i64 = 15_625;
+        while m < (1i64 << 52) {
+            for d in [-1i64, 0, 1] {
+                raws.push(m + d);
+                raws.push(-(m + d));
+            }
+            m *= 2;
+        }
+        raws.extend([
+            (1i64 << 52) - 1,
+            -((1i64 << 52) - 1),
+            (1i64 << 52),
+            -(1i64 << 52),
+        ]);
         while raws.len() % 8 != 3 {
             raws.push(0);
         }
@@ -795,7 +898,9 @@ mod tests {
             .collect();
         let wf: Vec<f64> = wi.iter().map(|&x| x as f64).collect();
         let bias_scaled: Vec<f64> = bias.iter().map(|&b| (b * Fx6::SCALE) as f64).collect();
-        for width in [1usize, 3, 4, 8, 11, 16] {
+        // 16 exercises the paired-vector AVX-512 tile, 24 the pair plus
+        // the odd trailing vector, 8 the single-vector tile alone.
+        for width in [1usize, 3, 4, 8, 11, 16, 24] {
             let zi: Vec<i64> = (0..COLS * width)
                 .map(|i| i as i64 * 40_503 % 2_000_000 - 1_000_000)
                 .collect();

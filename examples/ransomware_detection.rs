@@ -91,13 +91,10 @@ fn main() {
         let app = csd_inference::ransomware::BenignProfile::by_name(app_name).expect("app");
         let benign_trace = sandbox.run_benign(&app, WindowsVersion::Win11);
         let windows = sliding_windows(&benign_trace.calls, WINDOW_LEN, 10);
-        let alarms = windows
-            .iter()
-            .filter(|w| engine.classify(w).is_positive)
-            .count();
+        let total = windows.len();
+        let alarms = windows.filter(|w| engine.classify(w).is_positive).count();
         println!(
-            "benign control ({app_name}): {alarms}/{} windows flagged{}",
-            windows.len(),
+            "benign control ({app_name}): {alarms}/{total} windows flagged{}",
             if app_name == "BackupBee" {
                 " (hard negative: encrypted backups look like encryption sweeps)"
             } else {

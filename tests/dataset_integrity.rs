@@ -111,9 +111,10 @@ fn sliding_windows_reconstruct_prefix_of_trace() {
     let sandbox = Sandbox::new(2);
     let v = Variant::corpus().into_iter().nth(40).expect("variant");
     let trace = sandbox.detonate(&v, WindowsVersion::Win10).calls;
-    let windows = sliding_windows(&trace, WINDOW_LEN, 10);
-    // Window k starts at offset 10k and matches the trace exactly.
-    for (k, w) in windows.iter().enumerate() {
-        assert_eq!(w.as_slice(), &trace[k * 10..k * 10 + WINDOW_LEN]);
+    // Window k starts at offset 10k and matches the trace exactly — and
+    // is a borrowed view, not a copy.
+    for (k, w) in sliding_windows(&trace, WINDOW_LEN, 10).enumerate() {
+        assert_eq!(w, &trace[k * 10..k * 10 + WINDOW_LEN]);
+        assert!(std::ptr::eq(w.as_ptr(), &trace[k * 10]));
     }
 }

@@ -176,7 +176,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter `{}` rejected 1000 consecutive samples", self.reason);
+            panic!(
+                "prop_filter `{}` rejected 1000 consecutive samples",
+                self.reason
+            );
         }
     }
 
@@ -278,11 +281,7 @@ pub mod strategy {
             }
         )+};
     }
-    impl_tuple_strategy!(
-        (A.0, B.1),
-        (A.0, B.1, C.2),
-        (A.0, B.1, C.2, D.3),
-    );
+    impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
 }
 
 pub mod arbitrary {
@@ -449,7 +448,10 @@ where
     for case in 0..config.cases {
         let mut rng = TestRng::deterministic(name, case);
         if let Err(e) = f(&mut rng) {
-            panic!("proptest `{name}` failed on case {case}/{}: {e}", config.cases);
+            panic!(
+                "proptest `{name}` failed on case {case}/{}: {e}",
+                config.cases
+            );
         }
     }
 }

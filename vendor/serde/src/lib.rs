@@ -79,7 +79,10 @@ impl Value {
     pub fn as_seq(&self) -> Result<&[Value], DeError> {
         match self {
             Value::Seq(items) => Ok(items),
-            other => Err(DeError::new(format!("expected sequence, found {}", other.kind()))),
+            other => Err(DeError::new(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -87,7 +90,10 @@ impl Value {
     pub fn as_map(&self) -> Result<&[(String, Value)], DeError> {
         match self {
             Value::Map(entries) => Ok(entries),
-            other => Err(DeError::new(format!("expected map, found {}", other.kind()))),
+            other => Err(DeError::new(format!(
+                "expected map, found {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -109,7 +115,10 @@ impl Value {
             Value::Int(v) => Ok(v as f64),
             Value::UInt(v) => Ok(v as f64),
             Value::Float(v) => Ok(v),
-            ref other => Err(DeError::new(format!("expected number, found {}", other.kind()))),
+            ref other => Err(DeError::new(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -216,7 +225,10 @@ impl Deserialize for bool {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         match value {
             Value::Bool(b) => Ok(*b),
-            other => Err(DeError::new(format!("expected bool, found {}", other.kind()))),
+            other => Err(DeError::new(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -231,7 +243,10 @@ impl Deserialize for String {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         match value {
             Value::Str(s) => Ok(s.clone()),
-            other => Err(DeError::new(format!("expected string, found {}", other.kind()))),
+            other => Err(DeError::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -244,7 +259,10 @@ impl Deserialize for &'static str {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         match value {
             Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
-            other => Err(DeError::new(format!("expected string, found {}", other.kind()))),
+            other => Err(DeError::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -265,7 +283,10 @@ impl Deserialize for char {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         match value {
             Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
-            other => Err(DeError::new(format!("expected char, found {}", other.kind()))),
+            other => Err(DeError::new(format!(
+                "expected char, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -314,7 +335,11 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
 
 impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
     fn from_value(value: &Value) -> Result<Self, DeError> {
-        let items: Vec<T> = value.as_seq()?.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        let items: Vec<T> = value
+            .as_seq()?
+            .iter()
+            .map(T::from_value)
+            .collect::<Result<_, _>>()?;
         let found = items.len();
         items
             .try_into()
@@ -362,12 +387,7 @@ macro_rules! impl_tuple {
         }
     )+};
 }
-impl_tuple!(
-    (A.0),
-    (A.0, B.1),
-    (A.0, B.1, C.2),
-    (A.0, B.1, C.2, D.3),
-);
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
 
 #[cfg(test)]
 mod tests {
@@ -379,7 +399,10 @@ mod tests {
         assert_eq!(u64::from_value(&5u64.to_value()), Ok(5));
         assert_eq!(f64::from_value(&2.5f64.to_value()), Ok(2.5));
         assert_eq!(bool::from_value(&true.to_value()), Ok(true));
-        assert_eq!(String::from_value(&"hi".to_string().to_value()), Ok("hi".to_string()));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
     }
 
     #[test]

@@ -71,16 +71,17 @@ fn expand(input: TokenStream, mode: Mode) -> TokenStream {
                 Mode::Serialize => gen_serialize(&item),
                 Mode::Deserialize => gen_deserialize(&item),
             };
-            code.parse().unwrap_or_else(|e| {
-                error(&format!("serde stub derive produced invalid code: {e}"))
-            })
+            code.parse()
+                .unwrap_or_else(|e| error(&format!("serde stub derive produced invalid code: {e}")))
         }
         Err(msg) => error(&msg),
     }
 }
 
 fn error(msg: &str) -> TokenStream {
-    format!("compile_error!({msg:?});").parse().expect("error tokens")
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens")
 }
 
 // ---------------------------------------------------------------- parsing
@@ -206,13 +207,10 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
 fn group_mentions_transparent(stream: TokenStream) -> bool {
     let mut iter = stream.into_iter();
     match (iter.next(), iter.next()) {
-        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
-            if id.to_string() == "serde" =>
-        {
-            g.stream()
-                .into_iter()
-                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent"))
-        }
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent")),
         _ => false,
     }
 }
@@ -276,7 +274,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
         pos += 1;
         match tokens.get(pos) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
-            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
         }
         // Consume the type up to the next top-level comma.
         let mut depth = 0usize;

@@ -77,12 +77,7 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
 
 // ---------------------------------------------------------------- writing
 
-fn write_value(
-    value: &Value,
-    out: &mut String,
-    indent: Option<&str>,
-    depth: usize,
-) -> Result<()> {
+fn write_value(value: &Value, out: &mut String, indent: Option<&str>, depth: usize) -> Result<()> {
     match value {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -258,7 +253,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Seq(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -286,7 +286,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Map(entries));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -344,10 +349,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "unknown escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("unknown escape `\\{}`", other as char)))
                         }
                     }
                 }
