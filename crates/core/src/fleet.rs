@@ -6,13 +6,21 @@
 //! [`CsdFleet`] models that deployment: `N` devices, each running the
 //! same programmed model, with sequences partitioned across them — the
 //! background-scanning workload (§I) at rack scale.
+//!
+//! A device whose recovery budget is exhausted (see
+//! [`crate::host::RecoveryPolicy`]) does not abort the scan: the fleet
+//! quarantines it, redistributes its shard across the healthy devices,
+//! and re-admits it after a cooldown. A verdict is only lost if *every*
+//! device fails on the same sequence.
 
-use csd_device::{Nanos, RuntimeError};
+#![deny(clippy::unwrap_used)]
+
+use csd_device::{FaultPlan, Nanos, RuntimeError};
 use csd_nn::ModelWeights;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::Classification;
-use crate::host::HostProgram;
+use crate::host::{HostError, HostProgram, RecoveryPolicy, RecoveryStats};
 use crate::opt::OptimizationLevel;
 
 /// The outcome of a fleet scan.
@@ -37,10 +45,48 @@ impl FleetScan {
     }
 }
 
+/// Fleet-level fault-handling knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetPolicy {
+    /// Scans a quarantined device sits out before re-admission.
+    pub cooldown_scans: u64,
+}
+
+impl Default for FleetPolicy {
+    fn default() -> Self {
+        Self { cooldown_scans: 2 }
+    }
+}
+
+/// Fleet-level fault tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FleetStats {
+    /// Scans performed.
+    pub scans: u64,
+    /// Sequence attempts that came back with a device error.
+    pub faults: u64,
+    /// Devices quarantined (counting repeats).
+    pub quarantines: u64,
+    /// Devices re-admitted after cooldown.
+    pub readmissions: u64,
+    /// Sequences that had to move to another device mid-scan.
+    pub redistributed: u64,
+}
+
+/// One fleet slot: a device plus its quarantine state.
+#[derive(Debug)]
+struct Slot {
+    host: HostProgram,
+    /// `Some(scan)` — sits out until fleet scan counter reaches `scan`.
+    quarantined_until: Option<u64>,
+}
+
 /// A node with several SmartSSDs programmed with the same model.
 #[derive(Debug)]
 pub struct CsdFleet {
-    devices: Vec<HostProgram>,
+    slots: Vec<Slot>,
+    policy: FleetPolicy,
+    stats: FleetStats,
 }
 
 impl CsdFleet {
@@ -57,51 +103,179 @@ impl CsdFleet {
         n: usize,
         weights: &ModelWeights,
         level: OptimizationLevel,
-    ) -> Result<Self, RuntimeError> {
+    ) -> Result<Self, HostError> {
         assert!(n > 0, "a fleet needs at least one device");
-        let devices = (0..n)
-            .map(|_| HostProgram::new(weights, level))
+        let slots = (0..n)
+            .map(|_| {
+                HostProgram::new(weights, level).map(|host| Slot {
+                    host,
+                    quarantined_until: None,
+                })
+            })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { devices })
+        Ok(Self {
+            slots,
+            policy: FleetPolicy::default(),
+            stats: FleetStats::default(),
+        })
     }
 
     /// Number of devices.
     pub fn len(&self) -> usize {
-        self.devices.len()
+        self.slots.len()
     }
 
     /// `false`: fleets are non-empty by construction.
     pub fn is_empty(&self) -> bool {
-        self.devices.is_empty()
+        self.slots.is_empty()
     }
 
-    /// Scans `sequences`, partitioning them round-robin across devices.
-    /// Devices run concurrently; each serializes its own share.
+    /// Replaces the fleet-level fault policy.
+    pub fn set_policy(&mut self, policy: FleetPolicy) {
+        self.policy = policy;
+    }
+
+    /// Applies a recovery policy to every device.
+    pub fn set_recovery(&mut self, policy: RecoveryPolicy) {
+        for slot in &mut self.slots {
+            slot.host.set_recovery(policy);
+        }
+    }
+
+    /// Arms a fault schedule on device `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn arm_faults(&mut self, idx: usize, plan: FaultPlan) {
+        self.slots[idx].host.arm_faults(plan);
+    }
+
+    /// Disarms fault injection on device `idx`; returns the retired plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn disarm_faults(&mut self, idx: usize) -> Option<FaultPlan> {
+        self.slots[idx].host.disarm_faults()
+    }
+
+    /// Recovery tallies of device `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn device_stats(&self, idx: usize) -> RecoveryStats {
+        self.slots[idx].host.recovery_stats()
+    }
+
+    /// Fleet-level fault tallies.
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    /// Indices of currently-quarantined devices.
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.quarantined_until.is_some())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Scans `sequences`, partitioning them round-robin across healthy
+    /// devices. Devices run concurrently; each serializes its own share.
+    ///
+    /// A device that exhausts its recovery budget on a sequence is
+    /// quarantined for [`FleetPolicy::cooldown_scans`] scans and the
+    /// sequence moves to the next healthy device, so one flaky SmartSSD
+    /// delays its shard instead of sinking the scan.
     ///
     /// # Errors
     ///
-    /// Returns the first device error.
+    /// Returns the last device error only when a sequence failed on
+    /// *every* device.
     ///
     /// # Panics
     ///
     /// Panics if `sequences` is empty or any sequence is empty.
     pub fn scan(&mut self, sequences: &[Vec<usize>]) -> Result<FleetScan, RuntimeError> {
         assert!(!sequences.is_empty(), "nothing to scan");
-        let n = self.devices.len();
+        self.stats.scans += 1;
+        let scan_no = self.stats.scans;
+        // Cooldown expiry: devices whose sentence is served rejoin.
+        for slot in &mut self.slots {
+            if slot.quarantined_until.is_some_and(|until| scan_no >= until) {
+                slot.quarantined_until = None;
+                self.stats.readmissions += 1;
+            }
+        }
+        let n = self.slots.len();
         let mut classifications = vec![None; sequences.len()];
         let mut per_device = vec![Nanos::ZERO; n];
         for (i, seq) in sequences.iter().enumerate() {
-            let d = i % n;
-            let run = self.devices[d].classify_from_ssd(seq)?;
-            per_device[d] += run.elapsed;
-            classifications[i] = Some(run.classification);
+            // Fault-free this is exactly the old `i % n` round-robin;
+            // quarantined devices are skipped, and a mid-sequence
+            // failure walks to the next candidate.
+            let mut last_err = None;
+            for offset in 0..n {
+                let d = (i + offset) % n;
+                if self.slots[d].quarantined_until.is_some() {
+                    continue;
+                }
+                if offset > 0 {
+                    self.stats.redistributed += 1;
+                }
+                match self.slots[d].host.classify_from_ssd(seq) {
+                    Ok(run) => {
+                        per_device[d] += run.elapsed;
+                        classifications[i] = Some(run.classification);
+                        last_err = None;
+                        break;
+                    }
+                    Err(e) => {
+                        self.stats.faults += 1;
+                        self.stats.quarantines += 1;
+                        self.slots[d].quarantined_until =
+                            Some(scan_no + self.policy.cooldown_scans);
+                        last_err = Some(e);
+                    }
+                }
+            }
+            if let Some(e) = last_err {
+                return Err(e);
+            }
+            if classifications[i].is_none() {
+                // Every device was already quarantined: force the
+                // least-recently-benched one back early rather than
+                // dropping the verdict.
+                let d = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.quarantined_until.unwrap_or(0))
+                    .map(|(idx, _)| idx)
+                    .unwrap_or(i % n);
+                self.slots[d].quarantined_until = None;
+                self.stats.readmissions += 1;
+                let run = self.slots[d].host.classify_from_ssd(seq)?;
+                per_device[d] += run.elapsed;
+                classifications[i] = Some(run.classification);
+            }
         }
         let elapsed = per_device.iter().copied().fold(Nanos::ZERO, Nanos::max);
+        let mut out = Vec::with_capacity(sequences.len());
+        for c in classifications {
+            match c {
+                Some(c) => out.push(c),
+                // Unreachable: every arm above either fills the slot or
+                // returns early — but never drop a verdict silently.
+                None => return Err(RuntimeError::BadHandle),
+            }
+        }
         Ok(FleetScan {
-            classifications: classifications
-                .into_iter()
-                .map(|c| c.expect("every sequence scanned"))
-                .collect(),
+            classifications: out,
             elapsed,
             per_device,
         })
@@ -115,16 +289,18 @@ impl CsdFleet {
     /// Returns the first device error; devices updated before the failure
     /// keep the new model (callers should retry until `Ok`).
     pub fn update_weights(&mut self, weights: &ModelWeights) -> Result<(), RuntimeError> {
-        for d in &mut self.devices {
-            d.update_weights(weights)?;
+        for slot in &mut self.slots {
+            slot.host.update_weights(weights)?;
         }
         Ok(())
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use csd_device::FaultConfig;
     use csd_nn::{ModelConfig, SequenceClassifier};
 
     fn weights() -> ModelWeights {
@@ -135,6 +311,13 @@ mod tests {
         (0..n)
             .map(|k| (0..100).map(|i| (i * 7 + k * 13) % 278).collect())
             .collect()
+    }
+
+    /// A fault plan that makes every classification attempt fail.
+    fn always_failing() -> FaultPlan {
+        let mut cfg = FaultConfig::none();
+        cfg.corruption = 1.0;
+        FaultPlan::new(1, cfg)
     }
 
     #[test]
@@ -210,5 +393,88 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn empty_fleet_rejected() {
         let _ = CsdFleet::new(0, &weights(), OptimizationLevel::Vanilla);
+    }
+
+    #[test]
+    fn dead_device_is_quarantined_and_its_shard_redistributed() {
+        let w = weights();
+        let seqs = sequences(9);
+        let mut healthy = CsdFleet::new(3, &w, OptimizationLevel::FixedPoint).expect("boot");
+        let reference = healthy.scan(&seqs).expect("scan");
+
+        let mut fleet = CsdFleet::new(3, &w, OptimizationLevel::FixedPoint).expect("boot");
+        fleet.set_recovery(RecoveryPolicy {
+            max_retries: 1,
+            ..RecoveryPolicy::retry_only()
+        });
+        fleet.arm_faults(1, always_failing());
+        let scan = fleet.scan(&seqs).expect("fleet survives one dead device");
+        // No verdict lost, none changed.
+        assert_eq!(scan.classifications, reference.classifications);
+        assert_eq!(fleet.quarantined(), vec![1]);
+        let stats = fleet.stats();
+        assert_eq!(stats.quarantines, 1);
+        assert!(stats.redistributed >= 1, "the shard moved");
+        // Device 1 served nothing after its first failed sequence.
+        assert!(scan.per_device[1] < scan.per_device[0]);
+    }
+
+    #[test]
+    fn quarantine_cooldown_readmits_a_recovered_device() {
+        let w = weights();
+        let seqs = sequences(6);
+        let mut fleet = CsdFleet::new(3, &w, OptimizationLevel::FixedPoint).expect("boot");
+        fleet.set_policy(FleetPolicy { cooldown_scans: 2 });
+        fleet.set_recovery(RecoveryPolicy {
+            max_retries: 1,
+            ..RecoveryPolicy::retry_only()
+        });
+        fleet.arm_faults(2, always_failing());
+        fleet.scan(&seqs).expect("scan 1");
+        assert_eq!(fleet.quarantined(), vec![2]);
+        // The flake clears while the device sits out.
+        fleet.disarm_faults(2);
+        fleet.scan(&seqs).expect("scan 2: still benched");
+        assert_eq!(fleet.quarantined(), vec![2]);
+        fleet.scan(&seqs).expect("scan 3: cooldown over");
+        assert!(fleet.quarantined().is_empty(), "re-admitted");
+        assert_eq!(fleet.stats().readmissions, 1);
+        // And it serves traffic again.
+        let scan = fleet.scan(&seqs).expect("scan 4");
+        assert!(scan.per_device[2] > Nanos::ZERO);
+    }
+
+    #[test]
+    fn all_devices_dead_surfaces_the_error() {
+        let w = weights();
+        let mut fleet = CsdFleet::new(2, &w, OptimizationLevel::FixedPoint).expect("boot");
+        fleet.set_recovery(RecoveryPolicy {
+            max_retries: 0,
+            ..RecoveryPolicy::retry_only()
+        });
+        fleet.arm_faults(0, always_failing());
+        fleet.arm_faults(1, always_failing());
+        let err = fleet.scan(&sequences(2)).expect_err("nothing healthy");
+        assert!(matches!(err, RuntimeError::TransferCorrupted { .. }));
+    }
+
+    #[test]
+    fn flaky_device_delays_but_never_changes_verdicts() {
+        let w = weights();
+        let seqs = sequences(12);
+        let mut healthy = CsdFleet::new(4, &w, OptimizationLevel::FixedPoint).expect("boot");
+        let reference = healthy.scan(&seqs).expect("scan");
+
+        let mut fleet = CsdFleet::new(4, &w, OptimizationLevel::FixedPoint).expect("boot");
+        fleet.set_recovery(RecoveryPolicy {
+            max_retries: 16,
+            ..RecoveryPolicy::default()
+        });
+        let mut cfg = FaultConfig::none();
+        cfg.corruption = 0.002;
+        fleet.arm_faults(0, FaultPlan::new(17, cfg));
+        fleet.arm_faults(3, FaultPlan::new(99, cfg));
+        let scan = fleet.scan(&seqs).expect("recovers");
+        assert_eq!(scan.classifications, reference.classifications);
     }
 }

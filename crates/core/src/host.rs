@@ -9,24 +9,169 @@
 //! and drive the per-item kernel schedule — returning both the
 //! classification (computed bit-faithfully by the engine) and the
 //! simulated device time.
+//!
+//! With a fault plan armed on the device (see [`csd_device::fault`]),
+//! every step can fail; [`HostProgram`] recovers per its
+//! [`RecoveryPolicy`]: bounded retry with exponential backoff, waiting
+//! out brownouts, and a full bitstream reload ([reprogram]) after
+//! repeated failures — so a flaky device delays verdicts but never
+//! loses or changes one.
+//!
+//! [reprogram]: RecoveryPolicy::reprogram_after
 
-use csd_device::{BufferHandle, DeviceRuntime, KernelHandle, Nanos, RuntimeError, SmartSsd};
-use csd_nn::ModelWeights;
+#![deny(clippy::unwrap_used)]
 
-use crate::bitstream::{link, Xclbin};
+use std::fmt;
+
+use csd_device::{
+    BufferHandle, DeviceRuntime, FaultCounters, FaultPlan, KernelHandle, Nanos, RuntimeError,
+    SmartSsd,
+};
+use csd_nn::{ModelWeights, WeightsError};
+use serde::{Deserialize, Serialize};
+
+use crate::bitstream::{link, LinkError, Xclbin};
 use crate::engine::{Classification, CsdInferenceEngine};
 use crate::kernels::GateKind;
 use crate::opt::OptimizationLevel;
+
+/// Anything that can go wrong while booting or driving a host session,
+/// with the layer that failed preserved for callers to match on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostError {
+    /// The weight text file failed to parse.
+    Weights(WeightsError),
+    /// The five-kernel design did not fit the target fabric.
+    Link(LinkError),
+    /// The device runtime rejected an operation.
+    Device(RuntimeError),
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::Weights(e) => write!(f, "weight file rejected: {e}"),
+            HostError::Link(e) => write!(f, "design failed to link: {e}"),
+            HostError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HostError::Weights(e) => Some(e),
+            HostError::Link(e) => Some(e),
+            HostError::Device(e) => Some(e),
+        }
+    }
+}
+
+impl From<WeightsError> for HostError {
+    fn from(e: WeightsError) -> Self {
+        HostError::Weights(e)
+    }
+}
+
+impl From<LinkError> for HostError {
+    fn from(e: LinkError) -> Self {
+        HostError::Link(e)
+    }
+}
+
+impl From<RuntimeError> for HostError {
+    fn from(e: RuntimeError) -> Self {
+        HostError::Device(e)
+    }
+}
+
+/// How a [`HostProgram`] responds to device faults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Retries per classification before giving up and surfacing the
+    /// error (the fleet layer then quarantines the device).
+    pub max_retries: u32,
+    /// Base backoff between retries; doubles per consecutive failure.
+    pub backoff: Nanos,
+    /// Consecutive failures that trigger a bitstream reload. Set to
+    /// `u32::MAX` for a retry-only policy (the hung-kernel worst case
+    /// then drains at the stall's own pace).
+    pub reprogram_after: u32,
+    /// Per-run kernel watchdog deadline (`None` disables it — a hung
+    /// kernel then just makes the run slow instead of erroring).
+    pub watchdog: Option<Nanos>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 4,
+            backoff: Nanos::from_micros(50.0),
+            reprogram_after: 2,
+            watchdog: Some(Nanos::from_micros(10_000.0)),
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Retry-with-backoff only; never reloads the bitstream.
+    pub fn retry_only() -> Self {
+        Self {
+            reprogram_after: u32::MAX,
+            ..Self::default()
+        }
+    }
+}
+
+/// Running recovery tallies for one host session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Device faults observed (all classes).
+    pub faults: u64,
+    /// Retries performed.
+    pub retries: u64,
+    /// Bitstream reloads performed.
+    pub reprograms: u64,
+    /// Kernel watchdog deadline trips.
+    pub watchdog_trips: u64,
+    /// Brownout windows waited out.
+    pub brownout_waits: u64,
+    /// CRC-on-DMA transfer rejections.
+    pub crc_rejects: u64,
+    /// SSD page-read failures.
+    pub page_read_failures: u64,
+}
+
+impl RecoveryStats {
+    fn note(&mut self, e: &RuntimeError) {
+        self.faults += 1;
+        match e {
+            RuntimeError::TransferCorrupted { .. } => self.crc_rejects += 1,
+            RuntimeError::KernelTimeout { .. } => self.watchdog_trips += 1,
+            RuntimeError::PageReadFailed => self.page_read_failures += 1,
+            RuntimeError::DeviceBrownout { .. } => self.brownout_waits += 1,
+            _ => {}
+        }
+    }
+}
+
+/// Simulated cost of tearing the session down and reloading the
+/// bitstream (partial reconfiguration of a KU15P-class fabric runs in
+/// the hundreds of milliseconds).
+const REPROGRAM_COST: Nanos = Nanos(400_000_000);
 
 /// The result of one device-timed sequence classification.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeviceRun {
     /// The classification (identical to the engine's).
     pub classification: Classification,
-    /// Simulated device time from enqueue to final-kernel completion.
+    /// Simulated device time from enqueue to final-kernel completion,
+    /// including any retries, backoff, and reprogramming.
     pub elapsed: Nanos,
     /// Bytes loaded from NAND peer-to-peer for this run.
     pub p2p_bytes: u64,
+    /// Retries it took to land this verdict (0 = clean first attempt).
+    pub retries: u32,
 }
 
 /// The host program: one programmed FPGA session.
@@ -34,12 +179,20 @@ pub struct DeviceRun {
 pub struct HostProgram {
     runtime: DeviceRuntime,
     engine: CsdInferenceEngine,
+    /// The linked image, kept so a bitstream reload can re-register the
+    /// kernels with the same per-item timings.
+    image: Xclbin,
     weight_buf: BufferHandle,
     seq_buf: BufferHandle,
     k_pre: KernelHandle,
     k_gates: [KernelHandle; 4],
     k_hidden: KernelHandle,
     model_version: u64,
+    policy: RecoveryPolicy,
+    stats: RecoveryStats,
+    /// P2P bytes from sessions torn down by [`Self::reprogram`], so
+    /// per-run accounting stays monotone across bitstream reloads.
+    p2p_offset: u64,
 }
 
 impl HostProgram {
@@ -47,11 +200,12 @@ impl HostProgram {
     ///
     /// # Errors
     ///
-    /// Returns the parse error message for a malformed file, or a runtime
-    /// error description if device setup fails.
-    pub fn from_weight_file(text: &str, level: OptimizationLevel) -> Result<Self, String> {
-        let weights = ModelWeights::from_text(text).map_err(|e| e.to_string())?;
-        Self::new(&weights, level).map_err(|e| e.to_string())
+    /// Returns [`HostError::Weights`] for a malformed file,
+    /// [`HostError::Link`] if the design does not fit, or
+    /// [`HostError::Device`] if device setup fails.
+    pub fn from_weight_file(text: &str, level: OptimizationLevel) -> Result<Self, HostError> {
+        let weights = ModelWeights::from_text(text)?;
+        Self::new(&weights, level)
     }
 
     /// Initializes the device from already-parsed weights: links the
@@ -60,20 +214,14 @@ impl HostProgram {
     ///
     /// # Errors
     ///
-    /// Returns a [`RuntimeError`] if buffer allocation fails.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the design fails to link — impossible on the u200
-    /// floorplan this constructor targets; use [`crate::bitstream::link`]
-    /// plus [`Self::program`] for custom devices.
-    pub fn new(weights: &ModelWeights, level: OptimizationLevel) -> Result<Self, RuntimeError> {
+    /// Returns [`HostError::Link`] if the design does not fit the u200
+    /// fabric, or [`HostError::Device`] if buffer allocation fails.
+    pub fn new(weights: &ModelWeights, level: OptimizationLevel) -> Result<Self, HostError> {
         let engine = CsdInferenceEngine::new(weights, level);
         let dims = engine.weights().dims();
         let device = SmartSsd::new_u200_testbed();
-        let image = link(level, &dims, device.fpga())
-            .expect("the five-kernel design links on the u200 testbed");
-        Self::program_engine(device, image, engine)
+        let image = link(level, &dims, device.fpga())?;
+        Ok(Self::program_engine(device, image, engine)?)
     }
 
     /// Programs a pre-linked [`Xclbin`] image with the given weights.
@@ -102,8 +250,45 @@ impl HostProgram {
         image: Xclbin,
         engine: CsdInferenceEngine,
     ) -> Result<Self, RuntimeError> {
+        let policy = RecoveryPolicy::default();
         let mut runtime = DeviceRuntime::new(device);
+        runtime.set_watchdog(policy.watchdog);
+        let (weight_buf, seq_buf, k_pre, k_gates, k_hidden) =
+            Self::set_up_session(&mut runtime, &image, &engine)?;
+        Ok(Self {
+            runtime,
+            engine,
+            image,
+            weight_buf,
+            seq_buf,
+            k_pre,
+            k_gates,
+            k_hidden,
+            model_version: 1,
+            policy,
+            stats: RecoveryStats::default(),
+            p2p_offset: 0,
+        })
+    }
 
+    /// Allocates the two-bank buffer layout, migrates the weights, and
+    /// registers the five kernel circuits — shared between first boot
+    /// and every bitstream reload.
+    #[allow(clippy::type_complexity)]
+    fn set_up_session(
+        runtime: &mut DeviceRuntime,
+        image: &Xclbin,
+        engine: &CsdInferenceEngine,
+    ) -> Result<
+        (
+            BufferHandle,
+            BufferHandle,
+            KernelHandle,
+            [KernelHandle; 4],
+            KernelHandle,
+        ),
+        RuntimeError,
+    > {
         // Weights on bank 0, sequence data on bank 1 (two-bank policy).
         let weight_buf = runtime.alloc_buffer(0, engine.weights().device_bytes())?;
         let seq_buf = runtime.alloc_buffer(1, 4096)?;
@@ -120,17 +305,109 @@ impl HostProgram {
         });
         let k_hidden =
             runtime.register_kernel("kernel_hidden_state", micros("kernel_hidden_state"));
+        Ok((weight_buf, seq_buf, k_pre, k_gates, k_hidden))
+    }
 
-        Ok(Self {
-            runtime,
-            engine,
-            weight_buf,
-            seq_buf,
-            k_pre,
-            k_gates,
-            k_hidden,
-            model_version: 1,
-        })
+    /// Replaces the default [`RecoveryPolicy`] (builder style).
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.set_recovery(policy);
+        self
+    }
+
+    /// Replaces the recovery policy in place.
+    pub fn set_recovery(&mut self, policy: RecoveryPolicy) {
+        self.policy = policy;
+        self.runtime.set_watchdog(policy.watchdog);
+    }
+
+    /// The active recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Recovery tallies accumulated by this session.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.stats
+    }
+
+    /// Arms a deterministic fault schedule on the underlying device.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.runtime.device_mut().arm_faults(plan);
+    }
+
+    /// Disarms fault injection; returns the retired plan if one was armed.
+    pub fn disarm_faults(&mut self) -> Option<FaultPlan> {
+        self.runtime.device_mut().disarm_faults()
+    }
+
+    /// Faults the device has injected so far.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.runtime.device().fault_counters()
+    }
+
+    /// Tears the session down and reloads the bitstream: the device
+    /// (armed fault plan and all) survives, every circuit is freed —
+    /// including ones hung by a stalled run — and the weights are
+    /// re-migrated. Costs ~400 ms of simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`RuntimeError`] if re-migrating the weights
+    /// keeps failing past the retry budget; the session is left
+    /// consistent and a later retry may still succeed.
+    pub fn reprogram(&mut self) -> Result<(), RuntimeError> {
+        self.stats.reprograms += 1;
+        self.p2p_offset += self.runtime.summary().p2p_bytes;
+        let old = std::mem::replace(
+            &mut self.runtime,
+            DeviceRuntime::new(SmartSsd::new_u200_testbed()),
+        );
+        let (device, elapsed) = old.release();
+        let mut runtime = DeviceRuntime::new_at(device, elapsed + REPROGRAM_COST);
+        runtime.set_watchdog(self.policy.watchdog);
+        let mut attempt = 0u32;
+        let result = loop {
+            match Self::set_up_session(&mut runtime, &self.image, &self.engine) {
+                Ok(handles) => break Ok(handles),
+                Err(e) => {
+                    self.stats.note(&e);
+                    if attempt >= self.policy.max_retries {
+                        break Err(e);
+                    }
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    if let RuntimeError::DeviceBrownout { until } = e {
+                        runtime.advance_to(until);
+                    } else {
+                        runtime.advance(self.backoff_for(attempt));
+                    }
+                }
+            }
+        };
+        match result {
+            Ok((weight_buf, seq_buf, k_pre, k_gates, k_hidden)) => {
+                self.runtime = runtime;
+                self.weight_buf = weight_buf;
+                self.seq_buf = seq_buf;
+                self.k_pre = k_pre;
+                self.k_gates = k_gates;
+                self.k_hidden = k_hidden;
+                Ok(())
+            }
+            Err(e) => {
+                // Keep the real device so its clock and fault counters
+                // stay truthful; the caller sees the error and can
+                // quarantine or retry.
+                self.runtime = runtime;
+                Err(e)
+            }
+        }
+    }
+
+    /// Exponential backoff for the `attempt`-th retry (1-based).
+    fn backoff_for(&self, attempt: u32) -> Nanos {
+        let shift = attempt.saturating_sub(1).min(16);
+        Nanos(self.policy.backoff.as_nanos().saturating_mul(1u64 << shift))
     }
 
     /// The currently-deployed model version (1 after boot; bumped by
@@ -195,9 +472,18 @@ impl HostProgram {
     /// DRAM, drives the per-item kernel schedule, and returns the result
     /// with simulated timing.
     ///
+    /// Under an armed fault plan, failures are absorbed per the
+    /// [`RecoveryPolicy`]: bounded retry with exponential backoff,
+    /// waiting out brownouts, and a bitstream reload after
+    /// [`RecoveryPolicy::reprogram_after`] consecutive failures. The
+    /// verdict itself is never affected — a faulted run produces no
+    /// verdict at all until an attempt completes cleanly, and the
+    /// classification is computed bit-faithfully by the engine.
+    ///
     /// # Errors
     ///
-    /// Returns a [`RuntimeError`] if an enqueue fails.
+    /// Returns the last [`RuntimeError`] once the retry budget
+    /// ([`RecoveryPolicy::max_retries`]) is exhausted.
     ///
     /// # Panics
     ///
@@ -205,7 +491,43 @@ impl HostProgram {
     pub fn classify_from_ssd(&mut self, seq: &[usize]) -> Result<DeviceRun, RuntimeError> {
         assert!(!seq.is_empty(), "empty sequence");
         let start = self.runtime.now();
-        let before_p2p = self.runtime.summary().p2p_bytes;
+        let before_p2p = self.p2p_offset + self.runtime.summary().p2p_bytes;
+        let mut retries = 0u32;
+        let mut consecutive = 0u32;
+        let end = loop {
+            match self.attempt_run(seq) {
+                Ok(end) => break end,
+                Err(e) => {
+                    self.stats.note(&e);
+                    if retries >= self.policy.max_retries {
+                        return Err(e);
+                    }
+                    retries += 1;
+                    consecutive += 1;
+                    self.stats.retries += 1;
+                    if let RuntimeError::DeviceBrownout { until } = e {
+                        self.runtime.advance_to(until);
+                    } else {
+                        self.runtime.advance(self.backoff_for(consecutive));
+                    }
+                    if consecutive >= self.policy.reprogram_after {
+                        self.reprogram()?;
+                        consecutive = 0;
+                    }
+                }
+            }
+        };
+        let classification = self.engine.classify(seq);
+        Ok(DeviceRun {
+            classification,
+            elapsed: end - start,
+            p2p_bytes: self.p2p_offset + self.runtime.summary().p2p_bytes - before_p2p,
+            retries,
+        })
+    }
+
+    /// One fault-vulnerable pass of the P2P load + kernel schedule.
+    fn attempt_run(&mut self, seq: &[usize]) -> Result<Nanos, RuntimeError> {
         let bytes = (seq.len() * std::mem::size_of::<u64>()) as u64;
         self.runtime.p2p_load(self.seq_buf, bytes)?;
         for _item in seq {
@@ -220,19 +542,15 @@ impl HostProgram {
             }
             self.runtime.enqueue(self.k_hidden, &[])?;
         }
-        let end = self.runtime.wait_all();
-        let classification = self.engine.classify(seq);
-        Ok(DeviceRun {
-            classification,
-            elapsed: end - start,
-            p2p_bytes: self.runtime.summary().p2p_bytes - before_p2p,
-        })
+        Ok(self.runtime.wait_all())
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use csd_device::FaultConfig;
     use csd_nn::{ModelConfig, SequenceClassifier};
 
     fn weights() -> ModelWeights {
@@ -254,10 +572,16 @@ mod tests {
     }
 
     #[test]
-    fn bad_weight_file_is_rejected() {
+    fn bad_weight_file_is_rejected_with_typed_error() {
         let err = HostProgram::from_weight_file("garbage", OptimizationLevel::Vanilla)
             .expect_err("must fail");
-        assert!(err.contains("magic"), "{err}");
+        assert!(
+            matches!(err, HostError::Weights(WeightsError::BadMagic)),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("magic"), "{err}");
+        use std::error::Error as _;
+        assert!(err.source().is_some(), "layered error keeps its source");
     }
 
     #[test]
@@ -358,6 +682,120 @@ mod tests {
         let err = host.update_weights(&other_shape).unwrap_err();
         assert_eq!(err, RuntimeError::ShapeMismatch);
         assert_eq!(host.model_version(), 1, "failed update must not bump");
+    }
+
+    fn corruption_only(rate: f64) -> FaultConfig {
+        let mut cfg = FaultConfig::none();
+        cfg.corruption = rate;
+        cfg
+    }
+
+    #[test]
+    fn low_rate_corruption_is_absorbed_by_retries() {
+        let w = weights();
+        let s = seq();
+        let engine = CsdInferenceEngine::new(&w, OptimizationLevel::FixedPoint);
+        let mut host = HostProgram::new(&w, OptimizationLevel::FixedPoint)
+            .expect("boot")
+            .with_recovery(RecoveryPolicy {
+                max_retries: 16,
+                ..RecoveryPolicy::default()
+            });
+        host.arm_faults(FaultPlan::new(11, corruption_only(0.002)));
+        let mut faulted_runs = 0;
+        for _ in 0..8 {
+            let run = host.classify_from_ssd(&s).expect("recovers");
+            // The verdict is bit-identical to the fault-free engine no
+            // matter how many attempts it took.
+            assert_eq!(run.classification, engine.classify(&s));
+            if run.retries > 0 {
+                faulted_runs += 1;
+            }
+        }
+        assert!(faulted_runs > 0, "rate 0.002 over 8 runs must fault");
+        let stats = host.recovery_stats();
+        assert!(stats.faults > 0 && stats.retries > 0);
+        assert_eq!(stats.crc_rejects, stats.faults, "only corruption armed");
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_surfaces_the_error() {
+        let mut host = HostProgram::new(&weights(), OptimizationLevel::FixedPoint)
+            .expect("boot")
+            .with_recovery(RecoveryPolicy {
+                max_retries: 2,
+                ..RecoveryPolicy::retry_only()
+            });
+        host.arm_faults(FaultPlan::new(5, corruption_only(1.0)));
+        let err = host
+            .classify_from_ssd(&seq())
+            .expect_err("budget exhausted");
+        assert!(matches!(err, RuntimeError::TransferCorrupted { .. }));
+        let stats = host.recovery_stats();
+        assert_eq!(stats.retries, 2, "exactly the budget");
+        assert_eq!(stats.faults, 3, "initial attempt + two retries");
+        assert_eq!(stats.reprograms, 0, "retry-only policy never reloads");
+        // The device recovers the moment the fault clears.
+        host.disarm_faults();
+        assert!(host.classify_from_ssd(&seq()).is_ok());
+    }
+
+    #[test]
+    fn watchdog_plus_reprogram_frees_a_hung_circuit() {
+        let mut cfg = FaultConfig::none();
+        cfg.stall = 1.0;
+        cfg.stall_duration = Nanos::from_micros(2_000_000.0); // 2 s hang
+        let mut host = HostProgram::new(&weights(), OptimizationLevel::FixedPoint)
+            .expect("boot")
+            .with_recovery(RecoveryPolicy {
+                max_retries: 1,
+                reprogram_after: 1,
+                ..RecoveryPolicy::default()
+            });
+        host.arm_faults(FaultPlan::new(9, cfg));
+        let err = host.classify_from_ssd(&seq()).expect_err("still flaky");
+        assert!(matches!(err, RuntimeError::KernelTimeout { .. }), "{err:?}");
+        let stats = host.recovery_stats();
+        assert!(stats.watchdog_trips >= 1);
+        assert!(stats.reprograms >= 1, "policy reloads after 1 failure");
+        // Clear the fault, reload once more to free the hung circuit:
+        // the run completes in device-time, not hang-time.
+        host.disarm_faults();
+        host.reprogram().expect("clean reload");
+        let run = host.classify_from_ssd(&seq()).expect("clean run");
+        assert!(
+            run.elapsed < Nanos::from_micros(1_000_000.0),
+            "no residual hang: {}",
+            run.elapsed
+        );
+    }
+
+    #[test]
+    fn brownout_is_waited_out_not_fatal() {
+        let mut cfg = FaultConfig::none();
+        // Per-operation probability: one classify issues ~600 faultable
+        // operations, so even 3e-4 browns out most attempts once.
+        cfg.brownout = 0.0003;
+        cfg.brownout_window = Nanos::from_micros(500.0);
+        let w = weights();
+        let s = seq();
+        let engine = CsdInferenceEngine::new(&w, OptimizationLevel::FixedPoint);
+        let mut host = HostProgram::new(&w, OptimizationLevel::FixedPoint)
+            .expect("boot")
+            .with_recovery(RecoveryPolicy {
+                max_retries: 16,
+                ..RecoveryPolicy::default()
+            });
+        host.arm_faults(FaultPlan::new(3, cfg));
+        for _ in 0..4 {
+            let run = host.classify_from_ssd(&s).expect("waits out brownouts");
+            assert_eq!(run.classification, engine.classify(&s));
+        }
+        assert!(
+            host.recovery_stats().brownout_waits > 0,
+            "brownouts did fire"
+        );
+        assert!(host.fault_counters().brownouts > 0);
     }
 
     #[test]

@@ -97,13 +97,13 @@ pub mod weights;
 
 pub use bitstream::{link, LinkError, Xclbin};
 pub use engine::{Classification, CsdInferenceEngine, GatePath};
-pub use fleet::{CsdFleet, FleetScan};
-pub use host::{DeviceRun, HostProgram};
+pub use fleet::{CsdFleet, FleetPolicy, FleetScan, FleetStats};
+pub use host::{DeviceRun, HostError, HostProgram, RecoveryPolicy, RecoveryStats};
 pub use kernels::LstmDims;
 pub use mixed::MixedPrecisionEngine;
 pub use monitor::{Alert, MonitorConfig, MonitorPool, RollingWindow, StreamMonitor};
 pub use opt::OptimizationLevel;
-pub use pool::{WorkerPool, WorkerPoolBuilder};
+pub use pool::{PoolError, WorkerPool, WorkerPoolBuilder};
 pub use schedule::{Bottleneck, LaneBucket, LaneSchedule, PipelineSchedule, ScheduleEvent};
 pub use scratch::{EngineScratch, InferenceScratch, LaneScratch};
 pub use stream::{FleetMonitor, MuxStats, OverflowPolicy, StreamMux, StreamMuxConfig, Verdict};

@@ -17,12 +17,63 @@
 //! engine or copying sequences.
 
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, RecvTimeoutError};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Duration;
 
+/// A job panicked on the pool.
+///
+/// [`WorkerPool::try_scatter`] and
+/// [`WorkerPool::try_scatter_scoped`] surface this instead of
+/// re-raising the panic, so callers can treat a poisoned job like any
+/// other fallible operation. Only the *first* observed panic is
+/// reported; every submitted job still runs to completion first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A submitted job panicked; its siblings were unaffected.
+    JobPanicked {
+        /// Submission index of the panicking job.
+        index: usize,
+        /// The panic payload, stringified where possible.
+        message: String,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::JobPanicked { index, message } => {
+                write!(f, "pool job {index} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Renders a panic payload for [`PoolError::JobPanicked`].
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A poisoned pool lock only means some thread panicked mid-operation;
+/// the queue's invariants (a VecDeque and a bool) survive unwinding, so
+/// keep going instead of cascading the panic to every other user.
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
 
 struct Queue {
     jobs: Mutex<QueueState>,
@@ -36,7 +87,7 @@ struct QueueState {
 
 impl Queue {
     fn push(&self, job: Job) {
-        let mut state = self.jobs.lock().expect("pool queue poisoned");
+        let mut state = relock(self.jobs.lock());
         state.pending.push_back(job);
         drop(state);
         self.available.notify_one();
@@ -44,7 +95,7 @@ impl Queue {
 
     /// Blocks until a job is available (workers) or the pool closes.
     fn pop_blocking(&self) -> Option<Job> {
-        let mut state = self.jobs.lock().expect("pool queue poisoned");
+        let mut state = relock(self.jobs.lock());
         loop {
             if let Some(job) = state.pending.pop_front() {
                 return Some(job);
@@ -52,21 +103,17 @@ impl Queue {
             if state.closed {
                 return None;
             }
-            state = self.available.wait(state).expect("pool queue poisoned");
+            state = relock(self.available.wait(state));
         }
     }
 
     /// Takes a job only if one is immediately available (helpers).
     fn try_pop(&self) -> Option<Job> {
-        self.jobs
-            .lock()
-            .expect("pool queue poisoned")
-            .pending
-            .pop_front()
+        relock(self.jobs.lock()).pending.pop_front()
     }
 
     fn close(&self) {
-        self.jobs.lock().expect("pool queue poisoned").closed = true;
+        relock(self.jobs.lock()).closed = true;
         self.available.notify_all();
     }
 }
@@ -74,12 +121,15 @@ impl Queue {
 /// A fixed-size pool of long-lived worker threads.
 ///
 /// Most callers want the process-wide [`WorkerPool::global`]; constructing
-/// private pools is supported for tests. Workers survive job panics: a
-/// panicking [`scatter`](Self::scatter) job forwards its payload to the
-/// submitting thread, which re-raises it.
+/// private pools is supported for tests. A panicking job poisons only
+/// itself: the submitter sees it as a [`PoolError`] (or a re-raised
+/// panic from the infallible wrappers), sibling jobs run to completion,
+/// and a worker thread killed by an escaped panic is respawned on the
+/// next submission.
 pub struct WorkerPool {
     queue: Arc<Queue>,
     threads: usize,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl WorkerPool {
@@ -93,20 +143,54 @@ impl WorkerPool {
             }),
             available: Condvar::new(),
         });
-        for worker in 0..threads {
-            let queue = Arc::clone(&queue);
-            std::thread::Builder::new()
-                .name(format!("csd-pool-{worker}"))
-                .spawn(move || {
-                    while let Some(job) = queue.pop_blocking() {
-                        // Payloads are routed to submitters via scatter's
-                        // result channel; the worker itself never unwinds.
-                        let _ = catch_unwind(AssertUnwindSafe(job));
-                    }
-                })
-                .expect("spawn pool worker");
+        let workers = (0..threads)
+            .map(|worker| Self::spawn_worker(Arc::clone(&queue), worker))
+            .collect();
+        Self {
+            queue,
+            threads,
+            workers: Mutex::new(workers),
         }
-        Self { queue, threads }
+    }
+
+    fn spawn_worker(queue: Arc<Queue>, worker: usize) -> std::thread::JoinHandle<()> {
+        std::thread::Builder::new()
+            .name(format!("csd-pool-{worker}"))
+            .spawn(move || {
+                while let Some(job) = queue.pop_blocking() {
+                    // Scatter wrappers catch job panics and route them to
+                    // the submitter; a panic that still escapes (e.g. a
+                    // payload whose Drop panics) kills this thread, and
+                    // `ensure_workers` replaces it on the next submission.
+                    job();
+                }
+            })
+            .expect("spawn pool worker")
+    }
+
+    /// Respawns any worker thread that died to an escaped panic.
+    fn ensure_workers(&self) {
+        let mut workers = relock(self.workers.lock());
+        for (idx, slot) in workers.iter_mut().enumerate() {
+            if slot.is_finished() {
+                *slot = Self::spawn_worker(Arc::clone(&self.queue), idx);
+            }
+        }
+    }
+
+    /// Test-only: pushes a raw job with no panic-catching wrapper, so a
+    /// panicking job kills its worker thread (the respawn path's prey).
+    #[cfg(test)]
+    fn push_raw(&self, job: Job) {
+        self.queue.push(job);
+    }
+
+    /// Number of worker threads currently alive.
+    pub fn alive_workers(&self) -> usize {
+        relock(self.workers.lock())
+            .iter()
+            .filter(|w| !w.is_finished())
+            .count()
     }
 
     /// Starts configuring a pool. Equivalent to `WorkerPool::new` but
@@ -135,35 +219,74 @@ impl WorkerPool {
     ///
     /// # Panics
     ///
-    /// Re-raises the panic of the first observed panicking job.
+    /// Panics with the first observed job panic's message. Use
+    /// [`try_scatter`](Self::try_scatter) to handle it as an error.
     pub fn scatter<R, I>(&self, jobs: I) -> Vec<R>
     where
         R: Send + 'static,
         I: IntoIterator<Item = Box<dyn FnOnce() -> R + Send + 'static>>,
     {
+        match self.try_scatter(jobs) {
+            Ok(results) => results,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`scatter`](Self::scatter): a panicking job becomes a
+    /// [`PoolError::JobPanicked`] instead of unwinding the caller.
+    /// Every submitted job runs to completion either way; one poisoned
+    /// job cannot take its siblings (or the pool) down with it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first observed job panic.
+    pub fn try_scatter<R, I>(&self, jobs: I) -> Result<Vec<R>, PoolError>
+    where
+        R: Send + 'static,
+        I: IntoIterator<Item = Box<dyn FnOnce() -> R + Send + 'static>>,
+    {
+        self.ensure_workers();
         let (result_tx, result_rx) = channel();
         let mut submitted = 0usize;
         for (index, job) in jobs.into_iter().enumerate() {
             let tx = result_tx.clone();
             self.queue.push(Box::new(move || {
                 let outcome = catch_unwind(AssertUnwindSafe(job));
-                // The submitter may already be unwinding a panic from an
-                // earlier job; a dead channel is fine then.
+                // The submitter may have bailed already; a dead channel
+                // is fine then.
                 let _ = tx.send((index, outcome));
             }));
             submitted += 1;
         }
         drop(result_tx);
+        self.collect(submitted, &result_rx)
+    }
 
+    /// Drains `submitted` results off `result_rx`, helping run pool jobs
+    /// while waiting. Shared by both scatter flavours.
+    fn collect<R>(
+        &self,
+        submitted: usize,
+        result_rx: &std::sync::mpsc::Receiver<(usize, std::thread::Result<R>)>,
+    ) -> Result<Vec<R>, PoolError> {
         let mut slots: Vec<Option<R>> = (0..submitted).map(|_| None).collect();
         let mut received = 0usize;
+        let mut first_error: Option<PoolError> = None;
         while received < submitted {
             match result_rx.recv_timeout(Duration::from_millis(1)) {
                 Ok((index, Ok(value))) => {
                     slots[index] = Some(value);
                     received += 1;
                 }
-                Ok((_, Err(payload))) => resume_unwind(payload),
+                Ok((index, Err(payload))) => {
+                    received += 1;
+                    if first_error.is_none() {
+                        first_error = Some(PoolError::JobPanicked {
+                            index,
+                            message: payload_message(payload.as_ref()),
+                        });
+                    }
+                }
                 Err(RecvTimeoutError::Timeout) => {
                     // Help: run one pending pool job (possibly our own).
                     if let Some(job) = self.queue.try_pop() {
@@ -175,10 +298,13 @@ impl WorkerPool {
                 }
             }
         }
-        slots
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok(slots
             .into_iter()
             .map(|slot| slot.expect("every index reported"))
-            .collect()
+            .collect())
     }
 
     /// Like [`scatter`](Self::scatter), but jobs may borrow from the
@@ -193,14 +319,35 @@ impl WorkerPool {
     ///
     /// # Panics
     ///
-    /// Re-raises the panic of the first observed panicking job — but only
+    /// Panics with the first observed job panic's message — but only
     /// after every submitted job has finished running, so borrowed data is
-    /// never observed by a worker past this call's lifetime.
-    #[allow(unsafe_code)] // one lifetime transmute, justified below.
+    /// never observed by a worker past this call's lifetime. Use
+    /// [`try_scatter_scoped`](Self::try_scatter_scoped) to handle it as
+    /// an error.
     pub fn scatter_scoped<'env, R: Send + 'env>(
         &self,
         jobs: Vec<Box<dyn FnOnce() -> R + Send + 'env>>,
     ) -> Vec<R> {
+        match self.try_scatter_scoped(jobs) {
+            Ok(results) => results,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`scatter_scoped`](Self::scatter_scoped): a panicking
+    /// job becomes a [`PoolError::JobPanicked`]. The scope barrier is
+    /// unchanged — every job finishes before this returns, on the error
+    /// path too.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first observed job panic.
+    #[allow(unsafe_code)] // one lifetime transmute, justified below.
+    pub fn try_scatter_scoped<'env, R: Send + 'env>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> R + Send + 'env>>,
+    ) -> Result<Vec<R>, PoolError> {
+        self.ensure_workers();
         let submitted = jobs.len();
         let done: Arc<(Mutex<usize>, Condvar)> = Arc::new((Mutex::new(0), Condvar::new()));
         let (result_tx, result_rx) = channel();
@@ -225,7 +372,7 @@ impl WorkerPool {
                 // submitting frame may return and invalidate the borrows.
                 drop(tx);
                 let (count, cvar) = &*done;
-                *count.lock().expect("scoped counter poisoned") += 1;
+                *relock(count.lock()) += 1;
                 cvar.notify_all();
             });
             // SAFETY: the queue's `Job` type requires `'static`, but this
@@ -246,31 +393,9 @@ impl WorkerPool {
         }
         drop(result_tx);
 
-        let mut slots: Vec<Option<R>> = (0..submitted).map(|_| None).collect();
-        let mut received = 0usize;
-        while received < submitted {
-            match result_rx.recv_timeout(Duration::from_millis(1)) {
-                Ok((index, Ok(value))) => {
-                    slots[index] = Some(value);
-                    received += 1;
-                }
-                Ok((_, Err(payload))) => resume_unwind(payload),
-                Err(RecvTimeoutError::Timeout) => {
-                    // Help: run one pending pool job (possibly our own).
-                    if let Some(job) = self.queue.try_pop() {
-                        let _ = catch_unwind(AssertUnwindSafe(job));
-                    }
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    unreachable!("result senders outlive their jobs")
-                }
-            }
-        }
+        let result = self.collect(submitted, &result_rx);
         drop(guard);
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every index reported"))
-            .collect()
+        result
     }
 }
 
@@ -287,7 +412,7 @@ impl Drop for ScopeGuard {
     fn drop(&mut self) {
         let (count, cvar) = &*self.done;
         loop {
-            let finished = count.lock().expect("scoped counter poisoned");
+            let finished = relock(count.lock());
             if *finished >= self.submitted {
                 return;
             }
@@ -295,7 +420,7 @@ impl Drop for ScopeGuard {
             // scatters cannot deadlock against this barrier.
             let (finished, _) = cvar
                 .wait_timeout(finished, Duration::from_millis(1))
-                .expect("scoped counter poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             if *finished >= self.submitted {
                 return;
             }
@@ -459,6 +584,75 @@ mod tests {
         let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
             vec![Box::new(|| 11u32) as Box<dyn FnOnce() -> u32 + Send>];
         assert_eq!(pool.scatter(jobs), vec![11]);
+    }
+
+    #[test]
+    fn try_scatter_reports_the_panicking_job_without_unwinding() {
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..6usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("job {i} failure");
+                    }
+                    i * 2
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let err = pool.try_scatter(jobs).expect_err("job 3 panicked");
+        let PoolError::JobPanicked { index, message } = err;
+        assert_eq!(index, 3);
+        assert!(message.contains("job 3 failure"), "{message}");
+        // Siblings ran, the pool is intact.
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| 9u32) as Box<dyn FnOnce() -> u32 + Send>];
+        assert_eq!(pool.try_scatter(jobs), Ok(vec![9]));
+    }
+
+    #[test]
+    fn try_scatter_scoped_runs_every_job_before_reporting() {
+        let pool = WorkerPool::new(2);
+        let flags: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send + '_>> = flags
+            .iter()
+            .enumerate()
+            .map(|(i, flag)| {
+                Box::new(move || {
+                    flag.store(1, Ordering::SeqCst);
+                    assert!(i != 0, "scoped job failure");
+                    i
+                }) as _
+            })
+            .collect();
+        let err = pool.try_scatter_scoped(jobs).expect_err("job 0 panicked");
+        assert!(matches!(err, PoolError::JobPanicked { index: 0, .. }));
+        for flag in &flags {
+            assert_eq!(flag.load(Ordering::SeqCst), 1, "barrier ran every job");
+        }
+    }
+
+    #[test]
+    fn dead_worker_is_respawned_on_next_submission() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.alive_workers(), 2);
+        // A raw job has no catch wrapper: its panic kills the worker.
+        pool.push_raw(Box::new(|| panic!("worker killer")));
+        for _ in 0..500 {
+            if pool.alive_workers() < 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(pool.alive_workers() < 2, "the raw panic killed a worker");
+        // The next scatter respawns it and still completes.
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..8u32)
+            .map(|i| Box::new(move || i * 3) as Box<dyn FnOnce() -> u32 + Send>)
+            .collect();
+        assert_eq!(
+            pool.scatter(jobs),
+            (0..8u32).map(|i| i * 3).collect::<Vec<_>>()
+        );
+        assert_eq!(pool.alive_workers(), 2, "full strength restored");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
+use csd_device::FaultPlan;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{Classification, CsdInferenceEngine};
@@ -112,6 +113,17 @@ pub struct MuxStats {
     pub p99_latency_ticks: u64,
     /// Verdicts per wall-clock second since the mux was created.
     pub verdicts_per_sec: f64,
+    /// Lane-corruption faults injected by an armed
+    /// [`FaultPlan`] (degraded mode; 0 when no plan is armed).
+    pub faults: u64,
+    /// Windows evicted from a corrupted lane and re-classified through
+    /// the serial fused path — every one still produced its verdict.
+    pub degraded_reruns: u64,
+    /// Ticks that ran (or idled forward) with at least one lane
+    /// poisoned.
+    pub degraded_ticks: u64,
+    /// Lanes currently poisoned (out of service awaiting cooldown).
+    pub lanes_poisoned: u64,
 }
 
 /// A window travelling through the mux: pending (`pos == 0`, queued) or
@@ -156,10 +168,24 @@ pub struct StreamMux {
     ticks: u64,
     verdicts: u64,
     dropped: u64,
+    /// Per-stream backpressure-drop tallies (which process lost data,
+    /// not just how much was lost overall).
+    dropped_by_stream: HashMap<u64, u64>,
     occupied_steps: u64,
     latencies: Vec<u64>,
     lat_next: usize,
     started: Instant,
+    /// Armed fault plan: each occupied lane draws one lane-corruption
+    /// chance per tick. `None` = fault-free (zero overhead).
+    faults: Option<FaultPlan>,
+    /// Ticks a poisoned lane sits out before re-admission.
+    lane_cooldown: u64,
+    /// Per-lane poison state: `Some(t)` keeps the lane out of service
+    /// until tick `t`.
+    poisoned: Vec<Option<u64>>,
+    fault_events: u64,
+    degraded_reruns: u64,
+    degraded_ticks: u64,
 }
 
 impl StreamMux {
@@ -195,11 +221,46 @@ impl StreamMux {
             ticks: 0,
             verdicts: 0,
             dropped: 0,
+            dropped_by_stream: HashMap::new(),
             occupied_steps: 0,
             latencies: Vec::with_capacity(LATENCY_RING),
             lat_next: 0,
             started: Instant::now(),
+            faults: None,
+            lane_cooldown: 0,
+            poisoned: vec![None; width],
+            fault_events: 0,
+            degraded_reruns: 0,
+            degraded_ticks: 0,
         }
+    }
+
+    /// Arms degraded mode: each occupied lane draws one corruption
+    /// chance per tick from `plan` ([`FaultPlan::corrupt_lane`]). A
+    /// corrupted lane's window is evicted and re-classified through the
+    /// serial fused path — bit-identical, so no verdict is lost or
+    /// changed, only delayed — and the lane sits out `cooldown_ticks`
+    /// ticks before taking new work.
+    pub fn arm_faults(&mut self, plan: FaultPlan, cooldown_ticks: u64) {
+        self.faults = Some(plan);
+        self.lane_cooldown = cooldown_ticks;
+    }
+
+    /// Disarms degraded mode, returning the plan (with its counters)
+    /// and clearing any lane poison.
+    pub fn disarm_faults(&mut self) -> Option<FaultPlan> {
+        self.poisoned.iter_mut().for_each(|p| *p = None);
+        self.faults.take()
+    }
+
+    /// Whether a fault plan is armed.
+    pub fn faults_armed(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Windows dropped by backpressure that belonged to `stream`.
+    pub fn dropped_for(&self, stream: u64) -> u64 {
+        self.dropped_by_stream.get(&stream).copied().unwrap_or(0)
     }
 
     /// Number of lane slots.
@@ -250,6 +311,10 @@ impl StreamMux {
             p50_latency_ticks: pct(0.50),
             p99_latency_ticks: pct(0.99),
             verdicts_per_sec: self.verdicts as f64 / self.started.elapsed().as_secs_f64().max(1e-9),
+            faults: self.fault_events,
+            degraded_reruns: self.degraded_reruns,
+            degraded_ticks: self.degraded_ticks,
+            lanes_poisoned: self.poisoned.iter().filter(|p| p.is_some()).count() as u64,
         }
     }
 
@@ -268,10 +333,12 @@ impl StreamMux {
             match self.policy {
                 OverflowPolicy::DropOldest => {
                     let old = self.pending.pop_front().expect("queue full, non-empty");
+                    *self.dropped_by_stream.entry(old.stream).or_insert(0) += 1;
                     self.free_bufs.push(old.seq);
                     self.dropped += 1;
                 }
                 OverflowPolicy::DropNewest => {
+                    *self.dropped_by_stream.entry(stream).or_insert(0) += 1;
                     self.dropped += 1;
                     return false;
                 }
@@ -348,12 +415,27 @@ impl StreamMux {
     /// barrier. With nothing active or pending this is a no-op.
     pub fn tick_into(&mut self, out: &mut Vec<Verdict>) -> usize {
         let before = out.len();
+        // Re-admit poisoned lanes whose cooldown has expired. The lane's
+        // state is garbage after the fault, but refill clears at
+        // admission anyway.
         for lane in 0..self.width {
-            if self.slots[lane].is_none() {
+            if matches!(self.poisoned[lane], Some(until) if self.ticks >= until) {
+                self.poisoned[lane] = None;
+            }
+        }
+        for lane in 0..self.width {
+            if self.slots[lane].is_none() && self.poisoned[lane].is_none() {
                 self.refill_slot(lane, out);
             }
         }
         if self.active == 0 {
+            // Progress guarantee under total poisoning: with work queued
+            // but every lane benched, time must still advance or the
+            // cooldowns never expire and `drain` spins forever.
+            if !self.pending.is_empty() && self.poisoned.iter().any(Option::is_some) {
+                self.ticks += 1;
+                self.degraded_ticks += 1;
+            }
             return out.len() - before;
         }
         for (item, slot) in self.items.iter_mut().zip(self.slots.iter()) {
@@ -364,6 +446,31 @@ impl StreamMux {
         self.engine.step_lanes(&mut self.scratch, &self.items);
         self.ticks += 1;
         self.occupied_steps += self.active as u64;
+        if self.faults.is_some() {
+            for lane in 0..self.width {
+                if self.slots[lane].is_none() {
+                    continue;
+                }
+                let corrupt = self.faults.as_mut().is_some_and(FaultPlan::corrupt_lane);
+                if !corrupt {
+                    continue;
+                }
+                // CRC catches the corrupted sweep: the lane's h/C state
+                // is untrustworthy, so its window reruns on the serial
+                // fused path (bit-identical — the verdict is delayed,
+                // never lost or changed) and the lane sits out the
+                // cooldown.
+                let window = self.slots[lane].take().expect("checked occupied");
+                self.active -= 1;
+                self.fault_events += 1;
+                self.poisoned[lane] = Some(self.ticks + self.lane_cooldown);
+                self.degraded_reruns += 1;
+                self.classify_serial(window, out);
+            }
+            if self.poisoned.iter().any(Option::is_some) {
+                self.degraded_ticks += 1;
+            }
+        }
         for lane in 0..self.width {
             let finished = {
                 let Some(w) = self.slots[lane].as_mut() else {
@@ -497,6 +604,24 @@ impl FleetMonitor {
     /// The underlying multiplexer (stats, occupancy, queue depth).
     pub fn mux(&self) -> &StreamMux {
         &self.mux
+    }
+
+    /// Arms the mux's degraded mode (see [`StreamMux::arm_faults`]):
+    /// corrupted lanes rerun their windows serially, so fleet verdicts
+    /// and alerts survive a flaky device unchanged.
+    pub fn arm_faults(&mut self, plan: FaultPlan, cooldown_ticks: u64) {
+        self.mux.arm_faults(plan, cooldown_ticks);
+    }
+
+    /// Windows of process `pid` dropped by mux backpressure — the data
+    /// this process lost to overload (never to faults).
+    pub fn dropped_windows(&self, pid: u64) -> u64 {
+        self.mux.dropped_for(pid)
+    }
+
+    /// Total windows dropped by mux backpressure across all processes.
+    pub fn total_dropped(&self) -> u64 {
+        self.mux.stats().dropped
     }
 
     /// Number of processes currently tracked.
@@ -808,6 +933,145 @@ mod tests {
         assert_eq!(s.p50_latency_ticks, 12);
         assert_eq!(s.p99_latency_ticks, 12);
         assert!(s.verdicts_per_sec > 0.0);
+    }
+
+    #[test]
+    fn faulty_mux_never_loses_or_changes_a_verdict() {
+        use csd_device::{FaultConfig, FaultPlan};
+        let e = engine(OptimizationLevel::FixedPoint);
+        let mut mux = mux_with_width(OptimizationLevel::FixedPoint, 4);
+        mux.arm_faults(FaultPlan::new(42, FaultConfig::uniform(0.2)), 3);
+        let windows: Vec<Vec<usize>> = (0..16).map(|k| seq(6 + (k * 11) % 50, k)).collect();
+        for (k, w) in windows.iter().enumerate() {
+            assert!(mux.submit(k as u64, k, w));
+        }
+        let verdicts = mux.drain();
+        assert_eq!(verdicts.len(), windows.len(), "no verdict lost");
+        for v in &verdicts {
+            assert_eq!(
+                v.classification,
+                e.classify(&windows[v.stream as usize]),
+                "stream {}",
+                v.stream
+            );
+        }
+        let s = mux.stats();
+        assert!(s.faults > 0, "rate 0.2 over dozens of lane-ticks must hit");
+        assert_eq!(s.degraded_reruns, s.faults);
+        assert!(s.degraded_ticks > 0);
+        assert!(mux.is_idle());
+    }
+
+    #[test]
+    fn corrupted_lane_is_benched_for_the_cooldown_then_readmitted() {
+        use csd_device::{FaultConfig, FaultPlan};
+        let e = engine(OptimizationLevel::FixedPoint);
+        let mut mux = mux_with_width(OptimizationLevel::FixedPoint, 1);
+        let cfg = FaultConfig {
+            corruption: 1.0,
+            ..FaultConfig::none()
+        };
+        mux.arm_faults(FaultPlan::new(1, cfg), 5);
+        let w0 = seq(3, 0);
+        let w1 = seq(3, 1);
+        mux.submit(0, 0, &w0);
+        mux.submit(1, 1, &w1);
+        // First tick: the lane corrupts on its first sweep; the window
+        // reruns serially (verdict intact) and the lane is benched.
+        let first = mux.tick();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].classification, e.classify(&w0));
+        assert_eq!(mux.stats().lanes_poisoned, 1);
+        // Cooldown: ticks pass with no lane able to take the pending
+        // window — the progress guarantee keeps time moving.
+        let mut ticks_benched = 0;
+        let second = loop {
+            let out = mux.tick();
+            if !out.is_empty() {
+                break out;
+            }
+            ticks_benched += 1;
+            assert!(ticks_benched < 20, "cooldown must expire");
+        };
+        assert!(
+            ticks_benched >= 4,
+            "lane benched, saw {ticks_benched} idle ticks"
+        );
+        assert_eq!(second[0].classification, e.classify(&w1));
+        let s = mux.stats();
+        assert_eq!(s.faults, 2);
+        assert_eq!(s.degraded_reruns, 2);
+        assert!(s.degraded_ticks >= 5);
+        assert!(mux.is_idle());
+    }
+
+    #[test]
+    fn drops_are_counted_per_stream() {
+        let mut mux = StreamMux::new(
+            engine(OptimizationLevel::FixedPoint),
+            StreamMuxConfig {
+                lanes: Some(2),
+                max_pending: 2,
+                policy: OverflowPolicy::DropOldest,
+            },
+        );
+        for k in 0..4u64 {
+            mux.submit(k, 0, &seq(6, k as usize));
+        }
+        assert_eq!(mux.dropped_for(0), 1, "oldest evicted");
+        assert_eq!(mux.dropped_for(1), 1);
+        assert_eq!(mux.dropped_for(2), 0);
+        assert_eq!(mux.dropped_for(99), 0, "untracked stream");
+
+        let mut refuse = StreamMux::new(
+            engine(OptimizationLevel::FixedPoint),
+            StreamMuxConfig {
+                lanes: Some(2),
+                max_pending: 1,
+                policy: OverflowPolicy::DropNewest,
+            },
+        );
+        assert!(refuse.submit(7, 0, &seq(6, 0)));
+        assert!(!refuse.submit(8, 0, &seq(6, 1)));
+        assert_eq!(refuse.dropped_for(8), 1, "refused submitter charged");
+        assert_eq!(refuse.dropped_for(7), 0);
+    }
+
+    #[test]
+    fn fleet_survives_faults_and_counts_drops_per_process() {
+        use csd_device::{FaultConfig, FaultPlan};
+        let e = tiny_engine();
+        let mut faulty = FleetMonitor::new(e.clone(), small_config(), StreamMuxConfig::default());
+        faulty.arm_faults(FaultPlan::new(5, FaultConfig::uniform(0.1)), 4);
+        let mut clean = FleetMonitor::new(e, small_config(), StreamMuxConfig::default());
+        let traces: Vec<(u64, Vec<usize>)> = (0..4u64)
+            .map(|pid| (pid, (0..80).map(|i| (i * 5 + pid as usize) % 16).collect()))
+            .collect();
+        for i in 0..80 {
+            for (pid, calls) in &traces {
+                faulty.observe(*pid, calls[i]);
+                clean.observe(*pid, calls[i]);
+            }
+        }
+        let _ = faulty.drain();
+        let _ = clean.drain();
+        // Lane corruption delays verdicts but every window still votes:
+        // the same processes alert, nothing is dropped.
+        for (pid, _) in &traces {
+            assert_eq!(
+                faulty.alert_for(*pid).is_some(),
+                clean.alert_for(*pid).is_some(),
+                "pid {pid}"
+            );
+            assert_eq!(faulty.dropped_windows(*pid), 0);
+        }
+        assert_eq!(
+            faulty.mux().stats().verdicts,
+            clean.mux().stats().verdicts,
+            "no verdict lost to faults"
+        );
+        assert!(faulty.mux().stats().faults > 0, "rate 0.1 must hit");
+        assert_eq!(faulty.total_dropped(), 0);
     }
 
     #[test]

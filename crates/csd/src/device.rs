@@ -3,6 +3,7 @@
 use csd_hls::{Clock, DeviceProfile};
 
 use crate::dram::DramSubsystem;
+use crate::fault::{FaultCounters, FaultEvent, FaultPlan, FaultSite};
 use crate::pcie::PcieSwitch;
 use crate::sim::Nanos;
 use crate::ssd::{NvmeSsd, SsdConfig};
@@ -28,6 +29,8 @@ pub struct SmartSsd {
     switch: PcieSwitch,
     fpga: DeviceProfile,
     kernel_clock: Clock,
+    /// Armed fault schedule; `None` = the device never misbehaves.
+    faults: Option<FaultPlan>,
 }
 
 impl SmartSsd {
@@ -40,6 +43,7 @@ impl SmartSsd {
             switch: PcieSwitch::smartssd(),
             fpga: DeviceProfile::kintex_ku15p(),
             kernel_clock: Clock::default_kernel_clock(),
+            faults: None,
         }
     }
 
@@ -80,6 +84,38 @@ impl SmartSsd {
     /// Mutable DRAM access for the runtime layer.
     pub(crate) fn dram_mut(&mut self) -> &mut DramSubsystem {
         &mut self.dram
+    }
+
+    /// Arms a fault schedule. The plan survives a bitstream reload
+    /// (reprogramming the FPGA does not fix a flaky link), so recovery
+    /// policies are tested against *persistent* flakiness.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Disarms fault injection; the device behaves ideally again.
+    /// Returns the retired plan (with its counters) if one was armed.
+    pub fn disarm_faults(&mut self) -> Option<FaultPlan> {
+        self.faults.take()
+    }
+
+    /// `true` when a fault plan is armed.
+    pub fn faults_armed(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Faults injected so far (zeroed counters when no plan is armed).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+            .as_ref()
+            .map(FaultPlan::counters)
+            .unwrap_or_default()
+    }
+
+    /// Consults the armed plan for the operation at `site` issued at
+    /// `now`. `None` when no plan is armed or the draw passes clean.
+    pub(crate) fn fault_at(&mut self, now: Nanos, site: FaultSite) -> Option<FaultEvent> {
+        self.faults.as_mut()?.at(now, site)
     }
 
     /// Engages the SSD write-freeze (mitigation).

@@ -23,6 +23,9 @@
 //!   data, enqueue kernels, wait for completion — the verbs the paper's
 //!   host program uses.
 //! - [`device`] — the assembled [`SmartSsd`].
+//! - [`fault`] — deterministic, seeded fault injection (transfer
+//!   corruption, kernel stalls, page-read failures, brownouts) so the
+//!   host stack's recovery paths can be exercised reproducibly.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@
 pub mod axi;
 pub mod device;
 pub mod dram;
+pub mod fault;
 pub mod pcie;
 pub mod runtime;
 pub mod sim;
@@ -51,6 +55,7 @@ pub mod ssd;
 pub use axi::AxiPort;
 pub use device::{SmartSsd, TransferPath};
 pub use dram::{DdrBank, DramSubsystem};
+pub use fault::{FaultConfig, FaultCounters, FaultEvent, FaultPlan, FaultSite};
 pub use pcie::{PcieLink, PcieSwitch};
 pub use runtime::{BufferHandle, DeviceRuntime, KernelHandle, RunSummary, RuntimeError};
 pub use sim::{EventQueue, Nanos, ResourceTimeline};

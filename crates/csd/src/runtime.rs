@@ -10,6 +10,7 @@
 use std::fmt;
 
 use crate::device::{SmartSsd, TransferPath};
+use crate::fault::{FaultEvent, FaultSite};
 use crate::sim::Nanos;
 
 /// Handle to a device buffer.
@@ -36,6 +37,30 @@ pub enum RuntimeError {
     BadHandle,
     /// New data does not match the shape the device was programmed for.
     ShapeMismatch,
+    /// The CRC-on-DMA check caught a bit-flip in a transfer. The data
+    /// never became resident; retrying the transfer is safe.
+    TransferCorrupted {
+        /// Which datapath stage corrupted the transfer.
+        site: FaultSite,
+        /// The flipped bit the CRC check caught.
+        flipped_bit: u32,
+    },
+    /// A kernel run exceeded the watchdog deadline. The circuit stays
+    /// hung until the stalled run drains — reloading the bitstream is
+    /// the fast way to get it back.
+    KernelTimeout {
+        /// How long the hung run actually took.
+        elapsed: Nanos,
+        /// The configured watchdog deadline it blew through.
+        deadline: Nanos,
+    },
+    /// The SSD failed to return a NAND page (uncorrectable read error).
+    PageReadFailed,
+    /// The device browned out; no operation completes before `until`.
+    DeviceBrownout {
+        /// Simulated time at which the device is back on the bus.
+        until: Nanos,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -51,6 +76,29 @@ impl fmt::Display for RuntimeError {
             RuntimeError::ShapeMismatch => {
                 write!(f, "data shape does not match the programmed design")
             }
+            RuntimeError::TransferCorrupted { site, flipped_bit } => {
+                write!(
+                    f,
+                    "CRC-on-DMA rejected {site} transfer (bit {flipped_bit} flipped)"
+                )
+            }
+            RuntimeError::KernelTimeout { elapsed, deadline } => write!(
+                f,
+                "kernel run hung for {:.1} µs (watchdog deadline {:.1} µs)",
+                elapsed.as_micros(),
+                deadline.as_micros()
+            ),
+            RuntimeError::PageReadFailed => {
+                write!(
+                    f,
+                    "SSD failed to return a NAND page (uncorrectable read error)"
+                )
+            }
+            RuntimeError::DeviceBrownout { until } => write!(
+                f,
+                "device browned out; back on the bus at t={:.1} µs",
+                until.as_micros()
+            ),
         }
     }
 }
@@ -96,19 +144,54 @@ pub struct DeviceRuntime {
     kernels: Vec<Kernel>,
     migrated_bytes: u64,
     p2p_bytes: u64,
+    /// Watchdog deadline for a single kernel run (`None` = no watchdog).
+    watchdog: Option<Nanos>,
+}
+
+/// Maps an injected fault to the error the host sees.
+fn fault_error(ev: FaultEvent) -> RuntimeError {
+    match ev {
+        FaultEvent::Corrupted { site, flipped_bit } => {
+            RuntimeError::TransferCorrupted { site, flipped_bit }
+        }
+        FaultEvent::PageReadFailed => RuntimeError::PageReadFailed,
+        FaultEvent::Brownout { until } => RuntimeError::DeviceBrownout { until },
+        // Stalls normally surface through the watchdog path in
+        // `enqueue`; mapping one here (no watchdog armed) reports it as
+        // a timeout with no deadline.
+        FaultEvent::Stalled { extra } => RuntimeError::KernelTimeout {
+            elapsed: extra,
+            deadline: Nanos::ZERO,
+        },
+    }
 }
 
 impl DeviceRuntime {
     /// Opens a session on `device` at simulated time zero.
     pub fn new(device: SmartSsd) -> Self {
+        Self::new_at(device, Nanos::ZERO)
+    }
+
+    /// Opens a session on `device` with the clock already at `now` —
+    /// how a host resumes after tearing a session down for a bitstream
+    /// reload.
+    pub fn new_at(device: SmartSsd, now: Nanos) -> Self {
         Self {
             device,
-            now: Nanos::ZERO,
+            now,
             buffers: Vec::new(),
             kernels: Vec::new(),
             migrated_bytes: 0,
             p2p_bytes: 0,
+            watchdog: None,
         }
+    }
+
+    /// Closes the session, returning the device (with any armed fault
+    /// plan and its counters intact) and the simulated time it reached.
+    pub fn release(self) -> (SmartSsd, Nanos) {
+        let elapsed = self.summary().elapsed;
+        (self.device, elapsed)
     }
 
     /// The current simulated time.
@@ -116,9 +199,31 @@ impl DeviceRuntime {
         self.now
     }
 
+    /// Advances the simulated clock by `by` (host-side backoff between
+    /// retries).
+    pub fn advance(&mut self, by: Nanos) {
+        self.now += by;
+    }
+
+    /// Advances the simulated clock to at least `to` (waiting out a
+    /// brownout window, for example). Never moves time backwards.
+    pub fn advance_to(&mut self, to: Nanos) {
+        self.now = self.now.max(to);
+    }
+
+    /// Sets (or clears) the per-run kernel watchdog deadline.
+    pub fn set_watchdog(&mut self, deadline: Option<Nanos>) {
+        self.watchdog = deadline;
+    }
+
     /// The underlying device.
     pub fn device(&self) -> &SmartSsd {
         &self.device
+    }
+
+    /// Mutable device access (arming/disarming fault plans).
+    pub fn device_mut(&mut self) -> &mut SmartSsd {
+        &mut self.device
     }
 
     /// Engages the SSD write-freeze — the mitigation a raised alert
@@ -166,13 +271,29 @@ impl DeviceRuntime {
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::BadHandle`] for foreign handles.
+    /// Returns [`RuntimeError::BadHandle`] for foreign handles;
+    /// [`RuntimeError::TransferCorrupted`] when the CRC-on-DMA check
+    /// rejects the transfer (link time was still spent, the buffer is
+    /// not resident, and a retry is safe);
+    /// [`RuntimeError::DeviceBrownout`] inside a brownout window.
     pub fn migrate_to_device(&mut self, buf: BufferHandle) -> Result<Nanos, RuntimeError> {
         let bytes = self
             .buffers
             .get(buf.0)
             .ok_or(RuntimeError::BadHandle)?
             .bytes;
+        match self.device.fault_at(self.now, FaultSite::PcieTransfer) {
+            Some(ev @ FaultEvent::Corrupted { .. }) => {
+                // The bytes crossed the link before the CRC check
+                // rejected them: the time is spent either way.
+                self.device
+                    .transfer_at(self.now, TransferPath::HostToFpga, bytes.max(1));
+                self.migrated_bytes += bytes;
+                return Err(fault_error(ev));
+            }
+            Some(ev) => return Err(fault_error(ev)),
+            None => {}
+        }
         let done = self
             .device
             .transfer_at(self.now, TransferPath::HostToFpga, bytes.max(1));
@@ -186,10 +307,30 @@ impl DeviceRuntime {
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::BadHandle`] for foreign handles.
+    /// Returns [`RuntimeError::BadHandle`] for foreign handles;
+    /// [`RuntimeError::PageReadFailed`] when NAND fails to return a
+    /// page; [`RuntimeError::TransferCorrupted`] when the landing DDR
+    /// write is corrupted; [`RuntimeError::DeviceBrownout`] inside a
+    /// brownout window. On every fault the buffer is left non-resident
+    /// and retrying the load is safe.
     pub fn p2p_load(&mut self, buf: BufferHandle, bytes: u64) -> Result<Nanos, RuntimeError> {
         if buf.0 >= self.buffers.len() {
             return Err(RuntimeError::BadHandle);
+        }
+        if let Some(ev) = self.device.fault_at(self.now, FaultSite::SsdRead) {
+            return Err(fault_error(ev));
+        }
+        match self.device.fault_at(self.now, FaultSite::DramAccess) {
+            Some(ev @ FaultEvent::Corrupted { .. }) => {
+                // NAND and switch time were spent before the landing
+                // write failed its check.
+                self.device
+                    .transfer_at(self.now, TransferPath::SsdToFpgaP2p, bytes.max(1));
+                self.p2p_bytes += bytes;
+                return Err(fault_error(ev));
+            }
+            Some(ev) => return Err(fault_error(ev)),
+            None => {}
         }
         let done = self
             .device
@@ -222,6 +363,12 @@ impl DeviceRuntime {
     ///
     /// Returns [`RuntimeError::BufferNotResident`] if an input was never
     /// migrated/loaded, or [`RuntimeError::BadHandle`] for foreign handles.
+    /// With a fault plan armed the run can also fail with
+    /// [`RuntimeError::TransferCorrupted`] (AXI burst bit-flip),
+    /// [`RuntimeError::DeviceBrownout`], or — when a stall blows the
+    /// watchdog deadline — [`RuntimeError::KernelTimeout`], in which
+    /// case the circuit stays hung for the stall's duration and a
+    /// bitstream reload is the fast path back.
     pub fn enqueue(
         &mut self,
         kernel: KernelHandle,
@@ -234,6 +381,27 @@ impl DeviceRuntime {
             let ready = buf.ready_at.ok_or(RuntimeError::BufferNotResident(b))?;
             start = start.max(ready);
         }
+        match self.device.fault_at(self.now, FaultSite::AxiTransfer) {
+            Some(ev @ FaultEvent::Corrupted { .. }) if !inputs.is_empty() => {
+                // The burst ran (and occupied the banks) before the
+                // check caught it; the circuit itself never started.
+                for &b in inputs {
+                    let (bank, bytes) = {
+                        let buf = &self.buffers[b.0];
+                        (buf.bank, buf.bytes)
+                    };
+                    self.device.dram_mut().access(bank, start, bytes);
+                }
+                return Err(fault_error(ev));
+            }
+            Some(ev) => return Err(fault_error(ev)),
+            None => {}
+        }
+        let stall = match self.device.fault_at(self.now, FaultSite::KernelEnqueue) {
+            Some(FaultEvent::Stalled { extra }) => extra,
+            Some(ev) => return Err(fault_error(ev)),
+            None => Nanos::ZERO,
+        };
         // Each input costs one DRAM access on its bank at run start.
         let mut data_ready = start;
         for &b in inputs {
@@ -245,8 +413,17 @@ impl DeviceRuntime {
             data_ready = data_ready.max(end);
         }
         let k = &mut self.kernels[kernel.0];
-        let done = data_ready + k.run_duration;
+        let done = data_ready + k.run_duration + stall;
         k.busy_until = done;
+        if let Some(deadline) = self.watchdog {
+            let elapsed = done - start;
+            if elapsed > deadline {
+                // The hung run keeps its circuit: busy_until stays at
+                // `done`, so only draining the stall — or reloading the
+                // bitstream — frees it.
+                return Err(RuntimeError::KernelTimeout { elapsed, deadline });
+            }
+        }
         k.runs += 1;
         Ok(done)
     }
@@ -383,6 +560,126 @@ mod tests {
         assert_eq!(rt.device().ssd().writes_rejected(), 1);
         rt.thaw_writes();
         assert!(rt.attempt_host_write(4096).is_some());
+    }
+
+    fn only(which: FaultSite, rate: f64) -> crate::fault::FaultConfig {
+        let mut cfg = crate::fault::FaultConfig::none();
+        match which {
+            FaultSite::PcieTransfer | FaultSite::AxiTransfer | FaultSite::DramAccess => {
+                cfg.corruption = rate;
+            }
+            FaultSite::SsdRead => cfg.page_read_fail = rate,
+            FaultSite::KernelEnqueue => {
+                cfg.stall = rate;
+                cfg.stall_duration = Nanos::from_micros(50_000.0);
+            }
+        }
+        cfg
+    }
+
+    #[test]
+    fn crc_rejection_leaves_buffer_nonresident_and_is_retryable() {
+        let mut rt = rt();
+        rt.device_mut().arm_faults(crate::fault::FaultPlan::new(
+            1,
+            only(FaultSite::PcieTransfer, 1.0),
+        ));
+        let buf = rt.alloc_buffer(0, 4096).expect("alloc");
+        let err = rt.migrate_to_device(buf).unwrap_err();
+        assert!(matches!(err, RuntimeError::TransferCorrupted { .. }));
+        let k = rt.register_kernel("k", Nanos(100));
+        // The corrupted data never became resident.
+        assert_eq!(
+            rt.enqueue(k, &[buf]).unwrap_err(),
+            RuntimeError::BufferNotResident(buf)
+        );
+        assert_eq!(rt.device().fault_counters().corruptions, 1);
+        // A clean link makes the retry succeed.
+        rt.device_mut().disarm_faults();
+        assert!(rt.migrate_to_device(buf).is_ok());
+        assert!(rt.enqueue(k, &[buf]).is_ok());
+    }
+
+    #[test]
+    fn page_read_failure_surfaces_on_p2p_load() {
+        let mut rt = rt();
+        rt.device_mut().arm_faults(crate::fault::FaultPlan::new(
+            2,
+            only(FaultSite::SsdRead, 1.0),
+        ));
+        let buf = rt.alloc_buffer(1, 8192).expect("alloc");
+        assert_eq!(
+            rt.p2p_load(buf, 8192).unwrap_err(),
+            RuntimeError::PageReadFailed
+        );
+        assert_eq!(rt.summary().p2p_bytes, 0, "failed read moved no data");
+    }
+
+    #[test]
+    fn watchdog_trips_on_stalled_kernel_and_circuit_stays_hung() {
+        let mut rt = rt();
+        let buf = rt.alloc_buffer(0, 64).expect("alloc");
+        rt.migrate_to_device(buf).expect("migrate");
+        let k = rt.register_kernel("gates", Nanos::from_micros(5.0));
+        rt.set_watchdog(Some(Nanos::from_micros(1_000.0)));
+        rt.device_mut().arm_faults(crate::fault::FaultPlan::new(
+            3,
+            only(FaultSite::KernelEnqueue, 1.0),
+        ));
+        let err = rt.enqueue(k, &[buf]).unwrap_err();
+        let RuntimeError::KernelTimeout { elapsed, deadline } = err else {
+            panic!("expected timeout, got {err:?}");
+        };
+        assert!(elapsed > deadline);
+        // Even fault-free, the next run on this circuit queues behind
+        // the hung one.
+        rt.device_mut().disarm_faults();
+        let next = rt.enqueue(k, &[buf]).expect("clean run");
+        assert!(
+            next.as_micros() > 50_000.0,
+            "queued behind the hang: {next}"
+        );
+    }
+
+    #[test]
+    fn brownout_rejects_until_window_expires() {
+        let mut rt = rt();
+        let mut cfg = crate::fault::FaultConfig::none();
+        cfg.brownout = 1.0;
+        cfg.brownout_window = Nanos::from_micros(200.0);
+        rt.device_mut()
+            .arm_faults(crate::fault::FaultPlan::new(4, cfg));
+        let buf = rt.alloc_buffer(0, 4096).expect("alloc");
+        let err = rt.migrate_to_device(buf).unwrap_err();
+        let RuntimeError::DeviceBrownout { until } = err else {
+            panic!("expected brownout, got {err:?}");
+        };
+        // Still inside the window: same deadline.
+        assert_eq!(
+            rt.migrate_to_device(buf).unwrap_err(),
+            RuntimeError::DeviceBrownout { until }
+        );
+        // Waiting it out re-draws; disarm to prove the path clears.
+        rt.advance_to(until);
+        rt.device_mut().disarm_faults();
+        assert!(rt.migrate_to_device(buf).is_ok());
+    }
+
+    #[test]
+    fn release_and_resume_preserve_clock_and_fault_plan() {
+        let mut rt = rt();
+        rt.device_mut().arm_faults(crate::fault::FaultPlan::new(
+            5,
+            only(FaultSite::PcieTransfer, 1.0),
+        ));
+        let buf = rt.alloc_buffer(0, 64).expect("alloc");
+        let _ = rt.migrate_to_device(buf); // burns link time, counts a fault
+        rt.advance(Nanos::from_micros(10.0));
+        let (device, elapsed) = rt.release();
+        assert!(device.faults_armed(), "plan survives teardown");
+        assert_eq!(device.fault_counters().corruptions, 1);
+        let rt2 = DeviceRuntime::new_at(device, elapsed + Nanos::from_micros(400.0));
+        assert!(rt2.now() > elapsed);
     }
 
     #[test]

@@ -58,4 +58,4 @@ pub use model::{ModelConfig, SequenceClassifier};
 pub use multiclass::{FamilyClassifier, SoftmaxHead};
 pub use optimizer::{Adam, Optimizer, Sgd};
 pub use trainer::{evaluate, EpochRecord, TrainOptions, Trainer, TrainingHistory};
-pub use weights::ModelWeights;
+pub use weights::{ModelWeights, WeightsError};
