@@ -317,6 +317,7 @@ fn main() {
                 lanes: None,
                 max_pending: stream_windows,
                 policy: OverflowPolicy::DropOldest,
+                ..StreamMuxConfig::default()
             },
         );
         if per_tick > 0.0 {

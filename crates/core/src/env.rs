@@ -1,15 +1,26 @@
 //! Shared parsing of the engine's environment knobs.
 //!
-//! Three runtime knobs tune the software engine to its host:
+//! Five runtime knobs tune the software engine to its host:
 //! `CSD_POOL_THREADS` (worker pool size), `CSD_LANE_WIDTH` (lane-block
-//! width of the batch engine), and `CSD_STREAM_LANES` (lane slots of the
-//! streaming multiplexer). All three share one contract — a positive
-//! integer, anything else silently ignored in favour of the built-in
-//! heuristic — implemented once here so the modules cannot drift.
+//! width of the batch engine), `CSD_STREAM_LANES` (lane slots per
+//! streaming-mux shard), `CSD_STREAM_SHARDS` (shard count of the
+//! sharded streaming mux), and `CSD_STREAM_DETERMINISTIC_STEAL`
+//! (forces the deterministic work-steal policy for reproducible runs).
+//! The integer knobs share one contract — a positive integer, anything
+//! else silently ignored in favour of the built-in heuristic — and the
+//! boolean knob shares another (`1/0`, `true/false`, `yes/no`, `on/off`,
+//! case-insensitive, anything else ignored), both implemented once here
+//! so the modules cannot drift.
 
 /// Names of the recognized environment knobs, for documentation and
 /// diagnostics.
-pub const ENV_KNOBS: [&str; 3] = ["CSD_POOL_THREADS", "CSD_LANE_WIDTH", "CSD_STREAM_LANES"];
+pub const ENV_KNOBS: [&str; 5] = [
+    "CSD_POOL_THREADS",
+    "CSD_LANE_WIDTH",
+    "CSD_STREAM_LANES",
+    "CSD_STREAM_SHARDS",
+    "CSD_STREAM_DETERMINISTIC_STEAL",
+];
 
 /// Reads `name` as a positive integer: `Some(n)` when the variable is
 /// set, parses (after trimming whitespace), and is at least 1; `None`
@@ -19,10 +30,28 @@ pub fn positive_usize(name: &str) -> Option<usize> {
     parse_positive(std::env::var(name).ok()?.as_str())
 }
 
+/// Reads `name` as a boolean flag: `Some(true)` for `1`, `true`, `yes`,
+/// or `on`; `Some(false)` for `0`, `false`, `no`, or `off` (whitespace
+/// trimmed, case-insensitive); `None` otherwise — unset, empty, and
+/// unrecognized values all fall back to the caller's default.
+pub fn flag(name: &str) -> Option<bool> {
+    parse_flag(std::env::var(name).ok()?.as_str())
+}
+
 /// The parsing rule behind [`positive_usize`], separated for testing
 /// without touching the process environment.
 fn parse_positive(value: &str) -> Option<usize> {
     value.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// The parsing rule behind [`flag`], separated for testing without
+/// touching the process environment.
+fn parse_flag(value: &str) -> Option<bool> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "yes" | "on" => Some(true),
+        "0" | "false" | "no" | "off" => Some(false),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -47,9 +76,30 @@ mod tests {
     }
 
     #[test]
+    fn flag_accepts_both_polarities_in_every_spelling() {
+        for yes in ["1", "true", "yes", "on", "TRUE", "Yes", " on "] {
+            assert_eq!(parse_flag(yes), Some(true), "{yes:?}");
+        }
+        for no in ["0", "false", "no", "off", "FALSE", "No", " off "] {
+            assert_eq!(parse_flag(no), Some(false), "{no:?}");
+        }
+    }
+
+    #[test]
+    fn flag_rejects_garbage() {
+        assert_eq!(parse_flag(""), None);
+        assert_eq!(parse_flag("2"), None);
+        assert_eq!(parse_flag("-1"), None);
+        assert_eq!(parse_flag("yep"), None);
+        assert_eq!(parse_flag("truee"), None);
+        assert_eq!(parse_flag("on off"), None);
+    }
+
+    #[test]
     fn unset_variable_reads_none() {
         // A name no test (or machine) sets: the env read path itself.
         assert_eq!(positive_usize("CSD_TEST_UNSET_KNOB_XYZZY"), None);
+        assert_eq!(flag("CSD_TEST_UNSET_FLAG_XYZZY"), None);
     }
 
     #[test]
@@ -60,6 +110,12 @@ mod tests {
         std::env::set_var("CSD_TEST_SET_KNOB_XYZZY", "nope");
         assert_eq!(positive_usize("CSD_TEST_SET_KNOB_XYZZY"), None);
         std::env::remove_var("CSD_TEST_SET_KNOB_XYZZY");
+
+        std::env::set_var("CSD_TEST_SET_FLAG_XYZZY", "on");
+        assert_eq!(flag("CSD_TEST_SET_FLAG_XYZZY"), Some(true));
+        std::env::set_var("CSD_TEST_SET_FLAG_XYZZY", "maybe");
+        assert_eq!(flag("CSD_TEST_SET_FLAG_XYZZY"), None);
+        std::env::remove_var("CSD_TEST_SET_FLAG_XYZZY");
     }
 
     #[test]
@@ -67,5 +123,7 @@ mod tests {
         assert!(ENV_KNOBS.contains(&"CSD_STREAM_LANES"));
         assert!(ENV_KNOBS.contains(&"CSD_LANE_WIDTH"));
         assert!(ENV_KNOBS.contains(&"CSD_POOL_THREADS"));
+        assert!(ENV_KNOBS.contains(&"CSD_STREAM_SHARDS"));
+        assert!(ENV_KNOBS.contains(&"CSD_STREAM_DETERMINISTIC_STEAL"));
     }
 }

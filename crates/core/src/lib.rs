@@ -87,10 +87,12 @@ pub mod host;
 pub mod kernels;
 pub mod mixed;
 pub mod monitor;
+pub mod mpsc;
 pub mod opt;
 pub mod pool;
 pub mod schedule;
 pub mod scratch;
+pub mod shard;
 pub mod stream;
 pub mod timing;
 pub mod weights;
@@ -102,10 +104,14 @@ pub use host::{DeviceRun, HostError, HostProgram, RecoveryPolicy, RecoveryStats}
 pub use kernels::LstmDims;
 pub use mixed::MixedPrecisionEngine;
 pub use monitor::{Alert, MonitorConfig, MonitorPool, RollingWindow, StreamMonitor};
+pub use mpsc::{AdmissionHandle, AdmissionQueue};
 pub use opt::OptimizationLevel;
 pub use pool::{PoolError, WorkerPool, WorkerPoolBuilder};
 pub use schedule::{Bottleneck, LaneBucket, LaneSchedule, PipelineSchedule, ScheduleEvent};
 pub use scratch::{EngineScratch, InferenceScratch, LaneScratch};
-pub use stream::{FleetMonitor, MuxStats, OverflowPolicy, StreamMux, StreamMuxConfig, Verdict};
+pub use shard::{ShardedStreamMux, StealPolicy, StreamInjector};
+pub use stream::{
+    FleetMonitor, FleetResidentBytes, MuxStats, OverflowPolicy, StreamMux, StreamMuxConfig, Verdict,
+};
 pub use timing::{fig3, table1_fpga_row, Fig3Row, KernelBreakdown};
 pub use weights::{FusedGates, LaneGatesFx, PackedGatesFx, QuantizedWeights, LANE_MAX_STEPS};

@@ -136,6 +136,12 @@ impl RollingWindow {
         &self.buf[self.start..]
     }
 
+    /// Heap bytes held by the window's compacting buffer (capacity, not
+    /// live length — what the allocator actually charges a hot stream).
+    pub fn resident_bytes(&self) -> usize {
+        self.buf.capacity() * std::mem::size_of::<usize>()
+    }
+
     /// Empties the window, keeping the allocation.
     pub fn clear(&mut self) {
         self.buf.clear();

@@ -41,6 +41,7 @@ use crate::engine::{Classification, CsdInferenceEngine};
 use crate::monitor::{Alert, MonitorConfig, RollingWindow};
 use crate::schedule::PipelineSchedule;
 use crate::scratch::{EngineScratch, LaneScratch};
+use crate::shard::{ShardedStreamMux, StealPolicy};
 use crate::weights::LANE_MAX_STEPS;
 
 /// What [`StreamMux::submit`] does when the pending queue is full.
@@ -66,6 +67,18 @@ pub struct StreamMuxConfig {
     pub max_pending: usize,
     /// What to do when `max_pending` is reached.
     pub policy: OverflowPolicy,
+    /// Shard count for a [`ShardedStreamMux`] built from this config.
+    /// `None` resolves the `CSD_STREAM_SHARDS` environment knob, falling
+    /// back to the worker pool's thread count. Ignored by a standalone
+    /// [`StreamMux`] (always one shard).
+    #[serde(default)]
+    pub shards: Option<usize>,
+    /// Work-steal policy for a [`ShardedStreamMux`]. `None` resolves the
+    /// `CSD_STREAM_DETERMINISTIC_STEAL` environment knob, falling back
+    /// to [`StealPolicy::default`]. Ignored by a standalone
+    /// [`StreamMux`].
+    #[serde(default)]
+    pub steal: Option<StealPolicy>,
 }
 
 impl Default for StreamMuxConfig {
@@ -74,6 +87,8 @@ impl Default for StreamMuxConfig {
             lanes: None,
             max_pending: 4096,
             policy: OverflowPolicy::DropOldest,
+            shards: None,
+            steal: None,
         }
     }
 }
@@ -91,6 +106,13 @@ pub struct Verdict {
     pub classification: Classification,
     /// Ticks from submission to retirement (queue wait + compute).
     pub latency_ticks: u64,
+    /// Admission sequence number, assigned by the mux at `submit` and
+    /// strictly increasing in submission order (so each stream's own
+    /// verdicts carry an increasing subsequence). The sharded mux uses
+    /// it to deliver per-stream verdicts in submission order no matter
+    /// which shard ran the window.
+    #[serde(default)]
+    pub seq: u64,
 }
 
 /// A snapshot of the multiplexer's tick-level counters.
@@ -124,17 +146,38 @@ pub struct MuxStats {
     pub degraded_ticks: u64,
     /// Lanes currently poisoned (out of service awaiting cooldown).
     pub lanes_poisoned: u64,
+    /// Pending windows moved between shards by the rebalancer (always 0
+    /// for a standalone mux, and for a shard's own snapshot — steals are
+    /// coordinator events).
+    #[serde(default)]
+    pub steals: u64,
+    /// Shards aggregated into this snapshot (1 for a standalone mux or
+    /// a single shard's snapshot).
+    #[serde(default = "MuxStats::one_shard")]
+    pub shards: u64,
+}
+
+impl MuxStats {
+    /// Serde default for [`shards`](Self::shards): historical snapshots
+    /// predate sharding and were all single-mux.
+    fn one_shard() -> u64 {
+        1
+    }
 }
 
 /// A window travelling through the mux: pending (`pos == 0`, queued) or
-/// active (occupying a lane at item `pos`).
+/// active (occupying a lane at item `pos`). `pub(crate)` so the sharded
+/// mux can move pending windows between shards as opaque values; the
+/// fields stay private to this module.
 #[derive(Debug, Clone)]
-struct Window {
+pub(crate) struct Window {
     stream: u64,
     at_call: usize,
     seq: Vec<usize>,
     pos: usize,
     enqueued_tick: u64,
+    /// Admission sequence number (see [`Verdict::seq`]).
+    order: u64,
 }
 
 /// Verdict latencies kept for percentile stats (a ring of the most
@@ -174,6 +217,8 @@ pub struct StreamMux {
     occupied_steps: u64,
     latencies: Vec<u64>,
     lat_next: usize,
+    /// Next admission sequence number (see [`Verdict::seq`]).
+    next_order: u64,
     started: Instant,
     /// Armed fault plan: each occupied lane draws one lane-corruption
     /// chance per tick. `None` = fault-free (zero overhead).
@@ -225,6 +270,7 @@ impl StreamMux {
             occupied_steps: 0,
             latencies: Vec::with_capacity(LATENCY_RING),
             lat_next: 0,
+            next_order: 0,
             started: Instant::now(),
             faults: None,
             lane_cooldown: 0,
@@ -315,6 +361,8 @@ impl StreamMux {
             degraded_reruns: self.degraded_reruns,
             degraded_ticks: self.degraded_ticks,
             lanes_poisoned: self.poisoned.iter().filter(|p| p.is_some()).count() as u64,
+            steals: 0,
+            shards: MuxStats::one_shard(),
         }
     }
 
@@ -347,14 +395,102 @@ impl StreamMux {
         let mut seq = self.free_bufs.pop().unwrap_or_default();
         seq.clear();
         seq.extend_from_slice(window);
+        let order = self.next_order;
+        self.next_order += 1;
+        self.admit_owned(stream, at_call, order, seq);
+        true
+    }
+
+    /// Admits an already-pooled buffer as a pending window with a
+    /// caller-assigned sequence number, bypassing backpressure — the
+    /// sharded mux's admission path, which numbers windows from one
+    /// global counter and does its own backpressure accounting before
+    /// routing here.
+    pub(crate) fn admit_owned(&mut self, stream: u64, at_call: usize, order: u64, seq: Vec<usize>) {
+        debug_assert!(!seq.is_empty(), "empty sequence");
         self.pending.push_back(Window {
             stream,
             at_call,
             seq,
             pos: 0,
             enqueued_tick: self.ticks,
+            order,
         });
-        true
+    }
+
+    /// Hands out a pooled buffer (possibly dirty — callers clear it) so
+    /// window payloads recycle inside the shard that will retire them.
+    pub(crate) fn lease_buf(&mut self) -> Vec<usize> {
+        self.free_bufs.pop().unwrap_or_default()
+    }
+
+    /// Removes and returns the *youngest* pending window for the
+    /// rebalancer: stealing from the queue's tail keeps the victim's
+    /// FIFO head — its oldest, most latency-burdened work — in place.
+    pub(crate) fn steal_youngest(&mut self) -> Option<Window> {
+        self.pending.pop_back()
+    }
+
+    /// Accepts a window stolen from another shard. The tick clock is
+    /// shard-local, so the latency stamp restarts here: a stolen
+    /// window's reported latency covers its life on the thief only.
+    pub(crate) fn adopt(&mut self, mut window: Window) {
+        window.enqueued_tick = self.ticks;
+        self.pending.push_back(window);
+    }
+
+    /// Evicts the oldest pending window (for coordinator-level
+    /// [`OverflowPolicy::DropOldest`]), recycling its buffer and
+    /// returning its `(stream, seq)` identity — the *caller* does the
+    /// drop accounting.
+    pub(crate) fn evict_oldest_pending(&mut self) -> Option<(u64, u64)> {
+        let window = self.pending.pop_front()?;
+        let identity = (window.stream, window.order);
+        self.free_bufs.push(window.seq);
+        Some(identity)
+    }
+
+    /// Admission sequence number of the oldest pending window, if any.
+    pub(crate) fn oldest_pending_order(&self) -> Option<u64> {
+        self.pending.front().map(|w| w.order)
+    }
+
+    /// Classifies every pending window through the serial path — the
+    /// sharded form of the low-occupancy drain shortcut.
+    pub(crate) fn classify_pending_serially(&mut self, out: &mut Vec<Verdict>) {
+        while let Some(window) = self.pending.pop_front() {
+            self.classify_serial(window, out);
+        }
+    }
+
+    /// Raw occupied lane-steps, for cross-shard occupancy aggregation.
+    pub(crate) fn occupied_steps(&self) -> u64 {
+        self.occupied_steps
+    }
+
+    /// The retained latency samples (most recent retirements), for
+    /// cross-shard percentile merging.
+    pub(crate) fn latency_samples(&self) -> &[u64] {
+        &self.latencies
+    }
+
+    /// Approximate heap footprint of this mux's lane block and queues:
+    /// lane scratch, slot/pending window payloads, pooled buffers, and
+    /// the latency ring. The engine clone and serial scratch are
+    /// per-shard constants (shared-shape with every other engine clone)
+    /// and are excluded — this accounts the state that scales with
+    /// streams and lanes.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        let buf = |v: &Vec<usize>| v.capacity() * std::mem::size_of::<usize>();
+        let win = |w: &Window| std::mem::size_of::<Window>() + buf(&w.seq);
+        self.scratch.resident_bytes()
+            + self.slots.iter().flatten().map(win).sum::<usize>()
+            + self.slots.capacity() * std::mem::size_of::<Option<Window>>()
+            + self.items.capacity() * std::mem::size_of::<Option<usize>>()
+            + self.pending.iter().map(win).sum::<usize>()
+            + self.free_bufs.iter().map(buf).sum::<usize>()
+            + self.latencies.capacity() * std::mem::size_of::<u64>()
+            + self.poisoned.capacity() * std::mem::size_of::<Option<u64>>()
     }
 
     /// Classifies a window through the serial path (bit-identical to lane
@@ -382,6 +518,7 @@ impl StreamMux {
             at_call: window.at_call,
             classification,
             latency_ticks: latency,
+            seq: window.order,
         });
         self.free_bufs.push(window.seq);
     }
@@ -529,20 +666,42 @@ impl StreamMux {
     }
 }
 
-/// Per-process monitor state inside a [`FleetMonitor`]: the rolling
-/// window plus the stride/vote bookkeeping of
-/// [`StreamMonitor`](crate::monitor::StreamMonitor).
+/// Hot per-process state inside a [`FleetMonitor`]: the rolling window
+/// plus stride bookkeeping. Boxed out of the per-stream record and
+/// allocated lazily on the first observed call, so *dormant* streams —
+/// registered but silent, or already latched — never pay for a window
+/// buffer. Dropped wholesale when the stream's alert latches (the
+/// window is never read again).
 #[derive(Debug, Clone)]
-struct StreamState {
+struct HotState {
     window: RollingWindow,
-    calls_seen: usize,
-    since_classify: usize,
+    since_classify: u32,
     /// Windows submitted to the mux (drives the first-full-window rule).
-    submitted: usize,
+    submitted: u32,
     /// Verdicts folded into the vote state (drives time accounting).
-    verdicts: usize,
-    votes: VecDeque<bool>,
-    alerted: Option<Alert>,
+    verdicts: u32,
+}
+
+/// What remains of a stream after its alert latches: the alert itself
+/// and the final verdict count, boxed so the common (never-alerting)
+/// fleet pays one null pointer for it.
+#[derive(Debug, Clone, Copy)]
+struct Latched {
+    alert: Alert,
+    verdicts: u32,
+}
+
+/// Per-process record inside a [`FleetMonitor`]: a 32-byte cold core so
+/// a million registered streams fit in tens of megabytes. The vote ring
+/// is packed into a `u64` bitmask (bit 0 = newest verdict, one bit
+/// shifted in per verdict, masked to `vote_horizon` bits) — which is why
+/// the fleet monitor caps `vote_horizon` at 64.
+#[derive(Debug, Clone, Default)]
+struct StreamState {
+    hot: Option<Box<HotState>>,
+    latched: Option<Box<Latched>>,
+    calls_seen: u64,
+    votes: u64,
 }
 
 /// A fleet of per-process ransomware monitors multiplexed onto one lane
@@ -553,16 +712,65 @@ struct StreamState {
 /// stride, voting, latching, and 0-ULP-identical verdicts); the
 /// difference is *when* classification happens: `observe` is cheap (it
 /// never classifies), and [`poll`](Self::poll) / [`drain`](Self::drain)
-/// advance all in-flight windows together through the [`StreamMux`].
-/// Alerts therefore surface at the poll/drain after the triggering
-/// window retires, not inside `observe` — the price of batching. Under
-/// backpressure, dropped windows are simply never voted on.
+/// advance all in-flight windows together through the
+/// [`ShardedStreamMux`] — one mux shard per worker-pool thread, so a
+/// multi-core host classifies the fleet in parallel. Alerts therefore
+/// surface at the poll/drain after the triggering window retires, not
+/// inside `observe` — the price of batching. Under backpressure,
+/// dropped windows are simply never voted on.
+///
+/// One extra constraint over the serial monitor: `vote_horizon` must be
+/// at most 64 (votes pack into a bitmask so a registered-but-idle
+/// stream costs ~32 bytes plus table overhead; see
+/// [`resident_bytes`](Self::resident_bytes)).
 #[derive(Debug, Clone)]
 pub struct FleetMonitor {
-    mux: StreamMux,
+    mux: ShardedStreamMux,
     config: MonitorConfig,
     streams: HashMap<u64, StreamState>,
     per_item_us: f64,
+    /// Recycled verdict buffer for `poll`/`drain`: the hot monitoring
+    /// path allocates nothing at steady state.
+    verdict_buf: Vec<Verdict>,
+    /// `vote_horizon` ones, precomputed.
+    vote_mask: u64,
+}
+
+/// Resident-memory accounting for a [`FleetMonitor`], by component.
+/// Capacity-based (what the allocator holds, not just what is live) and
+/// estimated for the hash table, whose bucket count is inferred from
+/// its reported capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FleetResidentBytes {
+    /// Streams tracked (registered or observed).
+    pub tracked: usize,
+    /// Tracked streams with no hot window state (dormant or latched).
+    pub idle: usize,
+    /// Stream table: buckets × (key + 32-byte cold record + control
+    /// byte) — the cost every registered stream pays.
+    pub table_bytes: usize,
+    /// Hot state: rolling windows + stride bookkeeping, only for
+    /// streams mid-window.
+    pub hot_bytes: usize,
+    /// Latched alert records.
+    pub latched_bytes: usize,
+    /// The sharded mux: lane blocks, pending queues, pooled buffers,
+    /// reorder state (engine weights excluded — per-shard constants).
+    pub mux_bytes: usize,
+}
+
+impl FleetResidentBytes {
+    /// Sum over every component.
+    pub fn total(&self) -> usize {
+        self.table_bytes + self.hot_bytes + self.latched_bytes + self.mux_bytes
+    }
+
+    /// Table bytes per tracked stream — the marginal cost of a
+    /// registered-but-idle stream, the number the million-stream
+    /// deployment sizes RAM by.
+    pub fn per_idle_stream(&self) -> f64 {
+        self.table_bytes as f64 / self.tracked.max(1) as f64
+    }
 }
 
 impl FleetMonitor {
@@ -587,12 +795,23 @@ impl FleetMonitor {
             config.votes_needed <= config.vote_horizon,
             "cannot need more votes than the horizon holds"
         );
+        assert!(
+            config.vote_horizon <= 64,
+            "fleet monitor packs votes into a 64-bit ring"
+        );
         let per_item_us = PipelineSchedule::for_level(engine.level()).steady_item_us;
+        let vote_mask = if config.vote_horizon == 64 {
+            u64::MAX
+        } else {
+            (1u64 << config.vote_horizon) - 1
+        };
         Self {
-            mux: StreamMux::new(engine, mux_config),
+            mux: ShardedStreamMux::new(engine, mux_config),
             config,
             streams: HashMap::new(),
             per_item_us,
+            verdict_buf: Vec::new(),
+            vote_mask,
         }
     }
 
@@ -601,14 +820,17 @@ impl FleetMonitor {
         self.config
     }
 
-    /// The underlying multiplexer (stats, occupancy, queue depth).
-    pub fn mux(&self) -> &StreamMux {
+    /// The underlying sharded multiplexer (stats, occupancy, queue
+    /// depth).
+    pub fn mux(&self) -> &ShardedStreamMux {
         &self.mux
     }
 
     /// Arms the mux's degraded mode (see [`StreamMux::arm_faults`]):
     /// corrupted lanes rerun their windows serially, so fleet verdicts
-    /// and alerts survive a flaky device unchanged.
+    /// and alerts survive a flaky device unchanged. Each shard derives
+    /// its own plan from `plan`'s seed so fault streams stay independent
+    /// across lanes.
     pub fn arm_faults(&mut self, plan: FaultPlan, cooldown_ticks: u64) {
         self.mux.arm_faults(plan, cooldown_ticks);
     }
@@ -629,34 +851,49 @@ impl FleetMonitor {
         self.streams.len()
     }
 
+    /// Registers `pid` without observing anything: the stream gets its
+    /// compact cold record (no window buffer — that allocates lazily on
+    /// the first call) and counts as tracked. This is how a fleet
+    /// pre-registers every process it *might* hear from: a million
+    /// registered-but-idle streams cost ~100 bytes each (see
+    /// [`resident_bytes`](Self::resident_bytes)).
+    pub fn register(&mut self, pid: u64) {
+        self.streams.entry(pid).or_default();
+    }
+
     /// Feeds one API call observed in process `pid`. Never classifies:
     /// a completed window is enqueued on the mux for the next
     /// [`poll`](Self::poll) / [`drain`](Self::drain).
     pub fn observe(&mut self, pid: u64, call: usize) {
         let config = self.config;
-        let state = self.streams.entry(pid).or_insert_with(|| StreamState {
-            window: RollingWindow::new(config.window_len),
-            calls_seen: 0,
-            since_classify: 0,
-            submitted: 0,
-            verdicts: 0,
-            votes: VecDeque::with_capacity(config.vote_horizon),
-            alerted: None,
-        });
+        let state = self.streams.entry(pid).or_default();
         state.calls_seen += 1;
-        state.window.push(call);
-        if state.alerted.is_some() || !state.window.is_full() {
+        if state.latched.is_some() {
+            // Latched streams stay latched; their window state is long
+            // freed and the call only bumps the counter.
             return;
         }
-        state.since_classify += 1;
-        let first_full = state.submitted == 0;
-        if !first_full && state.since_classify < config.stride {
+        let hot = state.hot.get_or_insert_with(|| {
+            Box::new(HotState {
+                window: RollingWindow::new(config.window_len),
+                since_classify: 0,
+                submitted: 0,
+                verdicts: 0,
+            })
+        });
+        hot.window.push(call);
+        if !hot.window.is_full() {
             return;
         }
-        state.since_classify = 0;
-        state.submitted += 1;
+        hot.since_classify += 1;
+        let first_full = hot.submitted == 0;
+        if !first_full && (hot.since_classify as usize) < config.stride {
+            return;
+        }
+        hot.since_classify = 0;
+        hot.submitted += 1;
         self.mux
-            .submit(pid, state.calls_seen, state.window.as_slice());
+            .submit(pid, state.calls_seen as usize, hot.window.as_slice());
     }
 
     /// Feeds a batch of calls for one process.
@@ -666,46 +903,65 @@ impl FleetMonitor {
         }
     }
 
-    /// Runs one mux tick and returns newly raised alerts.
+    /// Runs one coordinator round (one tick on every loaded shard) and
+    /// returns newly raised alerts. The verdict buffer is pooled: the
+    /// steady-state monitoring loop allocates nothing here.
     pub fn poll(&mut self) -> Vec<(u64, Alert)> {
-        let verdicts = self.mux.tick();
-        self.apply(verdicts)
+        let mut buf = std::mem::take(&mut self.verdict_buf);
+        buf.clear();
+        self.mux.tick_into(&mut buf);
+        let alerts = self.apply(&buf);
+        self.verdict_buf = buf;
+        alerts
     }
 
     /// Classifies everything queued or in flight and returns newly
     /// raised alerts.
     pub fn drain(&mut self) -> Vec<(u64, Alert)> {
-        let verdicts = self.mux.drain();
-        self.apply(verdicts)
+        let mut buf = std::mem::take(&mut self.verdict_buf);
+        buf.clear();
+        self.mux.drain_into(&mut buf);
+        let alerts = self.apply(&buf);
+        self.verdict_buf = buf;
+        alerts
     }
 
     /// Folds retired verdicts into per-process vote state. Verdicts for
     /// retired (or already-alerted) processes are discarded — alerts
-    /// latch exactly as in the serial monitor.
-    fn apply(&mut self, verdicts: Vec<Verdict>) -> Vec<(u64, Alert)> {
+    /// latch exactly as in the serial monitor. The sharded mux delivers
+    /// each stream's verdicts in submission order, so the fold is the
+    /// same order-sensitive fold the serial monitor runs.
+    fn apply(&mut self, verdicts: &[Verdict]) -> Vec<(u64, Alert)> {
         let mut alerts = Vec::new();
         for v in verdicts {
             let Some(state) = self.streams.get_mut(&v.stream) else {
                 continue;
             };
-            if state.alerted.is_some() {
+            if state.latched.is_some() {
                 continue;
             }
-            state.verdicts += 1;
-            if state.votes.len() == self.config.vote_horizon {
-                state.votes.pop_front();
-            }
-            state.votes.push_back(v.classification.is_positive);
-            let positive_votes = state.votes.iter().filter(|&&b| b).count();
-            if positive_votes >= self.config.votes_needed {
+            let Some(hot) = state.hot.as_mut() else {
+                continue;
+            };
+            hot.verdicts += 1;
+            state.votes =
+                ((state.votes << 1) | u64::from(v.classification.is_positive)) & self.vote_mask;
+            if (state.votes.count_ones() as usize) >= self.config.votes_needed {
                 let alert = Alert {
                     at_call: v.at_call,
                     probability: v.classification.probability,
-                    inference_us: state.verdicts as f64
+                    inference_us: f64::from(hot.verdicts)
                         * self.config.window_len as f64
                         * self.per_item_us,
                 };
-                state.alerted = Some(alert);
+                state.latched = Some(Box::new(Latched {
+                    alert,
+                    verdicts: hot.verdicts,
+                }));
+                // Latching retires the hot state: the rolling window
+                // frees right here and the stream drops to its 32-byte
+                // cold record.
+                state.hot = None;
                 alerts.push((v.stream, alert));
             }
         }
@@ -714,7 +970,10 @@ impl FleetMonitor {
 
     /// The alert state of process `pid`, if tracked.
     pub fn alert_for(&self, pid: u64) -> Option<Alert> {
-        self.streams.get(&pid).and_then(|s| s.alerted)
+        self.streams
+            .get(&pid)
+            .and_then(|s| s.latched.as_ref())
+            .map(|l| l.alert)
     }
 
     /// Process ids with latched alerts, ascending.
@@ -722,7 +981,7 @@ impl FleetMonitor {
         let mut pids: Vec<u64> = self
             .streams
             .iter()
-            .filter(|(_, s)| s.alerted.is_some())
+            .filter(|(_, s)| s.latched.is_some())
             .map(|(&pid, _)| pid)
             .collect();
         pids.sort_unstable();
@@ -731,18 +990,65 @@ impl FleetMonitor {
 
     /// API calls observed for process `pid` (0 if untracked).
     pub fn calls_seen(&self, pid: u64) -> usize {
-        self.streams.get(&pid).map_or(0, |s| s.calls_seen)
+        self.streams.get(&pid).map_or(0, |s| s.calls_seen as usize)
     }
 
     /// Verdicts folded into process `pid`'s vote state so far.
     pub fn classifications(&self, pid: u64) -> usize {
-        self.streams.get(&pid).map_or(0, |s| s.verdicts)
+        self.streams.get(&pid).map_or(0, |s| {
+            s.latched
+                .as_ref()
+                .map(|l| l.verdicts)
+                .or_else(|| s.hot.as_ref().map(|h| h.verdicts))
+                .unwrap_or(0) as usize
+        })
     }
 
     /// Drops a finished process's state. Verdicts still in flight for it
     /// are discarded on retirement.
     pub fn retire(&mut self, pid: u64) {
         self.streams.remove(&pid);
+    }
+
+    /// Resident-memory accounting by component — the API the
+    /// million-stream deployment sizes itself with. See
+    /// [`FleetResidentBytes`].
+    pub fn resident_bytes(&self) -> FleetResidentBytes {
+        let mut idle = 0usize;
+        let mut hot_bytes = 0usize;
+        let mut latched_bytes = 0usize;
+        for state in self.streams.values() {
+            match state.hot.as_deref() {
+                Some(hot) => {
+                    hot_bytes += std::mem::size_of::<HotState>() + hot.window.resident_bytes();
+                }
+                None => idle += 1,
+            }
+            if state.latched.is_some() {
+                latched_bytes += std::mem::size_of::<Latched>();
+            }
+        }
+        FleetResidentBytes {
+            tracked: self.streams.len(),
+            idle,
+            table_bytes: Self::table_bytes(&self.streams),
+            hot_bytes,
+            latched_bytes,
+            mux_bytes: self.mux.resident_bytes(),
+        }
+    }
+
+    /// Estimated allocation of the stream table: hashbrown keeps one
+    /// control byte per bucket and resizes at 7/8 load, so the bucket
+    /// count is the reported capacity scaled back up to its power of
+    /// two.
+    fn table_bytes(map: &HashMap<u64, StreamState>) -> usize {
+        let cap = map.capacity();
+        if cap == 0 {
+            return 0;
+        }
+        let buckets = (cap * 8 / 7).next_power_of_two();
+        buckets * (std::mem::size_of::<(u64, StreamState)>() + 1)
     }
 }
 
@@ -840,6 +1146,7 @@ mod tests {
                 lanes: Some(2),
                 max_pending: 2,
                 policy: OverflowPolicy::DropOldest,
+                ..StreamMuxConfig::default()
             },
         );
         for k in 0..4u64 {
@@ -860,6 +1167,7 @@ mod tests {
                 lanes: Some(2),
                 max_pending: 2,
                 policy: OverflowPolicy::DropNewest,
+                ..StreamMuxConfig::default()
             },
         );
         assert!(mux.submit(0, 0, &seq(6, 0)));
@@ -1013,6 +1321,7 @@ mod tests {
                 lanes: Some(2),
                 max_pending: 2,
                 policy: OverflowPolicy::DropOldest,
+                ..StreamMuxConfig::default()
             },
         );
         for k in 0..4u64 {
@@ -1029,6 +1338,7 @@ mod tests {
                 lanes: Some(2),
                 max_pending: 1,
                 policy: OverflowPolicy::DropNewest,
+                ..StreamMuxConfig::default()
             },
         );
         assert!(refuse.submit(7, 0, &seq(6, 0)));

@@ -14,8 +14,8 @@
 use std::collections::HashMap;
 
 use csd_accel::{
-    CsdInferenceEngine, MonitorConfig, OptimizationLevel, StreamMonitor, StreamMux,
-    StreamMuxConfig, Verdict,
+    CsdInferenceEngine, MonitorConfig, OptimizationLevel, ShardedStreamMux, StealPolicy,
+    StreamMonitor, StreamMux, StreamMuxConfig, Verdict,
 };
 use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};
 use proptest::prelude::*;
@@ -38,6 +38,16 @@ fn mux(engine: CsdInferenceEngine, width: usize) -> StreamMux {
 /// Ragged windows: the streams' due classifications.
 fn arb_windows() -> impl Strategy<Value = Vec<Vec<usize>>> {
     prop::collection::vec(prop::collection::vec(0usize..278, 1..=120), 1..=14)
+}
+
+/// A random steal policy: the deterministic schedule or a seeded
+/// splitmix64 victim stream — each draw is a different steal
+/// interleaving over the same submissions.
+fn arb_steal() -> impl Strategy<Value = StealPolicy> {
+    prop_oneof![
+        Just(StealPolicy::Deterministic),
+        any::<u64>().prop_map(StealPolicy::Seeded),
+    ]
 }
 
 proptest! {
@@ -83,6 +93,72 @@ proptest! {
         }
     }
 
+    /// The sharded mux keeps the single mux's bit-identity contract at
+    /// every shard count and under every steal interleaving — work may
+    /// migrate between shards mid-run, but each verdict still equals
+    /// serial classification of its window exactly, and each stream's
+    /// verdicts arrive in submission order.
+    #[test]
+    fn sharded_verdicts_bit_identical_at_every_shard_count_and_steal_order(
+        seed in any::<u64>(),
+        windows in arb_windows(),
+        ticks_between in prop::collection::vec(0usize..6, 14),
+        shards in 1usize..=4,
+        steal in arb_steal(),
+        level_idx in 0usize..3,
+    ) {
+        let level = OptimizationLevel::ALL[level_idx];
+        let e = engine(seed, level);
+        let serial: Vec<_> = windows.iter().map(|w| e.classify(w)).collect();
+        let mut m = ShardedStreamMux::new(
+            e,
+            StreamMuxConfig {
+                // Narrow shards force queueing and stealing.
+                lanes: Some(2),
+                shards: Some(shards),
+                steal: Some(steal),
+                ..StreamMuxConfig::default()
+            },
+        );
+        let mut verdicts: Vec<Verdict> = Vec::new();
+        // Every stream submits two windows so per-stream order is
+        // observable: stream k gets windows k and (k+1) % n.
+        let n = windows.len();
+        for (k, w) in windows.iter().enumerate() {
+            m.submit(k as u64, 0, w);
+            m.submit(k as u64, 1, &windows[(k + 1) % n]);
+            for _ in 0..ticks_between[k % ticks_between.len()] {
+                m.tick_into(&mut verdicts);
+            }
+        }
+        m.drain_into(&mut verdicts);
+        prop_assert!(m.is_idle());
+        prop_assert_eq!(verdicts.len(), 2 * n, "shards {}", shards);
+        let mut last_seq: HashMap<u64, u64> = HashMap::new();
+        let mut seen: HashMap<u64, usize> = HashMap::new();
+        for v in &verdicts {
+            let which = seen.entry(v.stream).or_insert(0);
+            let expect = if *which == 0 {
+                v.stream as usize
+            } else {
+                (v.stream as usize + 1) % n
+            };
+            *which += 1;
+            prop_assert_eq!(
+                v.classification,
+                serial[expect],
+                "level {} shards {} steal {:?} stream {}", level, shards, steal, v.stream
+            );
+            // Submission order within the stream: at_call 0 before 1,
+            // seq strictly increasing.
+            prop_assert_eq!(v.at_call, *which - 1);
+            if let Some(&prev) = last_seq.get(&v.stream) {
+                prop_assert!(prev < v.seq, "stream {} out of order", v.stream);
+            }
+            last_seq.insert(v.stream, v.seq);
+        }
+    }
+
     /// Draining everything at once (pure batch arrival) agrees with the
     /// same windows trickled in one tick apart (pure online arrival):
     /// arrival order must be invisible in the verdicts.
@@ -118,13 +194,17 @@ proptest! {
 
     /// The fleet monitor's per-process alert state equals a serial
     /// `StreamMonitor` per process fed the same calls, across random
-    /// trace lengths and monitor geometries.
+    /// trace lengths, monitor geometries, shard counts, and steal
+    /// interleavings. The vote fold is order-sensitive, so this also
+    /// proves the sharded mux's per-stream delivery order.
     #[test]
     fn fleet_monitor_matches_serial_monitors(
         seed in any::<u64>(),
         traces in prop::collection::vec(prop::collection::vec(0usize..278, 0..=220), 1..=6),
         window_len in 4usize..40,
         stride in 1usize..20,
+        shards in 1usize..=4,
+        steal in arb_steal(),
     ) {
         let config = MonitorConfig {
             window_len,
@@ -139,8 +219,15 @@ proptest! {
             m.observe_all(calls);
             reference.insert(pid as u64, m.alert());
         }
-        let mut fleet =
-            csd_accel::FleetMonitor::new(e, config, StreamMuxConfig::default());
+        let mut fleet = csd_accel::FleetMonitor::new(
+            e,
+            config,
+            StreamMuxConfig {
+                shards: Some(shards),
+                steal: Some(steal),
+                ..StreamMuxConfig::default()
+            },
+        );
         let longest = traces.iter().map(Vec::len).max().unwrap_or(0);
         for i in 0..longest {
             for (pid, calls) in traces.iter().enumerate() {

@@ -1,0 +1,124 @@
+//! Regression pin on the fleet monitor's idle-stream memory budget.
+//!
+//! The fleet-scale design point is a million *registered* processes of
+//! which only a sliver are actively classifying. That only works if a
+//! dormant stream's resident cost is O(100 B): hot lane state
+//! (rolling window, classification cadence) lives behind an `Option`
+//! that dormant streams leave `None`, so an idle entry is just the hash
+//! table slot — key, two null boxes, a call counter, and a packed vote
+//! ring.
+
+use csd_accel::{FleetMonitor, MonitorConfig, OptimizationLevel, StreamMuxConfig};
+use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};
+
+/// ISSUE 6's acceptance bound: at fleet scale a dormant registered
+/// stream may cost at most ~100 bytes of table space.
+const IDLE_STREAM_BUDGET_BYTES: f64 = 100.0;
+
+#[test]
+fn idle_stream_budget_holds_at_fleet_scale() {
+    let model = SequenceClassifier::new(ModelConfig::tiny(16), 3);
+    let engine = engine_for(&model);
+    let mut fleet = FleetMonitor::new(
+        engine,
+        MonitorConfig {
+            window_len: 24,
+            stride: 8,
+            votes_needed: 2,
+            vote_horizon: 4,
+        },
+        StreamMuxConfig {
+            shards: Some(2),
+            ..StreamMuxConfig::default()
+        },
+    );
+    // 120k registered streams: enough to sit just above a hashbrown
+    // capacity doubling (2^17 slots would hold ~114k at 7/8 load), so
+    // the pin measures the table at its just-grown, worst-amortized
+    // point rather than a lucky fill factor.
+    const STREAMS: u64 = 120_000;
+    for pid in 0..STREAMS {
+        fleet.register(pid);
+    }
+    let r = fleet.resident_bytes();
+    assert_eq!(r.tracked, STREAMS as usize);
+    assert_eq!(
+        r.idle, STREAMS as usize,
+        "register() must not allocate hot state"
+    );
+    assert_eq!(r.hot_bytes, 0);
+    assert_eq!(r.latched_bytes, 0);
+    assert!(
+        r.per_idle_stream() <= IDLE_STREAM_BUDGET_BYTES,
+        "idle stream costs {:.1} B, budget is {} B",
+        r.per_idle_stream(),
+        IDLE_STREAM_BUDGET_BYTES
+    );
+    // The budget holds the total down: 120k dormant streams under
+    // ~12 MB of table, mux lane state excluded.
+    assert!(
+        r.table_bytes <= 12 << 20,
+        "table is {} bytes",
+        r.table_bytes
+    );
+}
+
+/// Observing a stream allocates its hot state; an alert latch frees it
+/// back down to the compact latched record.
+#[test]
+fn hot_state_is_freed_when_streams_go_dormant_paths() {
+    let model = SequenceClassifier::new(ModelConfig::tiny(16), 3);
+    let engine = engine_for(&model);
+    let mut fleet = FleetMonitor::new(
+        engine,
+        MonitorConfig {
+            window_len: 8,
+            stride: 4,
+            votes_needed: 1,
+            vote_horizon: 2,
+        },
+        StreamMuxConfig::default(),
+    );
+    for pid in 0..64u64 {
+        fleet.register(pid);
+    }
+    let before = fleet.resident_bytes();
+    assert_eq!(before.hot_bytes, 0);
+    // Wake a quarter of them.
+    for pid in 0..16u64 {
+        for i in 0..4usize {
+            fleet.observe(pid, i % 16);
+        }
+    }
+    let awake = fleet.resident_bytes();
+    assert_eq!(awake.tracked, 64);
+    assert_eq!(awake.idle, 48);
+    assert!(awake.hot_bytes > 0, "observed streams hold hot state");
+    // Hot state is bounded by the rolling-window geometry, not by
+    // trace length.
+    for pid in 0..16u64 {
+        for i in 0..200usize {
+            fleet.observe(pid, (i * 7) % 16);
+        }
+        let _ = fleet.poll();
+    }
+    let _ = fleet.drain();
+    let after = fleet.resident_bytes();
+    let per_hot = |r: &csd_accel::FleetResidentBytes| {
+        if r.tracked == r.idle {
+            0.0
+        } else {
+            r.hot_bytes as f64 / (r.tracked - r.idle) as f64
+        }
+    };
+    if after.tracked > after.idle {
+        assert!(per_hot(&after) <= 2.0 * per_hot(&awake).max(1.0) + 1024.0);
+    }
+}
+
+fn engine_for(model: &SequenceClassifier) -> csd_accel::CsdInferenceEngine {
+    csd_accel::CsdInferenceEngine::new(
+        &ModelWeights::from_model(model),
+        OptimizationLevel::FixedPoint,
+    )
+}
