@@ -1,0 +1,160 @@
+//! Microbench for the vocabulary-indexed gate precomputation: the
+//! 278-row gate table (per-timestep gather + `H`-column recurrent
+//! matmul with a fused rescale epilogue) against the unfolded path
+//! (embedding gather + full `Z`-column matmul + separate rescale pass),
+//! plus the narrow `i16×i16→i32` vpmaddwd MAC against the exact
+//! f64-FMA MAC — all at the paper's dimensions (fused `4H×Z` = 128×40,
+//! `H` = 32, vocabulary 278).
+//!
+//! Kernel inputs are synthetic exact integers inside the proven ranges,
+//! so every contender runs the same dispatch tier it runs in the
+//! engine. An end-to-end group classifies a lane batch with the table
+//! forced on and off via the engine builder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use csd_accel::{CsdInferenceEngine, OptimizationLevel};
+use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};
+use csd_tensor::lanes;
+
+const ROWS: usize = 128; // 4H
+const HCOLS: usize = 32; // H
+const ZCOLS: usize = 40; // Z = H + E
+const EMBED: usize = 8;
+const VOCAB: usize = 278;
+
+/// Deterministic exact-integer test data inside the kernels' proven
+/// ranges (weights a few units in 10^6 scale, activations ≤ one unit).
+struct KernelData {
+    w_full: Vec<f64>,
+    w_hidden: Vec<f64>,
+    bias: Vec<f64>,
+    table: Vec<f64>,
+    emb: Vec<f64>,
+    z: Vec<f64>,
+    items: Vec<usize>,
+}
+
+fn kernel_data(width: usize) -> KernelData {
+    let int = |i: usize, m: i64| ((i as i64).wrapping_mul(48_271) % m) as f64;
+    let w_full: Vec<f64> = (0..ROWS * ZCOLS).map(|i| int(i, 2_000_000)).collect();
+    let mut w_hidden = Vec::with_capacity(ROWS * HCOLS);
+    for r in 0..ROWS {
+        w_hidden.extend_from_slice(&w_full[r * ZCOLS..r * ZCOLS + HCOLS]);
+    }
+    KernelData {
+        w_hidden,
+        w_full,
+        bias: (0..ROWS).map(|i| int(i, 1_000_000) * 1e6).collect(),
+        table: (0..VOCAB * ROWS).map(|i| int(i, 20_000_000_000)).collect(),
+        emb: (0..VOCAB * EMBED).map(|i| int(i, 1_000_000)).collect(),
+        z: (0..ZCOLS * width).map(|i| int(i, 1_000_000)).collect(),
+        items: (0..width).map(|l| (l * 97 + 13) % VOCAB).collect(),
+    }
+}
+
+fn bench_gate_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_table/kernel");
+    for width in [8usize, 16, 32] {
+        let d = kernel_data(width);
+        let mut out = vec![0.0f64; ROWS * width];
+        let mut z = d.z.clone();
+        group.throughput(Throughput::Elements((ROWS * width) as u64));
+        // The unfolded path the table deletes: gather each lane's
+        // embedding rows into z, run the full Z-column matmul, then the
+        // separate rescale pass.
+        group.bench_with_input(BenchmarkId::new("full_matmul", width), &width, |b, &w| {
+            b.iter(|| {
+                for e in 0..EMBED {
+                    for l in 0..w {
+                        z[(HCOLS + e) * w + l] = d.emb[d.items[l] * EMBED + e];
+                    }
+                }
+                lanes::matmul_fx_lanes(&d.w_full, ROWS, ZCOLS, &z, w, &d.bias, &mut out);
+                lanes::rescale_lanes(&mut out);
+                black_box(&mut out);
+            })
+        });
+        // The table path: accumulators start from the gathered table
+        // row, the matmul covers only the H recurrent columns, and the
+        // rescale is fused into the store epilogue.
+        group.bench_with_input(BenchmarkId::new("gate_table", width), &width, |b, &w| {
+            b.iter(|| {
+                lanes::matmul_fx_lanes_table(
+                    &d.w_hidden,
+                    ROWS,
+                    HCOLS,
+                    &d.z[..HCOLS * w],
+                    w,
+                    &d.table,
+                    &d.items,
+                    &mut out,
+                );
+                black_box(&mut out);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mac_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_table/mac");
+    for width in [16usize, 32] {
+        // Small-magnitude synthetic data: the i16 repack's proof needs
+        // narrow weights and inputs (the paper's 10^6 scale declines,
+        // which is why the engine treats i16 as opportunistic).
+        let w16: Vec<i16> = (0..ROWS * ZCOLS)
+            .map(|i| ((i as i64 * 48_271) % 601 - 300) as i16)
+            .collect();
+        let z16: Vec<i16> = (0..ZCOLS * width)
+            .map(|i| ((i as i64 * 25_931) % 2_001 - 1_000) as i16)
+            .collect();
+        let wf: Vec<f64> = w16.iter().map(|&v| f64::from(v)).collect();
+        let zf: Vec<f64> = z16.iter().map(|&v| f64::from(v)).collect();
+        let bias = vec![0.0f64; ROWS];
+        let mut out32 = vec![0i32; ROWS * width];
+        let mut outf = vec![0.0f64; ROWS * width];
+        group.throughput(Throughput::Elements((ROWS * width) as u64));
+        group.bench_with_input(BenchmarkId::new("f64_fma", width), &width, |b, &w| {
+            b.iter(|| {
+                lanes::matmul_fx_lanes(&wf, ROWS, ZCOLS, &zf, w, &bias, &mut outf);
+                black_box(&mut outf);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("i16_madd", width), &width, |b, &w| {
+            b.iter(|| {
+                lanes::matmul_fx_lanes_i16(&w16, ROWS, ZCOLS, &z16, w, &mut out32);
+                black_box(&mut out32);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let model = SequenceClassifier::new(ModelConfig::paper(), 51);
+    let weights = ModelWeights::from_model(&model);
+    let batch: Vec<Vec<usize>> = (0..32)
+        .map(|k| (0..100).map(|i| (i * 37 + 11 + k * 3) % VOCAB).collect())
+        .collect();
+    let refs: Vec<&[usize]> = batch.iter().map(Vec::as_slice).collect();
+    let mut group = c.benchmark_group("gate_table/classify_lanes");
+    group.throughput(Throughput::Elements((batch.len() * 100) as u64));
+    for (name, on) in [("table_on", true), ("table_off", false)] {
+        let engine =
+            CsdInferenceEngine::new(&weights, OptimizationLevel::FixedPoint).with_gate_table(on);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(engine.classify_lanes_with_width(black_box(&refs), 16)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gate_kernels,
+    bench_mac_width,
+    bench_end_to_end
+);
+criterion_main!(benches);

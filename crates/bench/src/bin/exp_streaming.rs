@@ -20,7 +20,11 @@
 //!
 //! 1. **Single-shard race** — the mux (pinned to one shard, the frozen
 //!    PR-4 configuration) against the per-PID serial pool. This is the
-//!    lane-batching win alone.
+//!    lane-batching win alone. A third interleaved contender runs the
+//!    same mux with the vocabulary-indexed gate table disabled
+//!    (`with_gate_table(false)`), isolating the PR-7 table win at the
+//!    stream level — interleaving matters on a noisy host, where
+//!    run-to-run drift swamps a ~10% kernel delta.
 //! 2. **Shard sweep** — the sharded mux at 1/2/4 shards against its own
 //!    single-shard baseline at each stream count. This is the multi-core
 //!    win alone; on a single-core host it measures coordination overhead
@@ -89,6 +93,10 @@ struct Report {
     /// fleet verdicts/sec ÷ serial verdicts/sec, per stream count
     /// (single-shard mux: the lane-batching win alone).
     speedup_vs_serial_by_streams: Vec<(usize, f64)>,
+    /// Gate-table-on verdicts/sec ÷ gate-table-off verdicts/sec, per
+    /// stream count (same mux, same shard count — the PR-7 input-gate
+    /// table win at the stream level, interleaved against drift).
+    table_speedup_by_streams: Vec<(usize, f64)>,
     /// Per stream count: `(shards, speedup vs the single-shard mux)`
     /// for each swept shard count (the multi-core win alone).
     shard_speedup_by_streams: Vec<(usize, Vec<(usize, f64)>)>,
@@ -213,6 +221,10 @@ fn main() {
         ..StreamMuxConfig::default()
     };
 
+    // Same engine, gate table unfolded: the PR-7 table's third lane in
+    // the interleaved race.
+    let engine_no_table = engine.clone().with_gate_table(false);
+
     // Correctness gate before any timing: identical per-PID alert state
     // on a probe fleet.
     {
@@ -224,7 +236,8 @@ fn main() {
                 serial.observe(pid as u64, t[i]);
             }
         }
-        // Gate every swept shard count, plus the env-resolved default.
+        // Gate every swept shard count, plus the env-resolved default,
+        // plus the table-off contender.
         for &shards in shard_counts.iter().chain([&None]) {
             let fleet = run_fleet(&engine, config, mux_config(n, shards), &traces);
             for pid in 0..n as u64 {
@@ -235,10 +248,18 @@ fn main() {
                 );
             }
         }
+        let fleet = run_fleet(&engine_no_table, config, mux_config(n, None), &traces);
+        for pid in 0..n as u64 {
+            assert_eq!(
+                fleet.alert_for(pid),
+                serial.alert_for(pid),
+                "table-off stream mux diverged from the serial monitor path on pid {pid}"
+            );
+        }
     }
-
     let mut measurements = Vec::new();
     let mut speedup_vs_serial_by_streams = Vec::new();
+    let mut table_speedup_by_streams = Vec::new();
     let mut mux_stats_by_streams = Vec::new();
     let stream_lanes = {
         // Report the width the default config resolves to.
@@ -262,11 +283,18 @@ fn main() {
         let mut run_mux = || {
             std::hint::black_box(run_fleet(&engine, config, mc, &traces));
         };
+        let mut run_mux_no_table = || {
+            std::hint::black_box(run_fleet(&engine_no_table, config, mc, &traces));
+        };
         let mut run_ser = || {
             std::hint::black_box(run_serial(&engine, config, &traces));
         };
-        let timed = time_interleaved(&mut [&mut run_mux, &mut run_ser], rounds);
-        for (&(iters, mean), path) in timed.iter().zip(["stream_mux", "serial_monitors"]) {
+        let timed = time_interleaved(
+            &mut [&mut run_mux, &mut run_mux_no_table, &mut run_ser],
+            rounds,
+        );
+        let paths = ["stream_mux", "stream_mux_no_table", "serial_monitors"];
+        for (&(iters, mean), path) in timed.iter().zip(paths) {
             record(
                 &mut measurements,
                 path,
@@ -277,12 +305,14 @@ fn main() {
                 mean,
             );
         }
-        let speedup = timed[1].1 / timed[0].1;
+        let speedup = timed[2].1 / timed[0].1;
+        let table_speedup = timed[1].1 / timed[0].1;
         println!(
-            "  streams {n:>4}: mux {:.0} µs, serial {:.0} µs → {speedup:.2}x",
-            timed[0].1, timed[1].1
+            "  streams {n:>4}: mux {:.0} µs, serial {:.0} µs → {speedup:.2}x (table on/off {table_speedup:.2}x)",
+            timed[0].1, timed[2].1
         );
         speedup_vs_serial_by_streams.push((n, speedup));
+        table_speedup_by_streams.push((n, table_speedup));
         // The shard sweep races each shard count against the
         // single-shard mux (the serial pool is out of this race: this
         // isolates the multi-core win from the lane-batching win).
@@ -373,6 +403,7 @@ fn main() {
         measurements,
         mux_stats_by_streams,
         speedup_vs_serial_by_streams: speedup_vs_serial_by_streams.clone(),
+        table_speedup_by_streams,
         shard_speedup_by_streams: shard_speedup_by_streams.clone(),
         resident_at_scale,
     };

@@ -52,6 +52,22 @@ struct ThreadRow {
     speedup_lane_vs_pr1: f64,
 }
 
+/// Gate-kernel microbenchmark at the paper's dimensions: the
+/// vocabulary-indexed gate table (gather + `H`-column matmul, fused
+/// rescale) vs the unfolded path (embedding gather, `Z`-column matmul,
+/// separate rescale pass), and the narrow i16 vpmaddwd MAC vs the
+/// exact f64-FMA MAC on i16-range synthetic data.
+#[derive(Serialize)]
+struct KernelMicro {
+    lane_width: usize,
+    full_matmul_us: f64,
+    gate_table_us: f64,
+    speedup_table_vs_full: f64,
+    mac_f64_us: f64,
+    mac_i16_us: f64,
+    speedup_i16_vs_f64: f64,
+}
+
 #[derive(Serialize)]
 struct Report {
     level: String,
@@ -62,6 +78,11 @@ struct Report {
     measurements: Vec<Measurement>,
     /// lane items/sec ÷ PR 1 items/sec, per batch size.
     speedup_vs_pr1_by_batch: Vec<(usize, f64)>,
+    /// gate-table-on items/sec ÷ gate-table-off items/sec, per batch
+    /// size — the tentpole's end-to-end delta in isolation.
+    speedup_table_by_batch: Vec<(usize, f64)>,
+    /// Single-lane-block kernel timings behind that delta.
+    kernel_micro: KernelMicro,
     /// Batch-512 throughput at each swept pool size (one child process
     /// per row).
     thread_sweep: Vec<ThreadRow>,
@@ -119,6 +140,93 @@ fn time_interleaved(contenders: &mut [&mut dyn FnMut()], rounds: usize) -> Vec<(
         }
     }
     iters.into_iter().zip(best).collect()
+}
+
+/// Times the gate kernels on one synthetic lane block at the paper's
+/// dimensions (fused `4H×Z` = 128×40, `H` = 32, vocabulary 278):
+/// exactly the work one mux tick spends per lane sweep.
+fn kernel_micro(rounds: usize) -> KernelMicro {
+    const ROWS: usize = 128;
+    const HCOLS: usize = 32;
+    const ZCOLS: usize = 40;
+    const EMBED: usize = 8;
+    const VOCAB: usize = 278;
+    let width = 16usize;
+    let int = |i: usize, m: i64| ((i as i64).wrapping_mul(48_271) % m) as f64;
+    let w_full: Vec<f64> = (0..ROWS * ZCOLS).map(|i| int(i, 2_000_000)).collect();
+    let w_hidden: Vec<f64> = (0..ROWS)
+        .flat_map(|r| {
+            (0..HCOLS)
+                .map(|k| w_full[r * ZCOLS + k])
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let bias: Vec<f64> = (0..ROWS).map(|i| int(i, 1_000_000) * 1e6).collect();
+    let table: Vec<f64> = (0..VOCAB * ROWS).map(|i| int(i, 20_000_000_000)).collect();
+    let emb: Vec<f64> = (0..VOCAB * EMBED).map(|i| int(i, 1_000_000)).collect();
+    let z: Vec<f64> = (0..ZCOLS * width).map(|i| int(i, 1_000_000)).collect();
+    let items: Vec<usize> = (0..width).map(|l| (l * 97 + 13) % VOCAB).collect();
+    let mut z_full = z.clone();
+    let mut out = vec![0.0f64; ROWS * width];
+    let mut run_full = || {
+        for e in 0..EMBED {
+            for l in 0..width {
+                z_full[(HCOLS + e) * width + l] = emb[items[l] * EMBED + e];
+            }
+        }
+        lanes::matmul_fx_lanes(&w_full, ROWS, ZCOLS, &z_full, width, &bias, &mut out);
+        lanes::rescale_lanes(&mut out);
+        std::hint::black_box(&mut out);
+    };
+    let mut out_t = vec![0.0f64; ROWS * width];
+    let zh = z[..HCOLS * width].to_vec();
+    let mut run_table = || {
+        lanes::matmul_fx_lanes_table(
+            &w_hidden, ROWS, HCOLS, &zh, width, &table, &items, &mut out_t,
+        );
+        std::hint::black_box(&mut out_t);
+    };
+    // i16-range synthetic data for the narrow-MAC head-to-head (the
+    // paper's 10^6 scale fails the narrow proof, so the engine only
+    // ever runs this kernel on models it proves — measured here on
+    // data shaped like such a model).
+    let w16: Vec<i16> = (0..ROWS * ZCOLS)
+        .map(|i| ((i as i64 * 48_271) % 601 - 300) as i16)
+        .collect();
+    let z16: Vec<i16> = (0..ZCOLS * width)
+        .map(|i| ((i as i64 * 25_931) % 2_001 - 1_000) as i16)
+        .collect();
+    let wf: Vec<f64> = w16.iter().map(|&v| f64::from(v)).collect();
+    let zf: Vec<f64> = z16.iter().map(|&v| f64::from(v)).collect();
+    let zero_bias = vec![0.0f64; ROWS];
+    let mut out_f = vec![0.0f64; ROWS * width];
+    let mut run_mac_f64 = || {
+        lanes::matmul_fx_lanes(&wf, ROWS, ZCOLS, &zf, width, &zero_bias, &mut out_f);
+        std::hint::black_box(&mut out_f);
+    };
+    let mut out_i = vec![0i32; ROWS * width];
+    let mut run_mac_i16 = || {
+        lanes::matmul_fx_lanes_i16(&w16, ROWS, ZCOLS, &z16, width, &mut out_i);
+        std::hint::black_box(&mut out_i);
+    };
+    let timed = time_interleaved(
+        &mut [
+            &mut run_full,
+            &mut run_table,
+            &mut run_mac_f64,
+            &mut run_mac_i16,
+        ],
+        rounds,
+    );
+    KernelMicro {
+        lane_width: width,
+        full_matmul_us: timed[0].1,
+        gate_table_us: timed[1].1,
+        speedup_table_vs_full: timed[0].1 / timed[1].1,
+        mac_f64_us: timed[2].1,
+        mac_i16_us: timed[3].1,
+        speedup_i16_vs_f64: timed[2].1 / timed[3].1,
+    }
 }
 
 /// Child-process mode for the thread sweep: time batch 512 on both
@@ -225,8 +333,10 @@ fn main() {
         "lane-batched engine diverged from the PR 1 batch path"
     );
 
+    let no_table = engine.clone().with_gate_table(false);
     let mut measurements = Vec::new();
     let mut speedup_vs_pr1_by_batch = Vec::new();
+    let mut speedup_table_by_batch = Vec::new();
     println!(
         "lane-batched vs PR 1 batch classification ({level}, seq len {SEQ_LEN}, lane width {}, simd {}):",
         engine.lane_width(),
@@ -237,20 +347,44 @@ fn main() {
         let mut run_lanes = || {
             std::hint::black_box(engine.classify_batch(&sequences));
         };
+        let mut run_no_table = || {
+            std::hint::black_box(no_table.classify_batch(&sequences));
+        };
         let mut run_pr1 = || {
             std::hint::black_box(classify_batch_pr1(&engine, &sequences));
         };
-        let timed = time_interleaved(&mut [&mut run_lanes, &mut run_pr1], rounds);
-        for (&(iters, mean), path) in timed.iter().zip(["lane_batched", "pr1_batch"]) {
+        let timed = time_interleaved(
+            &mut [&mut run_lanes, &mut run_no_table, &mut run_pr1],
+            rounds,
+        );
+        for (&(iters, mean), path) in
+            timed
+                .iter()
+                .zip(["lane_batched", "lane_no_table", "pr1_batch"])
+        {
             record(&mut measurements, path, n, iters, mean);
         }
-        let speedup = timed[1].1 / timed[0].1;
+        let speedup = timed[2].1 / timed[0].1;
+        let table_speedup = timed[1].1 / timed[0].1;
         println!(
-            "  batch {n:>3}: lanes {:.0} µs, pr1 {:.0} µs → {speedup:.2}x",
-            timed[0].1, timed[1].1
+            "  batch {n:>3}: lanes {:.0} µs, pr1 {:.0} µs → {speedup:.2}x (table on/off {table_speedup:.2}x)",
+            timed[0].1, timed[2].1
         );
         speedup_vs_pr1_by_batch.push((n, speedup));
+        speedup_table_by_batch.push((n, table_speedup));
     }
+
+    println!("gate-kernel micro (one lane block at paper dims):");
+    let micro = kernel_micro(rounds);
+    println!(
+        "  full matmul {:.2} µs vs gate table {:.2} µs → {:.2}x; f64 MAC {:.2} µs vs i16 MAC {:.2} µs → {:.2}x",
+        micro.full_matmul_us,
+        micro.gate_table_us,
+        micro.speedup_table_vs_full,
+        micro.mac_f64_us,
+        micro.mac_i16_us,
+        micro.speedup_i16_vs_f64
+    );
 
     println!("thread sweep (batch 512, one child process per pool size):");
     let thread_sweep = thread_sweep(&sweep_counts(smoke));
@@ -263,6 +397,8 @@ fn main() {
         pool_threads: csd_accel::WorkerPool::global().threads(),
         measurements,
         speedup_vs_pr1_by_batch: speedup_vs_pr1_by_batch.clone(),
+        speedup_table_by_batch,
+        kernel_micro: micro,
         thread_sweep,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

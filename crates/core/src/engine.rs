@@ -23,7 +23,9 @@ use crate::opt::OptimizationLevel;
 use crate::pool::WorkerPool;
 use crate::schedule::LaneSchedule;
 use crate::scratch::{EngineScratch, InferenceScratch, LaneScratch};
-use crate::weights::{FusedGates, LaneGatesFx, PackedGatesFx, QuantizedWeights, LANE_MAX_STEPS};
+use crate::weights::{
+    FusedGates, LaneGatesFx, PackedGatesFx, PackedGatesI16, QuantizedWeights, LANE_MAX_STEPS,
+};
 
 /// The outcome of classifying one sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -67,6 +69,12 @@ struct EngineCore {
     /// when the lane exactness proof fails; batches then fall back to the
     /// serial per-sequence kernels).
     lane_fx: Option<LaneGatesFx>,
+    /// `i16×i16→i32` repack of `fused_fx` (`None` whenever any row fails
+    /// the narrow-accumulator proof — which is *always* the case at the
+    /// paper's 10^6 decimal scale, where the recurrent `|h| ≤ 1` bound
+    /// is raw `10^6 ≫ 32767`; the engine then keeps the `f64`-FMA/`i32`
+    /// paths, the documented fallback contract).
+    packed_i16: Option<PackedGatesI16>,
 }
 
 /// The CSD-resident classifier.
@@ -75,6 +83,9 @@ pub struct CsdInferenceEngine {
     core: Arc<EngineCore>,
     level: OptimizationLevel,
     path: GatePath,
+    /// Whether the fixed-point paths use the precomputed input-gate
+    /// table (`CSD_GATE_TABLE`, default on; bit-identical either way).
+    use_gate_table: bool,
 }
 
 impl CsdInferenceEngine {
@@ -90,6 +101,24 @@ impl CsdInferenceEngine {
         let fused_fx = weights.fused_fx();
         let packed_fx = PackedGatesFx::pack(&fused_fx);
         let lane_fx = LaneGatesFx::pack(&fused_fx, &weights.embedding_fx, weights.dims().hidden);
+        // Attempt the i16 repack against the same per-column input bounds
+        // the lane proof uses: SCALE for recurrent columns, the column
+        // max |raw| for embedding columns. `pack` declines (None) when
+        // any row fails the narrow proof — always, at scale 10^6.
+        let packed_i16 = if crate::env::flag("CSD_MAC_I16").unwrap_or(true) {
+            let dims = weights.dims();
+            let mut zbound = vec![Fx6::SCALE; dims.z()];
+            for (col, zb) in zbound[dims.hidden..].iter_mut().enumerate() {
+                let mut m: i64 = 1;
+                for r in 0..weights.embedding_fx.rows() {
+                    m = m.max(weights.embedding_fx.get(r, col).raw().abs());
+                }
+                *zb = m;
+            }
+            PackedGatesI16::pack(&fused_fx, &zbound)
+        } else {
+            None
+        };
         Self {
             core: Arc::new(EngineCore {
                 weights,
@@ -97,9 +126,11 @@ impl CsdInferenceEngine {
                 fused_fx,
                 packed_fx,
                 lane_fx,
+                packed_i16,
             }),
             level,
             path: GatePath::Fused,
+            use_gate_table: crate::env::flag("CSD_GATE_TABLE").unwrap_or(true),
         }
     }
 
@@ -119,6 +150,31 @@ impl CsdInferenceEngine {
     pub fn with_gate_path(mut self, path: GatePath) -> Self {
         self.path = path;
         self
+    }
+
+    /// Enables or disables the precomputed input-gate table on the
+    /// fixed-point paths, overriding the `CSD_GATE_TABLE` environment
+    /// default. Both settings produce bit-identical verdicts — the table
+    /// is exact integer reassociation — so this is a performance toggle
+    /// (and the race-free way for tests to pin a path).
+    pub fn with_gate_table(mut self, on: bool) -> Self {
+        self.use_gate_table = on;
+        self
+    }
+
+    /// Whether the fixed-point paths actually run off the input-gate
+    /// table: the toggle is on *and* the weights passed the lane
+    /// exactness proof that bounds every table entry.
+    pub fn gate_table_enabled(&self) -> bool {
+        self.use_gate_table && self.core.lane_fx.is_some()
+    }
+
+    /// Whether the `i16×i16→i32` MAC repack is active. At the paper's
+    /// 10^6 decimal scale this is always `false` — the narrow proof
+    /// fails on the recurrent columns — and the engine serves the
+    /// `f64`-FMA/`i32` paths instead (the fallback contract).
+    pub fn mac_i16_active(&self) -> bool {
+        self.core.packed_i16.is_some()
     }
 
     /// The gate execution path in effect.
@@ -429,10 +485,20 @@ impl CsdInferenceEngine {
         }
     }
 
-    /// One fixed-point lockstep timestep: gather each consuming lane's
-    /// embedding column, then the full SoA kernel sweep. Lanes passed
-    /// `None` keep computing — their state stays inside every kernel's
-    /// proven exactness range and is never read.
+    /// One fixed-point lockstep timestep, then the full SoA kernel
+    /// sweep. Lanes passed `None` keep computing — their state stays
+    /// inside every kernel's proven exactness range and is never read.
+    ///
+    /// With the input-gate table on (the default), a consuming lane just
+    /// records its item index: the table matmul initializes that lane's
+    /// accumulators from the precomputed `W_x·e(item) + b·SCALE` row,
+    /// runs only the `H` recurrent columns, and rescales in its store
+    /// epilogue — deleting the embedding gather, the `E` input columns,
+    /// and the separate rescale pass. Idle lanes keep item 0, whose
+    /// table row is proof-bounded like any other, so their (never read)
+    /// state stays exact. The unfolded path gathers the embedding
+    /// columns and runs the full `Z`-column matmul; both are exact
+    /// integer reassociation, hence bit-identical.
     fn step_lanes_fx(&self, pack: &LaneGatesFx, s: &mut LaneScratch, items: &[Option<usize>]) {
         let w = &self.core.weights;
         let dims = w.dims();
@@ -440,28 +506,50 @@ impl CsdInferenceEngine {
         let vocab = w.embedding_fx.rows();
         let width = s.width();
         let hw = hdim * width;
-        for (l, slot) in items.iter().enumerate() {
-            if let Some(item) = *slot {
-                assert!(item < vocab, "item {item} out of vocabulary");
-                let row = &pack.embedding()[item * edim..(item + 1) * edim];
-                for (e, &v) in row.iter().enumerate() {
-                    s.z[(hdim + e) * width + l] = v;
+        if self.use_gate_table {
+            for (l, slot) in items.iter().enumerate() {
+                if let Some(item) = *slot {
+                    assert!(item < vocab, "item {item} out of vocabulary");
+                    s.item[l] = item;
                 }
             }
+            lanes::matmul_fx_lanes_table(
+                pack.w_hidden(),
+                4 * hdim,
+                hdim,
+                &s.z[..hw],
+                width,
+                pack.gate_table(),
+                &s.item,
+                &mut s.g,
+            );
+        } else {
+            for (l, slot) in items.iter().enumerate() {
+                if let Some(item) = *slot {
+                    assert!(item < vocab, "item {item} out of vocabulary");
+                    let row = &pack.embedding()[item * edim..(item + 1) * edim];
+                    for (e, &v) in row.iter().enumerate() {
+                        s.z[(hdim + e) * width + l] = v;
+                    }
+                }
+            }
+            lanes::matmul_fx_lanes(
+                pack.weights(),
+                4 * hdim,
+                zdim,
+                &s.z,
+                width,
+                pack.bias_scaled(),
+                &mut s.g,
+            );
+            lanes::rescale_lanes(&mut s.g);
         }
-        lanes::matmul_fx_lanes(
-            pack.weights(),
-            4 * hdim,
-            zdim,
-            &s.z,
-            width,
-            pack.bias_scaled(),
-            &mut s.g,
-        );
-        // Separate compact passes beat a fused rescale+activate kernel on
-        // this data: the gate block is L1-resident, so re-reading it is
-        // nearly free, while the small loop bodies pipeline better.
-        lanes::rescale_lanes(&mut s.g);
+        // Separate compact activation passes beat a fused
+        // rescale+activate kernel on this data: the gate block is
+        // L1-resident, so re-reading it is nearly free, while the small
+        // loop bodies pipeline better. (The table matmul's in-register
+        // rescale epilogue is the exception — it reuses values already
+        // in accumulators, costing no extra pass at all.)
         lanes::sigmoid_lut_lanes(&mut s.g[..2 * hw]);
         lanes::softsign_lanes(&mut s.g[2 * hw..3 * hw]);
         lanes::sigmoid_lut_lanes(&mut s.g[3 * hw..]);
@@ -660,16 +748,35 @@ impl CsdInferenceEngine {
         match self.path {
             GatePath::Fused => {
                 let hdim = core.weights.dims().hidden;
+                // The input-gate table serves the serial path too: one
+                // precomputed row replaces the embedding copy, the
+                // `[h|x]` concat, the `E` input columns of the matvec,
+                // and the bias add. Falls back per-item to the unfolded
+                // path when the input leaves the narrow-MAC range.
+                let table = match (&core.lane_fx, &core.packed_fx) {
+                    (Some(lane), Some(packed)) if self.use_gate_table => Some((lane, packed)),
+                    _ => None,
+                };
                 for &item in seq {
-                    preprocess::run_into(&core.weights.embedding_fx, item, &mut s.x);
-                    s.h.concat_into(&s.x, &mut s.z);
-                    let narrow_ok = core.packed_fx.as_ref().is_some_and(|p| {
-                        p.matvec_into(s.z.as_slice(), &mut s.narrow_z, s.g.as_mut_slice())
+                    let table_ok = table.is_some_and(|(lane, packed)| {
+                        assert!(item < lane.vocab(), "item {item} out of vocabulary");
+                        packed.matvec_table_into(
+                            lane.table_row_i64(item),
+                            s.h.as_slice(),
+                            s.g.as_mut_slice(),
+                        )
                     });
-                    if !narrow_ok {
-                        core.fused_fx.w.matvec_into(&s.z, &mut s.g);
+                    if !table_ok {
+                        preprocess::run_into(&core.weights.embedding_fx, item, &mut s.x);
+                        s.h.concat_into(&s.x, &mut s.z);
+                        let narrow_ok = core.packed_fx.as_ref().is_some_and(|p| {
+                            p.matvec_into(s.z.as_slice(), &mut s.narrow_z, s.g.as_mut_slice())
+                        });
+                        if !narrow_ok {
+                            core.fused_fx.w.matvec_into(&s.z, &mut s.g);
+                        }
+                        s.g.add_assign(&core.fused_fx.b);
                     }
-                    s.g.add_assign(&core.fused_fx.b);
                     gates::activate_fused_fx(&mut s.g, hdim);
                     hidden::update_fused_fx(&s.g, &mut s.c, &mut s.h);
                 }
@@ -762,6 +869,43 @@ mod tests {
             assert_eq!(engine.classify_lanes(&refs), serial, "{level}");
             assert_eq!(engine.classify_batch_refs(&refs), serial, "{level}");
         }
+    }
+
+    #[test]
+    fn gate_table_on_and_off_are_bit_identical() {
+        // The tentpole contract: the precomputed input-gate table is
+        // exact integer reassociation, so folding it in changes no bit
+        // on either the serial or the lane path.
+        let m = model();
+        let w = ModelWeights::from_model(&m);
+        let on = CsdInferenceEngine::new(&w, OptimizationLevel::FixedPoint).with_gate_table(true);
+        let off = CsdInferenceEngine::new(&w, OptimizationLevel::FixedPoint).with_gate_table(false);
+        assert!(on.gate_table_enabled());
+        assert!(!off.gate_table_enabled());
+        let batch: Vec<Vec<usize>> = [1usize, 7, 40, 100, 277].iter().map(|&n| seq(n)).collect();
+        let refs: Vec<&[usize]> = batch.iter().map(Vec::as_slice).collect();
+        for s in &batch {
+            assert_eq!(on.classify(s), off.classify(s), "serial len {}", s.len());
+        }
+        assert_eq!(on.classify_lanes(&refs), off.classify_lanes(&refs));
+        // The per-CU path never uses the table: an independent anchor.
+        let per_cu = CsdInferenceEngine::new(&w, OptimizationLevel::FixedPoint)
+            .with_gate_path(GatePath::PerCuSerial);
+        assert_eq!(on.classify(&batch[2]), per_cu.classify(&batch[2]));
+    }
+
+    #[test]
+    fn mac_i16_declines_the_paper_scale_model() {
+        // The fallback contract: at decimal scale 10^6 the recurrent
+        // |h| ≤ 1 columns are raw 10^6 ≫ 32767, so the i16 repack must
+        // decline and the engine serve the f64-FMA/i32 paths — which
+        // the parity tests above exercise on every classify call.
+        let m = model();
+        let w = ModelWeights::from_model(&m);
+        let engine = CsdInferenceEngine::new(&w, OptimizationLevel::FixedPoint);
+        assert!(!engine.mac_i16_active());
+        // Lanes still step (f64 path), verdicts still bit-identical.
+        assert!(engine.supports_lane_stepping());
     }
 
     #[test]

@@ -1,25 +1,32 @@
 //! Shared parsing of the engine's environment knobs.
 //!
-//! Five runtime knobs tune the software engine to its host:
+//! Seven runtime knobs tune the software engine to its host:
 //! `CSD_POOL_THREADS` (worker pool size), `CSD_LANE_WIDTH` (lane-block
 //! width of the batch engine), `CSD_STREAM_LANES` (lane slots per
 //! streaming-mux shard), `CSD_STREAM_SHARDS` (shard count of the
-//! sharded streaming mux), and `CSD_STREAM_DETERMINISTIC_STEAL`
-//! (forces the deterministic work-steal policy for reproducible runs).
+//! sharded streaming mux), `CSD_STREAM_DETERMINISTIC_STEAL`
+//! (forces the deterministic work-steal policy for reproducible runs),
+//! `CSD_GATE_TABLE` (the precomputed input-gate table on the
+//! fixed-point paths, default on — bit-identical either way), and
+//! `CSD_MAC_I16` (attempt the `i16×i16→i32` gate repack at engine
+//! construction, default on — the pack declines whenever the narrow
+//! proof fails, always at the paper's 10^6 scale).
 //! The integer knobs share one contract — a positive integer, anything
 //! else silently ignored in favour of the built-in heuristic — and the
-//! boolean knob shares another (`1/0`, `true/false`, `yes/no`, `on/off`,
+//! boolean knobs share another (`1/0`, `true/false`, `yes/no`, `on/off`,
 //! case-insensitive, anything else ignored), both implemented once here
 //! so the modules cannot drift.
 
 /// Names of the recognized environment knobs, for documentation and
 /// diagnostics.
-pub const ENV_KNOBS: [&str; 5] = [
+pub const ENV_KNOBS: [&str; 7] = [
     "CSD_POOL_THREADS",
     "CSD_LANE_WIDTH",
     "CSD_STREAM_LANES",
     "CSD_STREAM_SHARDS",
     "CSD_STREAM_DETERMINISTIC_STEAL",
+    "CSD_GATE_TABLE",
+    "CSD_MAC_I16",
 ];
 
 /// Reads `name` as a positive integer: `Some(n)` when the variable is
@@ -125,5 +132,30 @@ mod tests {
         assert!(ENV_KNOBS.contains(&"CSD_POOL_THREADS"));
         assert!(ENV_KNOBS.contains(&"CSD_STREAM_SHARDS"));
         assert!(ENV_KNOBS.contains(&"CSD_STREAM_DETERMINISTIC_STEAL"));
+        assert!(ENV_KNOBS.contains(&"CSD_GATE_TABLE"));
+        assert!(ENV_KNOBS.contains(&"CSD_MAC_I16"));
+    }
+
+    #[test]
+    fn gate_table_and_mac_i16_knobs_share_the_flag_contract() {
+        // The real knob names, end to end: override, bad value, unset.
+        // Any interleaving with a parallel engine construction is safe —
+        // both knob settings are bit-identical by contract — but restore
+        // the ambient state anyway.
+        for name in ["CSD_GATE_TABLE", "CSD_MAC_I16"] {
+            let saved = std::env::var(name).ok();
+            std::env::set_var(name, "off");
+            assert_eq!(flag(name), Some(false), "{name} explicit off");
+            std::env::set_var(name, " ON ");
+            assert_eq!(flag(name), Some(true), "{name} explicit on");
+            std::env::set_var(name, "definitely");
+            assert_eq!(flag(name), None, "{name} bad value ignored");
+            std::env::remove_var(name);
+            assert_eq!(flag(name), None, "{name} unset reads none");
+            match saved {
+                Some(v) => std::env::set_var(name, v),
+                None => std::env::remove_var(name),
+            }
+        }
     }
 }

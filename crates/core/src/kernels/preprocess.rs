@@ -20,6 +20,18 @@ use csd_tensor::{Matrix, Vector};
 use crate::kernels::LstmDims;
 use crate::opt::OptimizationLevel;
 
+/// Whether `item` indexes a row of a `vocab`-entry embedding table (or,
+/// equivalently, a row of the precomputed input-gate table the engine
+/// folds the embedding into).
+///
+/// This is the *single* vocabulary predicate: the stream layers validate
+/// tokens at the admission boundary with it, so the engine's internal
+/// out-of-vocabulary asserts — kept as defense in depth — are
+/// unreachable through `StreamMux`/`FleetMonitor`.
+pub fn in_vocabulary(vocab: usize, item: usize) -> bool {
+    item < vocab
+}
+
 /// Functional embedding lookup, f64 path: equivalent to
 /// `onehot(item) · E` but without materializing the one-hot vector.
 ///

@@ -114,4 +114,6 @@ pub use stream::{
     FleetMonitor, FleetResidentBytes, MuxStats, OverflowPolicy, StreamMux, StreamMuxConfig, Verdict,
 };
 pub use timing::{fig3, table1_fpga_row, Fig3Row, KernelBreakdown};
-pub use weights::{FusedGates, LaneGatesFx, PackedGatesFx, QuantizedWeights, LANE_MAX_STEPS};
+pub use weights::{
+    FusedGates, LaneGatesFx, PackedGatesFx, PackedGatesI16, QuantizedWeights, LANE_MAX_STEPS,
+};

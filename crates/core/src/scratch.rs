@@ -83,6 +83,12 @@ pub struct LaneScratch {
     /// Four-accumulator scratch (`4 × width`) for the order-preserving
     /// float lane matmul.
     pub acc: Vec<f64>,
+    /// Each lane's current vocabulary item — the gate-table row the
+    /// fixed-point table matmul initializes that lane's accumulators
+    /// from. Idle and freshly cleared lanes point at item 0: its table
+    /// row is a valid, proof-bounded entry, and only retired lanes'
+    /// outputs are ever read, so the placeholder cannot affect a verdict.
+    pub item: Vec<usize>,
     hidden: usize,
     width: usize,
 }
@@ -101,6 +107,7 @@ impl LaneScratch {
             g: vec![0.0; 4 * dims.hidden * width],
             c: vec![0.0; dims.hidden * width],
             acc: vec![0.0; 4 * width],
+            item: vec![0; width],
             hidden: dims.hidden,
             width,
         }
@@ -116,6 +123,7 @@ impl LaneScratch {
     pub fn resident_bytes(&self) -> usize {
         (self.z.capacity() + self.g.capacity() + self.c.capacity() + self.acc.capacity())
             * std::mem::size_of::<f64>()
+            + self.item.capacity() * std::mem::size_of::<usize>()
     }
 
     /// Zeroes one lane's recurrent state (its `h` rows inside `z` and its
@@ -128,6 +136,7 @@ impl LaneScratch {
             self.z[r * self.width + lane] = 0.0;
             self.c[r * self.width + lane] = 0.0;
         }
+        self.item[lane] = 0;
     }
 
     /// Zeroes every buffer.
@@ -135,6 +144,7 @@ impl LaneScratch {
         self.z.fill(0.0);
         self.g.fill(0.0);
         self.c.fill(0.0);
+        self.item.fill(0);
     }
 }
 
@@ -185,7 +195,10 @@ mod tests {
         assert_eq!(s.width(), width);
         s.z.fill(1.0);
         s.c.fill(2.0);
+        s.item.fill(7);
         s.clear_lane(2);
+        assert_eq!(s.item[2], 0);
+        assert_eq!(s.item[1], 7);
         for r in 0..dims.hidden {
             assert_eq!(s.z[r * width + 2], 0.0);
             assert_eq!(s.c[r * width + 2], 0.0);
@@ -197,6 +210,7 @@ mod tests {
         assert_eq!(s.z[dims.hidden * width + 2], 1.0);
         s.reset();
         assert!(s.z.iter().all(|&v| v == 0.0));
+        assert!(s.item.iter().all(|&v| v == 0));
     }
 
     #[test]

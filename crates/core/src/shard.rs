@@ -187,6 +187,13 @@ pub struct ShardedStreamMux {
     steals: u64,
     dropped: u64,
     dropped_by_stream: HashMap<u64, u64>,
+    /// Windows refused for out-of-vocabulary tokens, coordinator-wide
+    /// (both `submit` and injector admissions validate here, before a
+    /// window can reach any shard's lane block).
+    rejected: u64,
+    rejected_by_stream: HashMap<u64, u64>,
+    /// Vocabulary size, cached for admission-time validation.
+    vocab: usize,
     started: Instant,
 }
 
@@ -234,6 +241,7 @@ impl ShardedStreamMux {
             shards: Some(1),
             steal: None,
         };
+        let vocab = engine.weights().dims().vocab;
         let shards: Vec<Shard> = (0..shard_count)
             .map(|_| Shard {
                 mux: StreamMux::new(engine.clone(), shard_config),
@@ -258,6 +266,9 @@ impl ShardedStreamMux {
             steals: 0,
             dropped: 0,
             dropped_by_stream: HashMap::new(),
+            rejected: 0,
+            rejected_by_stream: HashMap::new(),
+            vocab,
             started: Instant::now(),
         }
     }
@@ -311,6 +322,12 @@ impl ShardedStreamMux {
         self.dropped_by_stream.get(&stream).copied().unwrap_or(0)
     }
 
+    /// Windows of `stream` refused for out-of-vocabulary tokens — at
+    /// [`submit`](Self::submit) or at an injector inbox drain.
+    pub fn rejected_for(&self, stream: u64) -> u64 {
+        self.rejected_by_stream.get(&stream).copied().unwrap_or(0)
+    }
+
     /// A thread-safe producer handle feeding this mux's shard inboxes.
     pub fn injector(&self) -> StreamInjector {
         StreamInjector {
@@ -340,13 +357,21 @@ impl ShardedStreamMux {
 
     /// Enqueues one window, exactly like [`StreamMux::submit`] but with
     /// the backpressure bound applied across all shards and the window
-    /// routed to the least-loaded shard.
+    /// routed to the least-loaded shard. An out-of-vocabulary window is
+    /// refused and tallied ([`rejected_for`](Self::rejected_for)) — a
+    /// typed rejection at the coordinator, never a panic on a shard
+    /// thread where it would take every co-scheduled stream's windows
+    /// down with it.
     ///
     /// # Panics
     ///
     /// Panics on an empty window (the engine's contract).
     pub fn submit(&mut self, stream: u64, at_call: usize, window: &[usize]) -> bool {
         assert!(!window.is_empty(), "empty sequence");
+        if !self.in_vocabulary(window) {
+            self.reject(stream);
+            return false;
+        }
         if self.pending() >= self.max_pending && !self.make_room(stream) {
             return false;
         }
@@ -442,6 +467,7 @@ impl ShardedStreamMux {
             ticks: per.iter().map(|s| s.ticks).sum(),
             verdicts,
             dropped: self.dropped + per.iter().map(|s| s.dropped).sum::<u64>(),
+            rejected: self.rejected + per.iter().map(|s| s.rejected).sum::<u64>(),
             occupancy: if lane_steps == 0 {
                 0.0
             } else {
@@ -555,6 +581,19 @@ impl ShardedStreamMux {
         }
     }
 
+    /// Whether every token of `window` indexes the embedding table.
+    fn in_vocabulary(&self, window: &[usize]) -> bool {
+        window
+            .iter()
+            .all(|&item| crate::kernels::preprocess::in_vocabulary(self.vocab, item))
+    }
+
+    /// Tallies one out-of-vocabulary rejection against `stream`.
+    fn reject(&mut self, stream: u64) {
+        self.rejected += 1;
+        *self.rejected_by_stream.entry(stream).or_insert(0) += 1;
+    }
+
     /// The shard to route the next admission to: least (pending +
     /// in-flight), ties to the lowest index — deterministic.
     fn least_loaded(&self) -> usize {
@@ -622,6 +661,13 @@ impl ShardedStreamMux {
             let mut msgs = std::mem::take(&mut self.inject_scratch);
             self.shards[i].inbox.drain_into(&mut msgs);
             for m in msgs.drain(..) {
+                if !self.in_vocabulary(&m.window) {
+                    // Injected windows skip `submit`, so the vocabulary
+                    // boundary is enforced here instead — same typed
+                    // rejection, same per-stream tally.
+                    self.reject(m.stream);
+                    continue;
+                }
                 if self.pending() >= self.max_pending && !self.make_room(m.stream) {
                     continue;
                 }
@@ -1010,6 +1056,43 @@ mod tests {
         for s in &per {
             assert_eq!(s.shards, 1);
             assert_eq!(s.steals, 0);
+        }
+    }
+
+    #[test]
+    fn oov_windows_rejected_at_every_shard_count_on_both_admission_paths() {
+        // Regression: an out-of-vocabulary token admitted to any shard
+        // would panic that shard's lane block mid-scatter and poison
+        // the whole coordinator round. Both admission paths — direct
+        // submit and the injector inboxes — now refuse it with a typed
+        // per-stream tally, and clean streams classify bit-identically.
+        let e = engine(7); // tiny(16): vocabulary is 0..=15
+        let windows: Vec<Vec<usize>> = (0..9).map(|k| seq(3 + (k * 13) % 30, k)).collect();
+        let serial: Vec<_> = windows.iter().map(|w| e.classify(w)).collect();
+        for shards in [1usize, 2, 3] {
+            let mut mux = sharded(e.clone(), shards, 2);
+            let mut bad = seq(10, 1);
+            bad[5] = 16;
+            assert!(!mux.submit(50, 0, &bad), "{shards} shards: OOV refused");
+            for (k, w) in windows.iter().enumerate() {
+                assert!(mux.submit(k as u64, k, w));
+            }
+            // The injector path validates at inbox drain, not at push.
+            let injector = mux.injector();
+            injector.submit(51, 1, &bad);
+            injector.submit(51, 2, &[9, 99, 9]);
+            let verdicts = mux.drain();
+            assert_eq!(verdicts.len(), windows.len(), "{shards} shards");
+            for v in &verdicts {
+                assert_eq!(v.classification, serial[v.stream as usize]);
+            }
+            assert_eq!(mux.rejected_for(50), 1);
+            assert_eq!(mux.rejected_for(51), 2);
+            assert_eq!(mux.rejected_for(0), 0);
+            let stats = mux.stats();
+            assert_eq!(stats.rejected, 3, "{shards} shards");
+            assert_eq!(stats.dropped, 0, "rejection is not backpressure");
+            assert!(mux.is_idle());
         }
     }
 

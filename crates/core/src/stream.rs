@@ -124,6 +124,11 @@ pub struct MuxStats {
     pub verdicts: u64,
     /// Windows dropped by backpressure.
     pub dropped: u64,
+    /// Windows refused at submission for out-of-vocabulary tokens — a
+    /// typed rejection at the admission boundary, never a panic inside
+    /// a shared lane block.
+    #[serde(default)]
+    pub rejected: u64,
     /// Mean fraction of lane slots occupied per tick (1.0 = every sweep
     /// fully utilized).
     pub occupancy: f64,
@@ -214,6 +219,13 @@ pub struct StreamMux {
     /// Per-stream backpressure-drop tallies (which process lost data,
     /// not just how much was lost overall).
     dropped_by_stream: HashMap<u64, u64>,
+    /// Windows refused at submission for out-of-vocabulary tokens.
+    rejected: u64,
+    /// Per-stream out-of-vocabulary rejection tallies: which process
+    /// fed the mux garbage, not just that garbage arrived.
+    rejected_by_stream: HashMap<u64, u64>,
+    /// Vocabulary size, cached for submission-boundary validation.
+    vocab: usize,
     occupied_steps: u64,
     latencies: Vec<u64>,
     lat_next: usize,
@@ -250,6 +262,7 @@ impl StreamMux {
         let scratch = LaneScratch::new(engine.weights().dims(), width);
         let serial_scratch = engine.make_scratch();
         let lane_ok = engine.supports_lane_stepping();
+        let vocab = engine.weights().dims().vocab;
         Self {
             engine,
             width,
@@ -267,6 +280,9 @@ impl StreamMux {
             verdicts: 0,
             dropped: 0,
             dropped_by_stream: HashMap::new(),
+            rejected: 0,
+            rejected_by_stream: HashMap::new(),
+            vocab,
             occupied_steps: 0,
             latencies: Vec::with_capacity(LATENCY_RING),
             lat_next: 0,
@@ -309,6 +325,12 @@ impl StreamMux {
         self.dropped_by_stream.get(&stream).copied().unwrap_or(0)
     }
 
+    /// Windows of `stream` refused at submission for out-of-vocabulary
+    /// tokens.
+    pub fn rejected_for(&self, stream: u64) -> u64 {
+        self.rejected_by_stream.get(&stream).copied().unwrap_or(0)
+    }
+
     /// Number of lane slots.
     pub fn width(&self) -> usize {
         self.width
@@ -349,6 +371,7 @@ impl StreamMux {
             ticks: self.ticks,
             verdicts: self.verdicts,
             dropped: self.dropped,
+            rejected: self.rejected,
             occupancy: if self.ticks == 0 {
                 0.0
             } else {
@@ -367,16 +390,33 @@ impl StreamMux {
     }
 
     /// Enqueues one window for classification, copying it into a pooled
-    /// buffer. Returns `false` when the window was refused
-    /// ([`OverflowPolicy::DropNewest`] with a full queue); under
+    /// buffer. Returns `false` when the window was refused — by
+    /// backpressure ([`OverflowPolicy::DropNewest`] with a full queue)
+    /// or because a token falls outside the model's vocabulary; under
     /// [`OverflowPolicy::DropOldest`] a full queue evicts its oldest
     /// window instead and this window is admitted.
+    ///
+    /// An out-of-vocabulary window is a *typed rejection, not a panic*:
+    /// admitting it would panic the engine mid-tick and take down the
+    /// whole lane block — every co-scheduled stream's windows with it —
+    /// so one misbehaving (or hostile) process must be refused at the
+    /// boundary instead. The rejection is tallied against the stream
+    /// ([`rejected_for`](Self::rejected_for), [`MuxStats::rejected`])
+    /// and every other stream is untouched.
     ///
     /// # Panics
     ///
     /// Panics on an empty window (the engine's contract).
     pub fn submit(&mut self, stream: u64, at_call: usize, window: &[usize]) -> bool {
         assert!(!window.is_empty(), "empty sequence");
+        if !window
+            .iter()
+            .all(|&item| crate::kernels::preprocess::in_vocabulary(self.vocab, item))
+        {
+            self.rejected += 1;
+            *self.rejected_by_stream.entry(stream).or_insert(0) += 1;
+            return false;
+        }
         if self.pending.len() >= self.max_pending {
             match self.policy {
                 OverflowPolicy::DropOldest => {
@@ -408,6 +448,11 @@ impl StreamMux {
     /// routing here.
     pub(crate) fn admit_owned(&mut self, stream: u64, at_call: usize, order: u64, seq: Vec<usize>) {
         debug_assert!(!seq.is_empty(), "empty sequence");
+        debug_assert!(
+            seq.iter()
+                .all(|&item| crate::kernels::preprocess::in_vocabulary(self.vocab, item)),
+            "caller validated vocabulary before routing"
+        );
         self.pending.push_back(Window {
             stream,
             at_call,
@@ -734,6 +779,13 @@ pub struct FleetMonitor {
     verdict_buf: Vec<Verdict>,
     /// `vote_horizon` ones, precomputed.
     vote_mask: u64,
+    /// Vocabulary size, cached for `observe`-time validation.
+    vocab: usize,
+    /// Out-of-vocabulary calls dropped, fleet-wide.
+    oov_total: u64,
+    /// Per-process out-of-vocabulary tallies — only offending streams
+    /// pay an entry (the cold per-stream record stays 32 bytes).
+    oov_by_stream: HashMap<u64, u64>,
 }
 
 /// Resident-memory accounting for a [`FleetMonitor`], by component.
@@ -805,6 +857,7 @@ impl FleetMonitor {
         } else {
             (1u64 << config.vote_horizon) - 1
         };
+        let vocab = engine.weights().dims().vocab;
         Self {
             mux: ShardedStreamMux::new(engine, mux_config),
             config,
@@ -812,6 +865,9 @@ impl FleetMonitor {
             per_item_us,
             verdict_buf: Vec::new(),
             vote_mask,
+            vocab,
+            oov_total: 0,
+            oov_by_stream: HashMap::new(),
         }
     }
 
@@ -846,6 +902,18 @@ impl FleetMonitor {
         self.mux.stats().dropped
     }
 
+    /// Out-of-vocabulary calls observed in process `pid` — each was
+    /// dropped at [`observe`](Self::observe) (typed and tallied, never
+    /// a panic in a shared lane block).
+    pub fn oov_calls(&self, pid: u64) -> u64 {
+        self.oov_by_stream.get(&pid).copied().unwrap_or(0)
+    }
+
+    /// Total out-of-vocabulary calls dropped across the fleet.
+    pub fn total_oov(&self) -> u64 {
+        self.oov_total
+    }
+
     /// Number of processes currently tracked.
     pub fn tracked(&self) -> usize {
         self.streams.len()
@@ -864,8 +932,22 @@ impl FleetMonitor {
     /// Feeds one API call observed in process `pid`. Never classifies:
     /// a completed window is enqueued on the mux for the next
     /// [`poll`](Self::poll) / [`drain`](Self::drain).
+    ///
+    /// An out-of-vocabulary call cannot be embedded, so it is dropped
+    /// here — tallied per process ([`oov_calls`](Self::oov_calls)),
+    /// never fed to the shared lane block where it would panic a mux
+    /// shard and take the rest of the fleet's in-flight windows with
+    /// it. The call still counts as observed (`calls_seen` advances so
+    /// `at_call` tags stay aligned with the process's real activity);
+    /// only the rolling window skips it.
     pub fn observe(&mut self, pid: u64, call: usize) {
         let config = self.config;
+        if !crate::kernels::preprocess::in_vocabulary(self.vocab, call) {
+            self.oov_total += 1;
+            *self.oov_by_stream.entry(pid).or_insert(0) += 1;
+            self.streams.entry(pid).or_default().calls_seen += 1;
+            return;
+        }
         let state = self.streams.entry(pid).or_default();
         state.calls_seen += 1;
         if state.latched.is_some() {
@@ -1389,6 +1471,62 @@ mod tests {
     fn empty_window_rejected() {
         let mut mux = mux_with_width(OptimizationLevel::FixedPoint, 2);
         mux.submit(0, 0, &[]);
+    }
+
+    #[test]
+    fn oov_window_is_rejected_not_a_panic() {
+        // Regression: an out-of-vocabulary token used to reach the
+        // engine's step path and panic mid-tick, taking the whole lane
+        // block (and every co-scheduled stream) down with it. The mux
+        // now refuses the window at submission with a typed, per-stream
+        // tally and everyone else's verdicts are untouched.
+        let e = engine(OptimizationLevel::FixedPoint);
+        let mut mux = mux_with_width(OptimizationLevel::FixedPoint, 2);
+        let good = seq(8, 1);
+        let mut bad = seq(8, 2);
+        bad[3] = 278; // paper vocabulary is 0..=277
+        assert!(mux.submit(7, 0, &good));
+        assert!(!mux.submit(8, 1, &bad), "OOV refused at the boundary");
+        assert!(!mux.submit(8, 2, &[usize::MAX]), "extreme token refused");
+        assert_eq!(mux.rejected_for(8), 2);
+        assert_eq!(mux.rejected_for(7), 0);
+        let verdicts = mux.drain();
+        assert_eq!(verdicts.len(), 1, "the clean stream still classifies");
+        assert_eq!(verdicts[0].stream, 7);
+        assert_eq!(verdicts[0].classification, e.classify(&good));
+        let stats = mux.stats();
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.dropped, 0, "rejection is not backpressure");
+    }
+
+    #[test]
+    fn fleet_monitor_drops_oov_calls_and_keeps_the_fleet_alive() {
+        // One process feeds garbage tokens; its OOV calls are dropped
+        // (tallied, typed) while a clean process interleaved on the
+        // same fleet alerts exactly as it would alone.
+        let e = tiny_engine();
+        let mut fleet = FleetMonitor::new(e.clone(), small_config(), StreamMuxConfig::default());
+        let clean_calls: Vec<usize> = (0..120).map(|i| (i * 7) % 16).collect();
+        for (i, &c) in clean_calls.iter().enumerate() {
+            fleet.observe(1, c);
+            // pid 2 alternates good calls with out-of-vocabulary ones.
+            fleet.observe(2, if i % 3 == 0 { 16 + i } else { c });
+        }
+        let _ = fleet.drain();
+        assert_eq!(fleet.oov_calls(1), 0);
+        assert_eq!(fleet.oov_calls(2), 40, "every third call was OOV");
+        assert_eq!(fleet.total_oov(), 40);
+        assert_eq!(
+            fleet.calls_seen(2),
+            clean_calls.len(),
+            "OOV calls still count as observed"
+        );
+        // The clean stream's alert state matches a fleet of its own.
+        let mut alone = FleetMonitor::new(e, small_config(), StreamMuxConfig::default());
+        alone.observe_all(1, &clean_calls);
+        let _ = alone.drain();
+        assert_eq!(fleet.alert_for(1), alone.alert_for(1));
+        assert_eq!(fleet.classifications(1), alone.classifications(1));
     }
 
     fn small_config() -> MonitorConfig {

@@ -7,7 +7,7 @@
 //! [`csd_nn::ModelWeights`] export, keeping both the float and the
 //! fixed-point views so every optimization level can execute functionally.
 
-use csd_fxp::Fx6;
+use csd_fxp::{row_exact_in_f64, row_fits_i16_mac, Fx6, EXACT_F64_INT};
 use csd_nn::ModelWeights;
 use csd_tensor::{Matrix, Scalar, Vector};
 use serde::{Deserialize, Serialize};
@@ -144,6 +144,33 @@ impl PackedGatesFx {
     unsafe fn rows_avx2(&self, z_narrow: &[i32], out: &mut [Fx6]) {
         matvec_rows(&self.w, self.cols, z_narrow, out);
     }
+
+    /// Gate-table fused matvec: `out[r] = rescale(table_row[r] +
+    /// Σ_{k<hcols} w[r][k]·h[k])` — the serial twin of the lane kernel's
+    /// table path, skipping the embedding gather, the `[h|x]` concat,
+    /// the `E` input columns, and the separate bias add. Exact by the
+    /// same reassociation argument: `table_row[r]` is the integer value
+    /// of the folded-out terms, and integer addition is associative
+    /// when nothing overflows (the partial row sum is bounded by the
+    /// full-row `z_limit` proof; the table entry is below `2^52`).
+    ///
+    /// Returns `false` — leaving `out` untouched — when any `|h|`
+    /// exceeds the exactness bound, mirroring [`Self::matvec_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice shapes disagree with the packed matrix.
+    pub fn matvec_table_into(&self, table_row: &[i64], h: &[Fx6], out: &mut [Fx6]) -> bool {
+        let hcols = h.len();
+        assert!(hcols <= self.cols, "more recurrent columns than packed");
+        assert_eq!(table_row.len(), self.rows, "table row length mismatch");
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+        if h.iter().any(|v| v.raw().abs() > self.z_limit) {
+            return false;
+        }
+        crate::kernels::gates::fused_preact_table_fx(table_row, &self.w, self.cols, hcols, h, out);
+        true
+    }
 }
 
 /// Whether the AVX2-compiled row loop may run on this machine.
@@ -184,7 +211,7 @@ fn matvec_rows(w: &[i32], cols: usize, z_narrow: &[i32], out: &mut [Fx6]) {
 
 /// Rounded division, half-away-from-zero — the same correction
 /// `Fixed::dot` applies to its wide accumulator.
-fn div_round_i64(num: i64, den: i64) -> i64 {
+pub(crate) fn div_round_i64(num: i64, den: i64) -> i64 {
     debug_assert!(den > 0);
     let half = den / 2;
     if num >= 0 {
@@ -221,13 +248,24 @@ pub const LANE_MAX_STEPS: usize = 8_000;
 pub struct LaneGatesFx {
     /// Row-major `rows × cols` raw weights as exact `f64` values.
     w: Vec<f64>,
+    /// Row-major `rows × hidden` recurrent-column weights (`W_h`), the
+    /// contiguous repack the gate-table matmul iterates over.
+    w_h: Vec<f64>,
     /// Per-row raw bias times `SCALE`, as exact `f64` values.
     bias_scaled: Vec<f64>,
     /// `vocab × embed` raw embedding table as exact `f64` values — the
     /// lane gather source (column `hidden + e` of the gate input).
     embedding: Vec<f64>,
+    /// The precomputed **input-gate table**, `vocab × rows` row-major:
+    /// `table[item·rows + r] = Σ_e w[r][hidden+e]·emb[item][e] +
+    /// b_r·SCALE`. One row gather replaces the per-timestep embedding
+    /// copy plus the `E` input columns of the matmul.
+    table: Vec<f64>,
+    /// The same table as raw `i64`, for the serial fused path.
+    table_i64: Vec<i64>,
     rows: usize,
     cols: usize,
+    hidden: usize,
 }
 
 impl LaneGatesFx {
@@ -246,7 +284,6 @@ impl LaneGatesFx {
     /// SIMD matmul, the scalar fallback, and the reference `i64`/`i128`
     /// accumulation all produce identical raw gate pre-activations.
     pub fn pack(fused: &FusedGates<Fx6>, embedding: &Matrix<Fx6>, hidden: usize) -> Option<Self> {
-        const EXACT: i64 = 1 << 52;
         let (rows, cols) = (fused.w.rows(), fused.w.cols());
         if cols != hidden + embedding.cols() {
             return None;
@@ -257,34 +294,58 @@ impl LaneGatesFx {
             let mut m: i64 = 1;
             for r in 0..embedding.rows() {
                 let raw = embedding.get(r, col).raw();
-                if raw.abs() >= EXACT {
+                if raw.abs() >= EXACT_F64_INT {
                     return None;
                 }
                 m = m.max(raw.abs());
             }
             *zb = m;
         }
+        let mut row_raw = vec![0i64; cols];
         for r in 0..rows {
-            let mut bound: i128 = 0;
-            for (k, &zb) in zbound.iter().enumerate() {
-                bound += fused.w.get(r, k).raw().unsigned_abs() as i128 * zb as i128;
+            for (k, slot) in row_raw.iter_mut().enumerate() {
+                *slot = fused.w.get(r, k).raw();
             }
-            let b = fused.b[r].raw().unsigned_abs() as i128;
-            bound += b * Fx6::SCALE as i128 + (Fx6::SCALE / 2) as i128;
-            if bound >= EXACT as i128 {
+            if !row_exact_in_f64(&row_raw, &zbound, fused.b[r].raw(), Fx6::SCALE) {
                 return None;
+            }
+        }
+        // Fold the embedding columns (plus the scaled bias) into the
+        // per-item input-gate table. Every entry is a partial sum of a
+        // row accumulator the proof above already bounded below 2^52,
+        // so it is exact in f64 — no additional obligation.
+        let vocab = embedding.rows();
+        let mut table_i64 = Vec::with_capacity(vocab * rows);
+        for item in 0..vocab {
+            for r in 0..rows {
+                let mut acc = fused.b[r].raw() as i128 * Fx6::SCALE as i128;
+                for e in 0..embedding.cols() {
+                    acc += fused.w.get(r, hidden + e).raw() as i128
+                        * embedding.get(item, e).raw() as i128;
+                }
+                table_i64.push(acc as i64);
+            }
+        }
+        let mut w_h = Vec::with_capacity(rows * hidden);
+        for r in 0..rows {
+            for k in 0..hidden {
+                w_h.push(fused.w.get(r, k).raw() as f64);
             }
         }
         Some(Self {
             w: fused.w.as_flat().iter().map(|v| v.raw() as f64).collect(),
+            w_h,
             bias_scaled: fused
                 .b
                 .iter()
                 .map(|v| (v.raw() as i128 * Fx6::SCALE as i128) as f64)
                 .collect(),
             embedding: embedding.as_flat().iter().map(|v| v.raw() as f64).collect(),
+            table: table_i64.iter().map(|&x| x as f64).collect(),
+            table_i64,
             rows,
             cols,
+            hidden,
         })
     }
 
@@ -303,6 +364,26 @@ impl LaneGatesFx {
         &self.embedding
     }
 
+    /// Recurrent-column weights `W_h`, row-major `rows × hidden`.
+    pub fn w_hidden(&self) -> &[f64] {
+        &self.w_h
+    }
+
+    /// The input-gate table, `vocab × rows` row-major, `f64`-encoded.
+    pub fn gate_table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// One raw input-gate table row: the precomputed
+    /// `W_x·e(item) + b·SCALE` for every fused gate row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `item` is outside the vocabulary.
+    pub fn table_row_i64(&self, item: usize) -> &[i64] {
+        &self.table_i64[item * self.rows..(item + 1) * self.rows]
+    }
+
     /// Fused gate rows (`4H`).
     pub fn rows(&self) -> usize {
         self.rows
@@ -311,6 +392,88 @@ impl LaneGatesFx {
     /// Gate input columns (`Z = H + E`).
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// Recurrent columns (`H`).
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Vocabulary size (input-gate table rows).
+    pub fn vocab(&self) -> usize {
+        self.table_i64.len() / self.rows.max(1)
+    }
+}
+
+/// The fused fixed-point gate matrix narrowed all the way to `i16`
+/// weights with `i32` row sums — the `vpmaddwd` MAC tier, which retires
+/// twice the multiply-adds per vector instruction of the `f64` FMA path.
+///
+/// [`PackedGatesI16::pack`] extends the per-row magnitude-bound proof of
+/// [`LaneGatesFx::pack`] to the narrower containers via
+/// [`csd_fxp::row_fits_i16_mac`]. At the paper's 10^6 decimal scale the
+/// proof **always fails** — the recurrent columns carry `|h| ≤ 1`, raw
+/// `10^6 ≫ 32767` — so the engine keeps the `f64`-FMA/`i32` paths for
+/// the shipped model (the documented fallback contract) while the kernel
+/// stands ready for lower-scale tiers (e.g. a 10^3 first-pass screen,
+/// ROADMAP item 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedGatesI16 {
+    /// Row-major `rows × cols` raw weights, narrowed to `i16`.
+    w: Vec<i16>,
+    rows: usize,
+    cols: usize,
+}
+
+impl PackedGatesI16 {
+    /// Narrows a fused gate matrix against the caller's per-column input
+    /// bound, or `None` when any row fails the `i16×i16→i32` proof.
+    /// `zbound[k]` must bound `|z[k].raw()|` over every input the caller
+    /// will ever present (the engine passes the same bounds
+    /// [`LaneGatesFx::pack`] derives).
+    pub fn pack(fused: &FusedGates<Fx6>, zbound: &[i64]) -> Option<Self> {
+        let (rows, cols) = (fused.w.rows(), fused.w.cols());
+        if zbound.len() != cols {
+            return None;
+        }
+        let mut w = Vec::with_capacity(rows * cols);
+        let mut row_raw = vec![0i64; cols];
+        for r in 0..rows {
+            for (k, slot) in row_raw.iter_mut().enumerate() {
+                *slot = fused.w.get(r, k).raw();
+            }
+            if !row_fits_i16_mac(&row_raw, zbound) {
+                return None;
+            }
+            w.extend(row_raw.iter().map(|&x| x as i16));
+        }
+        Some(Self { w, rows, cols })
+    }
+
+    /// Row-major raw weights, narrowed to `i16`.
+    pub fn weights(&self) -> &[i16] {
+        &self.w
+    }
+
+    /// Fused gate rows (`4H`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Gate input columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Lane-batched raw row sums over the narrow MAC: delegates to
+    /// [`csd_tensor::lanes::matmul_fx_lanes_i16`]. `out` receives
+    /// unrescaled `Σ w·z` per row — exact under the pack-time proof.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slice shapes disagree with the packed matrix.
+    pub fn matmul_lanes_into(&self, z: &[i16], width: usize, out: &mut [i32]) {
+        csd_tensor::lanes::matmul_fx_lanes_i16(&self.w, self.rows, self.cols, z, width, out);
     }
 }
 
@@ -602,6 +765,128 @@ mod tests {
         assert!(!packed.matvec_into(&z, &mut z_scratch, &mut out));
         // Declined call must leave the output untouched.
         assert!(out.iter().all(|&v| v == Fx6::ONE));
+    }
+
+    #[test]
+    fn gate_table_entries_are_the_folded_embedding_products() {
+        let q = weights();
+        let fused = q.fused_fx();
+        let dims = q.dims();
+        let lane = LaneGatesFx::pack(&fused, &q.embedding_fx, dims.hidden).expect("paper packs");
+        assert_eq!(lane.hidden(), dims.hidden);
+        assert_eq!(lane.vocab(), q.embedding_fx.rows());
+        assert_eq!(lane.gate_table().len(), lane.vocab() * lane.rows());
+        assert_eq!(lane.w_hidden().len(), lane.rows() * dims.hidden);
+        for item in [0usize, 1, 137, 277] {
+            let row = lane.table_row_i64(item);
+            for (r, &entry) in row.iter().enumerate() {
+                let mut acc = fused.b[r].raw() as i128 * Fx6::SCALE as i128;
+                for e in 0..dims.embed {
+                    acc += fused.w.get(r, dims.hidden + e).raw() as i128
+                        * q.embedding_fx.get(item, e).raw() as i128;
+                }
+                assert_eq!(entry as i128, acc, "item {item} row {r}");
+                // The f64 view is the same integer, exactly encoded.
+                assert_eq!(lane.gate_table()[item * lane.rows() + r] as i64, entry);
+            }
+        }
+        // W_h is the recurrent prefix of each packed row.
+        for r in 0..lane.rows() {
+            for k in 0..dims.hidden {
+                assert_eq!(
+                    lane.w_hidden()[r * dims.hidden + k],
+                    lane.weights()[r * lane.cols() + k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_matvec_is_bit_identical_to_unfolded_path() {
+        let q = weights();
+        let fused = q.fused_fx();
+        let dims = q.dims();
+        let lane = LaneGatesFx::pack(&fused, &q.embedding_fx, dims.hidden).expect("paper packs");
+        let packed = PackedGatesFx::pack(&fused).expect("paper weights fit i32");
+        let h: Vec<Fx6> = (0..dims.hidden)
+            .map(|i| Fx6::from_raw((i as i64 * 137_911) % 2_000_001 - 1_000_000))
+            .collect();
+        for item in [0usize, 42, 277] {
+            // Unfolded reference: [h | e(item)] matvec plus bias.
+            let mut z: Vec<Fx6> = h.clone();
+            for e in 0..dims.embed {
+                z.push(q.embedding_fx.get(item, e));
+            }
+            let mut wide = vec![Fx6::ZERO; lane.rows()];
+            let mut scratch = Vec::new();
+            assert!(packed.matvec_into(&z, &mut scratch, &mut wide));
+            for (o, b) in wide.iter_mut().zip(fused.b.iter()) {
+                *o += *b;
+            }
+            let mut table = vec![Fx6::ZERO; lane.rows()];
+            assert!(packed.matvec_table_into(lane.table_row_i64(item), &h, &mut table));
+            assert_eq!(table, wide, "item {item}");
+        }
+    }
+
+    #[test]
+    fn table_matvec_declines_out_of_range_input() {
+        let q = weights();
+        let fused = q.fused_fx();
+        let dims = q.dims();
+        let lane = LaneGatesFx::pack(&fused, &q.embedding_fx, dims.hidden).expect("paper packs");
+        let packed = PackedGatesFx::pack(&fused).expect("paper weights fit i32");
+        let mut h = vec![Fx6::ZERO; dims.hidden];
+        h[3] = Fx6::from_raw(i64::MAX / 2);
+        let mut out = vec![Fx6::ONE; lane.rows()];
+        assert!(!packed.matvec_table_into(lane.table_row_i64(0), &h, &mut out));
+        assert!(
+            out.iter().all(|&v| v == Fx6::ONE),
+            "declined output untouched"
+        );
+    }
+
+    #[test]
+    fn i16_pack_declines_paper_scale_but_takes_small_scale_rows() {
+        let q = weights();
+        let fused = q.fused_fx();
+        // Paper model, honest bounds: |h| ≤ 1 → raw 10^6 — must decline.
+        let zbound = vec![Fx6::SCALE; q.dims().z()];
+        assert!(PackedGatesI16::pack(&fused, &zbound).is_none());
+        // Synthetic small-magnitude gates (10^3-scale-shaped): packs,
+        // and the lane MAC matches the wide integer reference.
+        let rows = 8;
+        let cols = 5;
+        let wi: Vec<i64> = (0..rows * cols)
+            .map(|i| (i as i64 * 97) % 601 - 300)
+            .collect();
+        let small = FusedGates {
+            w: Matrix::from_flat(
+                rows,
+                cols,
+                wi.iter().map(|&x| Fx6::from_raw(x)).collect::<Vec<_>>(),
+            ),
+            b: Vector::from(vec![Fx6::ZERO; rows]),
+        };
+        let zb = vec![1_000i64; cols];
+        let packed = PackedGatesI16::pack(&small, &zb).expect("small rows fit i16");
+        assert_eq!(packed.rows(), rows);
+        assert_eq!(packed.cols(), cols);
+        let width = 16;
+        let z: Vec<i16> = (0..cols * width)
+            .map(|i| (i as i64 % 2_001 - 1_000) as i16)
+            .collect();
+        let mut out = vec![0i32; rows * width];
+        packed.matmul_lanes_into(&z, width, &mut out);
+        for r in 0..rows {
+            for l in 0..width {
+                let mut s = 0i64;
+                for k in 0..cols {
+                    s += wi[r * cols + k] * z[k * width + l] as i64;
+                }
+                assert_eq!(out[r * width + l] as i64, s, "r={r} l={l}");
+            }
+        }
     }
 
     #[test]

@@ -57,6 +57,38 @@ proptest! {
         let serial: Vec<_> = batch.iter().map(|s| engine.classify(s)).collect();
         prop_assert_eq!(engine.classify_batch(&batch), serial);
     }
+
+    /// The vocabulary-indexed gate table (fold the embedding into the
+    /// fused matrix at pack time, gather per timestep) is an exact
+    /// integer reassociation: with the table forced on and forced off,
+    /// serial and lane classification agree bit for bit at every width
+    /// tier — and both agree with the table-free serial reference.
+    #[test]
+    fn gate_table_on_off_bit_identical(
+        seed in any::<u64>(),
+        batch in arb_ragged_batch(),
+    ) {
+        let on = engine(seed, OptimizationLevel::FixedPoint).with_gate_table(true);
+        let off = engine(seed, OptimizationLevel::FixedPoint).with_gate_table(false);
+        let refs: Vec<&[usize]> = batch.iter().map(Vec::as_slice).collect();
+        let reference: Vec<_> = batch.iter().map(|s| off.classify(s)).collect();
+        let tabled: Vec<_> = batch.iter().map(|s| on.classify(s)).collect();
+        prop_assert_eq!(&tabled, &reference, "serial table vs unfolded");
+        for width in [1usize, 3, 8, 32] {
+            prop_assert_eq!(
+                on.classify_lanes_with_width(&refs, width),
+                reference.clone(),
+                "table lanes vs unfolded serial, width {}",
+                width
+            );
+            prop_assert_eq!(
+                off.classify_lanes_with_width(&refs, width),
+                reference.clone(),
+                "unfolded lanes vs unfolded serial, width {}",
+                width
+            );
+        }
+    }
 }
 
 /// Early lane retirement and refill must not scramble result order: a

@@ -48,11 +48,13 @@
 #![warn(missing_docs)]
 
 pub mod activation;
+pub mod bounds;
 pub mod dynfixed;
 pub mod error;
 pub mod scaled;
 
 pub use activation::{sigmoid_fx, sigmoid_fx_lut, sigmoid_fx_lut_slice, softsign_fx, FxActivation};
+pub use bounds::{fits_i16, row_exact_in_f64, row_fits_i16_mac, row_mac_bound, EXACT_F64_INT};
 pub use dynfixed::DynFixed;
 pub use error::{max_abs_error, quantization_bound, ScaleSweep, ScaleSweepRow};
 pub use scaled::{Fixed, FixedError, Fx6};

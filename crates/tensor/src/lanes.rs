@@ -65,6 +65,12 @@ fn avx512_available() -> bool {
 }
 
 #[cfg(target_arch = "x86_64")]
+fn avx512bw_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512bw")
+}
+
+#[cfg(target_arch = "x86_64")]
 fn avx2_fma_available() -> bool {
     std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
 }
@@ -196,6 +202,179 @@ pub fn matmul_fx_lanes(
         }
     }
     matmul_fx_scalar(w, rows, cols, z, width, bias_scaled, out);
+}
+
+/// Lane-batched fused gate matmul with a precomputed **input-gate
+/// table**: the accumulator of row `r`, lane `l` is *initialized* from
+/// `table[items[l] · rows + r]` — the per-item precomputation
+/// `Σ_x w_x[r]·e(item)_x + bias_r·SCALE` — and the k-loop then covers
+/// only the `hcols` recurrent columns. The final rescale is fused into
+/// the store epilogue, so `out` receives the finished raw gate
+/// pre-activation: `round_half_away(acc / SCALE)`.
+///
+/// This computes exactly the integer [`matmul_fx_lanes`] +
+/// [`rescale_lanes`] would produce over the full `Z = hcols + E` input
+/// (with the embedding columns holding `e(items[l])`): the table entry
+/// is the exact integer value of the folded-out partial sum, and
+/// integer addition is associative when nothing overflows, so moving
+/// those terms into the init changes no bit. The caller proves the
+/// same per-row bound as [`matmul_fx_lanes`] at pack time — a table
+/// entry is a partial sum of the proven row accumulator, hence itself
+/// exact.
+///
+/// `zh` is the `hcols × width` recurrent lane block (the `h` rows of
+/// the gate input); `table` is `n_items × rows` row-major.
+///
+/// # Panics
+///
+/// Panics when slice lengths disagree with `rows`/`hcols`/`width`, or
+/// when any `items[l]` is outside the table.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_fx_lanes_table(
+    w: &[f64],
+    rows: usize,
+    hcols: usize,
+    zh: &[f64],
+    width: usize,
+    table: &[f64],
+    items: &[usize],
+    out: &mut [f64],
+) {
+    assert!(rows > 0, "table matmul needs at least one row");
+    assert_eq!(w.len(), rows * hcols, "table matmul weight shape mismatch");
+    assert_eq!(zh.len(), hcols * width, "table matmul input shape mismatch");
+    assert_eq!(
+        out.len(),
+        rows * width,
+        "table matmul output shape mismatch"
+    );
+    assert_eq!(items.len(), width, "one table index per lane");
+    let n_items = table.len() / rows;
+    assert_eq!(table.len(), n_items * rows, "ragged gate table");
+    for &item in items {
+        assert!(item < n_items, "item {item} outside the gate table");
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if rows.is_multiple_of(8) && width.is_multiple_of(8) && avx512_available() {
+            // SAFETY: avx512f/dq/vl presence checked at runtime just above;
+            // the shape and item-range asserts guarantee in-bounds access.
+            #[allow(unsafe_code)]
+            unsafe {
+                x86::mm_fma_avx512_table(w, rows, hcols, zh, width, table, items, out)
+            };
+            return;
+        }
+        if rows.is_multiple_of(4) && width.is_multiple_of(4) && avx2_fma_available() {
+            // SAFETY: avx2/fma presence checked at runtime just above; the
+            // shape and item-range asserts guarantee in-bounds access.
+            #[allow(unsafe_code)]
+            unsafe {
+                x86::mm_fma_avx2_table(w, rows, hcols, zh, width, table, items, out)
+            };
+            rescale_lanes(out);
+            return;
+        }
+    }
+    matmul_fx_table_scalar(w, rows, hcols, zh, width, table, items, out);
+}
+
+/// Scalar reference for [`matmul_fx_lanes_table`], rescale included.
+#[allow(clippy::too_many_arguments)]
+fn matmul_fx_table_scalar(
+    w: &[f64],
+    rows: usize,
+    hcols: usize,
+    zh: &[f64],
+    width: usize,
+    table: &[f64],
+    items: &[usize],
+    out: &mut [f64],
+) {
+    for r in 0..rows {
+        let row = &w[r * hcols..(r + 1) * hcols];
+        let o = &mut out[r * width..(r + 1) * width];
+        for (acc, &item) in o.iter_mut().zip(items) {
+            *acc = table[item * rows + r];
+        }
+        for (k, &wk) in row.iter().enumerate() {
+            let zk = &zh[k * width..(k + 1) * width];
+            for (acc, &zv) in o.iter_mut().zip(zk) {
+                *acc += wk * zv;
+            }
+        }
+        for acc in o.iter_mut() {
+            *acc = div_round_raw(*acc as i64, Fx6::SCALE) as f64;
+        }
+    }
+}
+
+/// Lane-batched `i16 × i16 → i32` gate MAC — the narrow-accumulator
+/// variant of [`matmul_fx_lanes`]: `out[r·width + l] = Σ_k w[r][k] ·
+/// z[k][l]` with all operands in `i16` and the row sum accumulated in
+/// `i32` (no bias folding, no rescale — a scaled bias does not fit the
+/// narrow accumulator).
+///
+/// The vector body packs two `k` columns per `vpmaddwd`: the AVX-512BW
+/// tile retires 32 `i16×i16` products per 512-bit instruction (double
+/// the 16 of an AVX-512 `f64` FMA pair-issue), with an AVX2 4-row tile
+/// (16 products per instruction) below it. Exactness is a *caller
+/// obligation*: every weight and input must fit `i16` and every row's
+/// worst-case sum must fit `i32` (prove with
+/// `csd_fxp::bounds::row_fits_i16_mac`; the engine's packer declines
+/// 10^6-scaled models, whose `|h| ≤ 1` inputs are raw `10^6 ≫ 32767`,
+/// and falls back to the `f64`-FMA path). Under the bound, integer
+/// addition makes every association exact, so the paired-madd tiles
+/// equal this function's scalar fallback and the wide reference bit
+/// for bit.
+///
+/// # Panics
+///
+/// Panics when the slice lengths disagree with `rows`/`cols`/`width`.
+pub fn matmul_fx_lanes_i16(
+    w: &[i16],
+    rows: usize,
+    cols: usize,
+    z: &[i16],
+    width: usize,
+    out: &mut [i32],
+) {
+    assert_eq!(w.len(), rows * cols, "i16 matmul weight shape mismatch");
+    assert_eq!(z.len(), cols * width, "i16 matmul input shape mismatch");
+    assert_eq!(out.len(), rows * width, "i16 matmul output shape mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if width.is_multiple_of(16) && avx512bw_available() {
+            // SAFETY: avx512f/bw presence checked at runtime just above;
+            // the shape asserts guarantee every pointer offset is in
+            // bounds.
+            #[allow(unsafe_code)]
+            unsafe {
+                x86::mm_madd_i16_avx512(w, rows, cols, z, width, out)
+            };
+            return;
+        }
+        if width.is_multiple_of(16) && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: avx2 presence checked at runtime just above; the
+            // shape asserts guarantee every pointer offset is in bounds.
+            #[allow(unsafe_code)]
+            unsafe {
+                x86::mm_madd_i16_avx2(w, rows, cols, z, width, out)
+            };
+            return;
+        }
+    }
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        let o = &mut out[r * width..(r + 1) * width];
+        o.fill(0);
+        for (k, &wk) in row.iter().enumerate() {
+            let zk = &z[k * width..(k + 1) * width];
+            for (acc, &zv) in o.iter_mut().zip(zk) {
+                *acc += wk as i32 * zv as i32;
+            }
+        }
+    }
 }
 
 /// Scalar reference for [`matmul_fx_lanes`] — every `f64` multiply and
@@ -629,6 +808,393 @@ mod x86 {
         }
     }
 
+    /// Load eight consecutive gate-table entries for each of eight lanes
+    /// (`table[items8[l]·rows + r .. +8]`) and transpose in-register so
+    /// vector `i` of the result holds entry `r + i` across the eight
+    /// lanes — exactly the accumulator layout of the row-tiled matmul.
+    ///
+    /// 8 unaligned loads + 24 permute ops, all pure data movement, so
+    /// trivially exact. Compare ~64 scalar gather stores for the same
+    /// init through memory.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx512f; `items8.len() == 8`, every `items8[l]·rows + r
+    /// + 8 <= table.len()`, and `r + 8 <= rows`.
+    #[inline]
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    unsafe fn transpose_table_8(
+        table: &[f64],
+        rows: usize,
+        items8: &[usize],
+        r: usize,
+    ) -> [__m512d; 8] {
+        let r0 = _mm512_loadu_pd(table.as_ptr().add(items8[0] * rows + r));
+        let r1 = _mm512_loadu_pd(table.as_ptr().add(items8[1] * rows + r));
+        let r2 = _mm512_loadu_pd(table.as_ptr().add(items8[2] * rows + r));
+        let r3 = _mm512_loadu_pd(table.as_ptr().add(items8[3] * rows + r));
+        let r4 = _mm512_loadu_pd(table.as_ptr().add(items8[4] * rows + r));
+        let r5 = _mm512_loadu_pd(table.as_ptr().add(items8[5] * rows + r));
+        let r6 = _mm512_loadu_pd(table.as_ptr().add(items8[6] * rows + r));
+        let r7 = _mm512_loadu_pd(table.as_ptr().add(items8[7] * rows + r));
+        // Stage 1: interleave adjacent lane pairs within 128-bit blocks.
+        let t0 = _mm512_unpacklo_pd(r0, r1);
+        let t1 = _mm512_unpackhi_pd(r0, r1);
+        let t2 = _mm512_unpacklo_pd(r2, r3);
+        let t3 = _mm512_unpackhi_pd(r2, r3);
+        let t4 = _mm512_unpacklo_pd(r4, r5);
+        let t5 = _mm512_unpackhi_pd(r4, r5);
+        let t6 = _mm512_unpacklo_pd(r6, r7);
+        let t7 = _mm512_unpackhi_pd(r6, r7);
+        // Stages 2–3: gather the 128-bit blocks across vectors. 0x88
+        // selects blocks [a0,a2,b0,b2]; 0xDD selects [a1,a3,b1,b3].
+        let u0 = _mm512_shuffle_f64x2::<0x88>(t0, t2);
+        let u1 = _mm512_shuffle_f64x2::<0x88>(t4, t6);
+        let u2 = _mm512_shuffle_f64x2::<0x88>(t1, t3);
+        let u3 = _mm512_shuffle_f64x2::<0x88>(t5, t7);
+        let u4 = _mm512_shuffle_f64x2::<0xDD>(t0, t2);
+        let u5 = _mm512_shuffle_f64x2::<0xDD>(t4, t6);
+        let u6 = _mm512_shuffle_f64x2::<0xDD>(t1, t3);
+        let u7 = _mm512_shuffle_f64x2::<0xDD>(t5, t7);
+        [
+            _mm512_shuffle_f64x2::<0x88>(u0, u1),
+            _mm512_shuffle_f64x2::<0x88>(u2, u3),
+            _mm512_shuffle_f64x2::<0x88>(u4, u5),
+            _mm512_shuffle_f64x2::<0x88>(u6, u7),
+            _mm512_shuffle_f64x2::<0xDD>(u0, u1),
+            _mm512_shuffle_f64x2::<0xDD>(u2, u3),
+            _mm512_shuffle_f64x2::<0xDD>(u4, u5),
+            _mm512_shuffle_f64x2::<0xDD>(u6, u7),
+        ]
+    }
+
+    /// AVX-512 gate-table matmul: the [`mm_fma_avx512`] pair tile with
+    /// the accumulators *initialized from the precomputed input-gate
+    /// table* (via [`transpose_table_8`]) instead of a bias broadcast,
+    /// the `k` loop covering only the `hcols` recurrent columns, and the
+    /// rescale fused into the store epilogue ([`div_round_scale_pd`] on
+    /// the finished accumulator — the same function the standalone
+    /// rescale pass applies to the same integer values, hence the same
+    /// bits, with one whole read-modify-write sweep of `out` deleted).
+    ///
+    /// # Safety
+    ///
+    /// Requires avx512f/dq/vl; `rows % 8 == 0`, `width % 8 == 0`, every
+    /// `items[l]` in table range, and the slice shapes asserted by the
+    /// dispatching wrapper.
+    #[allow(unsafe_code)]
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+    pub(super) unsafe fn mm_fma_avx512_table(
+        w: &[f64],
+        rows: usize,
+        hcols: usize,
+        zh: &[f64],
+        width: usize,
+        table: &[f64],
+        items: &[usize],
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(rows % 8, 0);
+        debug_assert_eq!(width % 8, 0);
+        let nvec = width / 8;
+        let mut r = 0;
+        while r < rows {
+            let mut v = 0;
+            while v + 2 <= nvec {
+                let init0 = transpose_table_8(table, rows, &items[v * 8..v * 8 + 8], r);
+                let init1 = transpose_table_8(table, rows, &items[(v + 1) * 8..(v + 2) * 8], r);
+                let mut acc = [[_mm512_setzero_pd(); 2]; 8];
+                for (i, a) in acc.iter_mut().enumerate() {
+                    *a = [init0[i], init1[i]];
+                }
+                for k in 0..hcols {
+                    let z0 = _mm512_loadu_pd(zh.as_ptr().add(k * width + v * 8));
+                    let z1 = _mm512_loadu_pd(zh.as_ptr().add(k * width + (v + 1) * 8));
+                    for (i, a) in acc.iter_mut().enumerate() {
+                        let wk = _mm512_set1_pd(*w.get_unchecked((r + i) * hcols + k));
+                        a[0] = _mm512_fmadd_pd(wk, z0, a[0]);
+                        a[1] = _mm512_fmadd_pd(wk, z1, a[1]);
+                    }
+                }
+                for (i, a) in acc.iter().enumerate() {
+                    let o0 = div_round_scale_pd(a[0]);
+                    let o1 = div_round_scale_pd(a[1]);
+                    _mm512_storeu_pd(out.as_mut_ptr().add((r + i) * width + v * 8), o0);
+                    _mm512_storeu_pd(out.as_mut_ptr().add((r + i) * width + (v + 1) * 8), o1);
+                }
+                v += 2;
+            }
+            while v < nvec {
+                let mut acc = transpose_table_8(table, rows, &items[v * 8..v * 8 + 8], r);
+                for k in 0..hcols {
+                    let zv = _mm512_loadu_pd(zh.as_ptr().add(k * width + v * 8));
+                    for (i, a) in acc.iter_mut().enumerate() {
+                        let wk = _mm512_set1_pd(*w.get_unchecked((r + i) * hcols + k));
+                        *a = _mm512_fmadd_pd(wk, zv, *a);
+                    }
+                }
+                for (i, a) in acc.iter().enumerate() {
+                    let o = div_round_scale_pd(*a);
+                    _mm512_storeu_pd(out.as_mut_ptr().add((r + i) * width + v * 8), o);
+                }
+                v += 1;
+            }
+            r += 8;
+        }
+    }
+
+    /// AVX2+FMA gate-table matmul: the [`mm_fma_avx2`] 4 × 4 tile with
+    /// accumulators initialized by four scalar table loads per row
+    /// (`_mm256_set_pd` — no cross-lane permute network below AVX-512).
+    /// Leaves the raw accumulator in `out`; the dispatching wrapper runs
+    /// the scalar rescale sweep afterwards.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx2/fma; `rows % 4 == 0`, `width % 4 == 0`, every
+    /// `items[l]` in table range, and the slice shapes asserted by the
+    /// dispatching wrapper.
+    #[allow(unsafe_code)]
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn mm_fma_avx2_table(
+        w: &[f64],
+        rows: usize,
+        hcols: usize,
+        zh: &[f64],
+        width: usize,
+        table: &[f64],
+        items: &[usize],
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(rows % 4, 0);
+        debug_assert_eq!(width % 4, 0);
+        let nvec = width / 4;
+        let mut r = 0;
+        while r < rows {
+            for v in 0..nvec {
+                let (l0, l1, l2, l3) = (
+                    items[v * 4] * rows,
+                    items[v * 4 + 1] * rows,
+                    items[v * 4 + 2] * rows,
+                    items[v * 4 + 3] * rows,
+                );
+                let mut a0 =
+                    _mm256_set_pd(table[l3 + r], table[l2 + r], table[l1 + r], table[l0 + r]);
+                let mut a1 = _mm256_set_pd(
+                    table[l3 + r + 1],
+                    table[l2 + r + 1],
+                    table[l1 + r + 1],
+                    table[l0 + r + 1],
+                );
+                let mut a2 = _mm256_set_pd(
+                    table[l3 + r + 2],
+                    table[l2 + r + 2],
+                    table[l1 + r + 2],
+                    table[l0 + r + 2],
+                );
+                let mut a3 = _mm256_set_pd(
+                    table[l3 + r + 3],
+                    table[l2 + r + 3],
+                    table[l1 + r + 3],
+                    table[l0 + r + 3],
+                );
+                for k in 0..hcols {
+                    let zv = _mm256_loadu_pd(zh.as_ptr().add(k * width + v * 4));
+                    a0 = _mm256_fmadd_pd(_mm256_set1_pd(*w.get_unchecked(r * hcols + k)), zv, a0);
+                    a1 = _mm256_fmadd_pd(
+                        _mm256_set1_pd(*w.get_unchecked((r + 1) * hcols + k)),
+                        zv,
+                        a1,
+                    );
+                    a2 = _mm256_fmadd_pd(
+                        _mm256_set1_pd(*w.get_unchecked((r + 2) * hcols + k)),
+                        zv,
+                        a2,
+                    );
+                    a3 = _mm256_fmadd_pd(
+                        _mm256_set1_pd(*w.get_unchecked((r + 3) * hcols + k)),
+                        zv,
+                        a3,
+                    );
+                }
+                _mm256_storeu_pd(out.as_mut_ptr().add(r * width + v * 4), a0);
+                _mm256_storeu_pd(out.as_mut_ptr().add((r + 1) * width + v * 4), a1);
+                _mm256_storeu_pd(out.as_mut_ptr().add((r + 2) * width + v * 4), a2);
+                _mm256_storeu_pd(out.as_mut_ptr().add((r + 3) * width + v * 4), a3);
+            }
+            r += 4;
+        }
+    }
+
+    /// AVX-512BW `vpmaddwd` tile for the i16 MAC: each 512-bit `madd`
+    /// retires 32 `i16×i16` products pre-summed in adjacent pairs — one
+    /// instruction covers two `k` columns of 16 lanes, double the
+    /// per-instruction MAC count of an `f64` FMA pair-issue. The two `z`
+    /// rows of a column pair are interleaved once per pair with a single
+    /// `vpermw` (`zinter[2l] = zk[l]`, `zinter[2l+1] = zk1[l]`), so the
+    /// `madd` result lands in *lane order* — `res[l] = zk[l]·w0 +
+    /// zk1[l]·w1` for all 16 lanes, no de-interleave needed — and is
+    /// shared by the whole 8-row tile; each row then costs one packed
+    /// weight-pair broadcast (a 4-byte load of the two adjacent `i16`
+    /// weights), one `madd`, and one `add`. Pair sums fit `i32`
+    /// unconditionally (`2·32767² < 2^31`); the caller's row bound
+    /// covers the cross-pair accumulation, so every add is exact and the
+    /// tile equals the scalar fallback bit for bit.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx512f/bw; `width % 16 == 0` and the slice shapes
+    /// asserted by the dispatching wrapper.
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub(super) unsafe fn mm_madd_i16_avx512(
+        w: &[i16],
+        rows: usize,
+        cols: usize,
+        z: &[i16],
+        width: usize,
+        out: &mut [i32],
+    ) {
+        debug_assert_eq!(width % 16, 0);
+        let nvec = width / 16;
+        // Interleave index: element 2l picks zk[l] (source 0..15),
+        // element 2l+1 picks zk1[l] (source 16..31).
+        #[rustfmt::skip]
+        let idx = _mm512_set_epi16(
+            31, 15, 30, 14, 29, 13, 28, 12, 27, 11, 26, 10, 25, 9, 24, 8,
+            23, 7, 22, 6, 21, 5, 20, 4, 19, 3, 18, 2, 17, 1, 16, 0,
+        );
+        for v in 0..nvec {
+            let mut r = 0;
+            while r < rows {
+                let tile = 8.min(rows - r);
+                let mut acc = [_mm512_setzero_si512(); 8];
+                let mut k = 0;
+                while k + 2 <= cols {
+                    let zk = _mm256_loadu_si256(z.as_ptr().add(k * width + v * 16).cast());
+                    let zk1 = _mm256_loadu_si256(z.as_ptr().add((k + 1) * width + v * 16).cast());
+                    let both = _mm512_inserti64x4::<1>(_mm512_castsi256_si512(zk), zk1);
+                    let zinter = _mm512_permutexvar_epi16(idx, both);
+                    for (i, a) in acc.iter_mut().enumerate().take(tile) {
+                        let wv = _mm512_set1_epi32(
+                            w.as_ptr()
+                                .add((r + i) * cols + k)
+                                .cast::<i32>()
+                                .read_unaligned(),
+                        );
+                        *a = _mm512_add_epi32(*a, _mm512_madd_epi16(zinter, wv));
+                    }
+                    k += 2;
+                }
+                if k < cols {
+                    // Odd trailing column: pair it with a zero row (and a
+                    // scalar-built weight pair — a 4-byte load would read
+                    // past the weight row).
+                    let zk = _mm256_loadu_si256(z.as_ptr().add(k * width + v * 16).cast());
+                    let both = _mm512_castsi256_si512(zk);
+                    let zinter = _mm512_permutexvar_epi16(idx, both);
+                    for (i, a) in acc.iter_mut().enumerate().take(tile) {
+                        let w0 = *w.get_unchecked((r + i) * cols + k) as u16 as u32;
+                        let wv = _mm512_set1_epi32(w0 as i32);
+                        *a = _mm512_add_epi32(*a, _mm512_madd_epi16(zinter, wv));
+                    }
+                }
+                for (i, a) in acc.iter().enumerate().take(tile) {
+                    _mm512_storeu_si512(out.as_mut_ptr().add((r + i) * width + v * 16).cast(), *a);
+                }
+                r += tile;
+            }
+        }
+    }
+
+    /// AVX2 `vpmaddwd` tile for the i16 MAC: each 256-bit `madd` retires
+    /// 16 `i16×i16` products pre-summed in adjacent pairs, so one
+    /// instruction covers two `k` columns of 8 lanes. The two `z` rows
+    /// of a column pair are interleaved with `unpacklo/hi_epi16` (lane
+    /// groups [0..3, 8..11] and [4..7, 12..15] — the same permutation
+    /// every `k`, un-done once at the end by `permute2x128`) and shared
+    /// by a 4-row tile; each row costs one packed weight-pair broadcast
+    /// (a 4-byte load of the two adjacent `i16` weights) plus two
+    /// `madd`/`add` pairs. Pair sums fit `i32` unconditionally
+    /// (`2·32767² < 2^31`); the caller's row bound covers the cross-pair
+    /// accumulation, so every add is exact and the tile equals the
+    /// scalar fallback bit for bit.
+    ///
+    /// # Safety
+    ///
+    /// Requires avx2; `width % 16 == 0` and the slice shapes asserted by
+    /// the dispatching wrapper.
+    #[allow(unsafe_code)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mm_madd_i16_avx2(
+        w: &[i16],
+        rows: usize,
+        cols: usize,
+        z: &[i16],
+        width: usize,
+        out: &mut [i32],
+    ) {
+        debug_assert_eq!(width % 16, 0);
+        let nvec = width / 16;
+        for v in 0..nvec {
+            let mut r = 0;
+            while r < rows {
+                let tile = 4.min(rows - r);
+                let mut acc_lo = [_mm256_setzero_si256(); 4];
+                let mut acc_hi = [_mm256_setzero_si256(); 4];
+                let mut k = 0;
+                while k + 2 <= cols {
+                    let zk = _mm256_loadu_si256(z.as_ptr().add(k * width + v * 16).cast());
+                    let zk1 = _mm256_loadu_si256(z.as_ptr().add((k + 1) * width + v * 16).cast());
+                    let lo = _mm256_unpacklo_epi16(zk, zk1);
+                    let hi = _mm256_unpackhi_epi16(zk, zk1);
+                    for i in 0..tile {
+                        let wv = _mm256_set1_epi32(
+                            w.as_ptr()
+                                .add((r + i) * cols + k)
+                                .cast::<i32>()
+                                .read_unaligned(),
+                        );
+                        acc_lo[i] = _mm256_add_epi32(acc_lo[i], _mm256_madd_epi16(lo, wv));
+                        acc_hi[i] = _mm256_add_epi32(acc_hi[i], _mm256_madd_epi16(hi, wv));
+                    }
+                    k += 2;
+                }
+                if k < cols {
+                    // Odd trailing column: pair it with a zero row (and a
+                    // scalar-built weight pair — a 4-byte load would read
+                    // past the weight row).
+                    let zk = _mm256_loadu_si256(z.as_ptr().add(k * width + v * 16).cast());
+                    let zero = _mm256_setzero_si256();
+                    let lo = _mm256_unpacklo_epi16(zk, zero);
+                    let hi = _mm256_unpackhi_epi16(zk, zero);
+                    for i in 0..tile {
+                        let w0 = *w.get_unchecked((r + i) * cols + k) as u16 as u32;
+                        let wv = _mm256_set1_epi32(w0 as i32);
+                        acc_lo[i] = _mm256_add_epi32(acc_lo[i], _mm256_madd_epi16(lo, wv));
+                        acc_hi[i] = _mm256_add_epi32(acc_hi[i], _mm256_madd_epi16(hi, wv));
+                    }
+                }
+                for i in 0..tile {
+                    let out_a = _mm256_permute2x128_si256::<0x20>(acc_lo[i], acc_hi[i]);
+                    let out_b = _mm256_permute2x128_si256::<0x31>(acc_lo[i], acc_hi[i]);
+                    _mm256_storeu_si256(
+                        out.as_mut_ptr().add((r + i) * width + v * 16).cast(),
+                        out_a,
+                    );
+                    _mm256_storeu_si256(
+                        out.as_mut_ptr().add((r + i) * width + v * 16 + 8).cast(),
+                        out_b,
+                    );
+                }
+                r += tile;
+            }
+        }
+    }
+
     /// # Safety
     ///
     /// Requires avx512f/dq/vl.
@@ -923,6 +1489,140 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn fx_table_matmul_matches_integer_reference() {
+        const ROWS: usize = 128;
+        const HCOLS: usize = 32;
+        const N_ITEMS: usize = 278;
+        let wi: Vec<i64> = (0..ROWS * HCOLS)
+            .map(|i| i as i64 * 2_654_435_761 % 4_000_000 - 2_000_000)
+            .collect();
+        let ti: Vec<i64> = (0..N_ITEMS * ROWS)
+            .map(|i| i as i64 * 48_271 % 40_000_000_000_000 - 20_000_000_000_000)
+            .collect();
+        let wf: Vec<f64> = wi.iter().map(|&x| x as f64).collect();
+        let tf: Vec<f64> = ti.iter().map(|&x| x as f64).collect();
+        // 16 exercises the paired-vector transpose-init AVX-512 tile, 24
+        // the pair plus the odd trailing vector, 8 the single-vector
+        // tile, 4 the AVX2 set_pd init, 1/3/11 the scalar fallback.
+        for width in [1usize, 3, 4, 8, 11, 16, 24] {
+            let items: Vec<usize> = (0..width).map(|l| (l * 97 + 13) % N_ITEMS).collect();
+            let zi: Vec<i64> = (0..HCOLS * width)
+                .map(|i| i as i64 * 40_503 % 2_000_000 - 1_000_000)
+                .collect();
+            let zf: Vec<f64> = zi.iter().map(|&x| x as f64).collect();
+            let mut acc = vec![0.0f64; ROWS * width];
+            matmul_fx_lanes_table(&wf, ROWS, HCOLS, &zf, width, &tf, &items, &mut acc);
+            for r in 0..ROWS {
+                for l in 0..width {
+                    let mut s = ti[items[l] * ROWS + r];
+                    for k in 0..HCOLS {
+                        s += wi[r * HCOLS + k] * zi[k * width + l];
+                    }
+                    let expect = div_round_i64(s, Fx6::SCALE);
+                    assert_eq!(
+                        acc[r * width + l] as i64,
+                        expect,
+                        "table matmul r={r} l={l} w={width}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i16_matmul_matches_integer_reference() {
+        const ROWS: usize = 128;
+        // 31 exercises the odd-trailing-column madd pair; 32 the even path.
+        for cols in [31usize, 32] {
+            let wi: Vec<i16> = (0..ROWS * cols)
+                .map(|i| (i as i64 * 2_654_435_761 % 1_201 - 600) as i16)
+                .collect();
+            // 16/32/48 exercise the vpmaddwd tile; the rest the scalar path.
+            for width in [1usize, 5, 16, 32, 48] {
+                let zi: Vec<i16> = (0..cols * width)
+                    .map(|i| (i as i64 * 40_503 % 2_001 - 1_000) as i16)
+                    .collect();
+                let mut acc = vec![0i32; ROWS * width];
+                matmul_fx_lanes_i16(&wi, ROWS, cols, &zi, width, &mut acc);
+                for r in 0..ROWS {
+                    for l in 0..width {
+                        let mut s = 0i64;
+                        for k in 0..cols {
+                            s += wi[r * cols + k] as i64 * zi[k * width + l] as i64;
+                        }
+                        assert_eq!(
+                            acc[r * width + l] as i64,
+                            s,
+                            "i16 matmul r={r} l={l} cols={cols} w={width}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// On an avx512bw host the dispatcher never reaches the AVX2 i16
+    /// tile, so exercise it directly — it must match the integer
+    /// reference on every shape the wrapper would hand it.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn i16_avx2_tile_matches_scalar_even_when_shadowed_by_avx512() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        for rows in [1usize, 5, 128] {
+            for cols in [31usize, 32] {
+                let wi: Vec<i16> = (0..rows * cols)
+                    .map(|i| (i as i64 * 2_654_435_761 % 1_201 - 600) as i16)
+                    .collect();
+                for width in [16usize, 32] {
+                    let zi: Vec<i16> = (0..cols * width)
+                        .map(|i| (i as i64 * 40_503 % 2_001 - 1_000) as i16)
+                        .collect();
+                    let mut acc = vec![0i32; rows * width];
+                    // SAFETY: avx2 presence checked above; shapes match.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        x86::mm_madd_i16_avx2(&wi, rows, cols, &zi, width, &mut acc)
+                    };
+                    for r in 0..rows {
+                        for l in 0..width {
+                            let mut s = 0i64;
+                            for k in 0..cols {
+                                s += wi[r * cols + k] as i64 * zi[k * width + l] as i64;
+                            }
+                            assert_eq!(
+                                acc[r * width + l] as i64,
+                                s,
+                                "avx2 i16 tile r={r} l={l} cols={cols} w={width}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i16_matmul_covers_the_extreme_corners() {
+        // ±i16 extremes with a row bound that still fits i32: the madd
+        // pair sum 2·(−32768·32767) stays inside the accumulator.
+        let w: Vec<i16> = vec![-32768, 32767, -32768, 32767];
+        let z: Vec<i16> = (0..4 * 16)
+            .map(|i| if i % 3 == 0 { 32767 } else { -32768 })
+            .collect();
+        let mut acc = vec![0i32; 16];
+        matmul_fx_lanes_i16(&w, 1, 4, &z, 16, &mut acc);
+        for l in 0..16 {
+            let mut s = 0i64;
+            for k in 0..4 {
+                s += w[k] as i64 * z[k * 16 + l] as i64;
+            }
+            assert_eq!(acc[l] as i64, s, "i16 corner l={l}");
         }
     }
 
