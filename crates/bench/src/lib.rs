@@ -20,6 +20,7 @@
 //! | Fused hot path vs seed serial path | `exp_fused` | `fused_vs_unfused` |
 //! | Lane-batched engine vs PR 1 batch path | `exp_throughput` | — |
 //! | Stream mux vs per-PID serial monitors | `exp_streaming` | — |
+//! | Two-tier cascade vs exact-only mux | `exp_cascade` | `mux_hot` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -18,6 +18,7 @@ use csd_nn::ModelWeights;
 use csd_tensor::{lanes, Vector};
 use serde::{Deserialize, Serialize};
 
+use crate::cascade::CascadeTier;
 use crate::kernels::{gates, hidden, preprocess, GateKind};
 use crate::opt::OptimizationLevel;
 use crate::pool::WorkerPool;
@@ -77,6 +78,37 @@ struct EngineCore {
     packed_i16: Option<PackedGatesI16>,
 }
 
+/// Which execution tier each packed form of the model actually landed
+/// on — the introspection face of the pack-time decline machinery (the
+/// structured [`crate::weights::I16Decline`] log/counter's counterpart).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TierReport {
+    /// The `i16×i16→i32` repack of the *exact* 10^6-scale path took
+    /// (always `false` for the paper model — the honest decline).
+    pub mac_i16_exact: bool,
+    /// The `i32` narrow-MAC repack took.
+    pub mac_i32_narrow: bool,
+    /// The lane/table repack took (lane stepping + gate table possible).
+    pub lane_table: bool,
+    /// The gate table is actually in use (toggle on and pack took).
+    pub gate_table_enabled: bool,
+    /// The attached screen tier, when a cascade is mounted: its decimal
+    /// scale and calibrated band edges. The screen tier always runs the
+    /// `i16` MAC — its quantizer guarantees the proof.
+    pub screen: Option<ScreenTierReport>,
+}
+
+/// The screen tier's slice of [`TierReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ScreenTierReport {
+    /// Raw probability units per 1.0 (10^scale_pow).
+    pub scale: i64,
+    /// Calibrated lower band edge.
+    pub band_lo: i64,
+    /// Calibrated upper band edge.
+    pub band_hi: i64,
+}
+
 /// The CSD-resident classifier.
 #[derive(Debug, Clone)]
 pub struct CsdInferenceEngine {
@@ -86,6 +118,11 @@ pub struct CsdInferenceEngine {
     /// Whether the fixed-point paths use the precomputed input-gate
     /// table (`CSD_GATE_TABLE`, default on; bit-identical either way).
     use_gate_table: bool,
+    /// The optional screen tier (clone-cheap): mounted via
+    /// [`with_cascade`](Self::with_cascade), consulted by
+    /// [`classify_cascade`](Self::classify_cascade) and the streaming
+    /// mux's cascade mode.
+    cascade: Option<Arc<CascadeTier>>,
 }
 
 impl CsdInferenceEngine {
@@ -131,7 +168,76 @@ impl CsdInferenceEngine {
             level,
             path: GatePath::Fused,
             use_gate_table: crate::env::flag("CSD_GATE_TABLE").unwrap_or(true),
+            cascade: None,
         }
+    }
+
+    /// Mounts a calibrated two-tier cascade: the quantized `i16` screen
+    /// model plus its uncertainty band. [`classify_cascade`](Self::classify_cascade)
+    /// and the streaming mux's cascade mode consult it; every other
+    /// classify entry point is untouched (the single-tier parity
+    /// anchor).
+    pub fn with_cascade(mut self, tier: CascadeTier) -> Self {
+        self.cascade = Some(Arc::new(tier));
+        self
+    }
+
+    /// The mounted cascade tier, if any.
+    pub fn cascade(&self) -> Option<&CascadeTier> {
+        self.cascade.as_deref()
+    }
+
+    /// The mounted cascade tier as a clone-cheap shared handle — the
+    /// stream multiplexer's screen block holds one per mux.
+    pub(crate) fn cascade_shared(&self) -> Option<Arc<CascadeTier>> {
+        self.cascade.clone()
+    }
+
+    /// Which execution tier each packed form of the model selected —
+    /// the introspection API over the pack-time decline machinery.
+    pub fn tier_report(&self) -> TierReport {
+        TierReport {
+            mac_i16_exact: self.core.packed_i16.is_some(),
+            mac_i32_narrow: self.core.packed_fx.is_some(),
+            lane_table: self.core.lane_fx.is_some(),
+            gate_table_enabled: self.gate_table_enabled(),
+            screen: self.cascade.as_deref().map(|t| {
+                let band = t.band();
+                ScreenTierReport {
+                    scale: t.gates().scale(),
+                    band_lo: band.lo,
+                    band_hi: band.hi,
+                }
+            }),
+        }
+    }
+
+    /// Classifies one sequence through the cascade: the screen tier's
+    /// integer pass first, the exact path only when the screen score
+    /// falls inside the calibrated uncertainty band. Returns the verdict
+    /// and whether the window escalated. Without a mounted cascade,
+    /// every window "escalates" to the exact path.
+    ///
+    /// Screen-resolved windows report the screen's probability
+    /// (`score/scale`); escalated windows report the exact path's bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence or out-of-vocabulary token.
+    pub fn classify_cascade(&self, seq: &[usize]) -> (Classification, bool) {
+        if let Some(tier) = self.cascade.as_deref() {
+            let (score, decision) = tier.screen(seq);
+            if let Some(is_positive) = decision {
+                return (
+                    Classification {
+                        probability: score as f64 / tier.gates().scale() as f64,
+                        is_positive,
+                    },
+                    false,
+                );
+            }
+        }
+        (self.classify(seq), true)
     }
 
     /// Runs the four gate CUs on the persistent worker pool, mirroring
@@ -1058,6 +1164,55 @@ mod tests {
             CsdInferenceEngine::new(&ModelWeights::from_model(&m), OptimizationLevel::FixedPoint);
         let c = engine.classify(&seq(30));
         assert_eq!(c.is_positive, c.probability >= 0.5);
+    }
+
+    #[test]
+    fn tier_report_reflects_the_packed_tiers_and_the_cascade() {
+        let m = model();
+        let w = ModelWeights::from_model(&m);
+        let engine = CsdInferenceEngine::new(&w, OptimizationLevel::FixedPoint);
+        let report = engine.tier_report();
+        // The paper-scale model: i16 honestly declines, i32/lane take.
+        assert!(!report.mac_i16_exact);
+        assert!(report.mac_i32_narrow);
+        assert!(report.lane_table);
+        assert!(report.gate_table_enabled);
+        assert!(report.screen.is_none());
+        assert!(crate::weights::i16_decline_count() >= 1, "decline counted");
+
+        let windows: Vec<Vec<usize>> = (0..8).map(|k| seq(10 + k * 7)).collect();
+        let exact = |s: &[usize]| engine.classify(s).is_positive;
+        let (tier, _, _) =
+            crate::cascade::build_cascade(&w, 4, 0.02, &windows, exact).expect("builds");
+        let engine = engine.with_cascade(tier);
+        let screen = engine.tier_report().screen.expect("screen tier mounted");
+        assert_eq!(screen.scale, 10_000);
+        assert!(screen.band_lo <= screen.band_hi + 1);
+    }
+
+    #[test]
+    fn cascade_classification_never_flips_and_escalation_is_exact() {
+        let m = model();
+        let w = ModelWeights::from_model(&m);
+        let exact_engine = CsdInferenceEngine::new(&w, OptimizationLevel::FixedPoint);
+        let windows: Vec<Vec<usize>> = (0..12).map(|k| seq(5 + k * 11)).collect();
+        let exact = |s: &[usize]| exact_engine.classify(s).is_positive;
+        let (tier, report, _) =
+            crate::cascade::build_cascade(&w, 4, 0.02, &windows, exact).expect("builds");
+        assert_eq!(report.windows, windows.len());
+        let engine = exact_engine.clone().with_cascade(tier);
+        for s in &windows {
+            let (verdict, escalated) = engine.classify_cascade(s);
+            let reference = exact_engine.classify(s);
+            assert_eq!(verdict.is_positive, reference.is_positive, "verdict flip");
+            if escalated {
+                assert_eq!(verdict, reference, "escalated window must be bit-identical");
+            }
+        }
+        // Without a cascade, everything escalates to the exact bits.
+        let (verdict, escalated) = exact_engine.classify_cascade(&windows[0]);
+        assert!(escalated);
+        assert_eq!(verdict, exact_engine.classify(&windows[0]));
     }
 
     #[test]

@@ -16,10 +16,19 @@
 //! boolean knobs share another (`1/0`, `true/false`, `yes/no`, `on/off`,
 //! case-insensitive, anything else ignored), both implemented once here
 //! so the modules cannot drift.
+//!
+//! The two-tier cascade adds three more: `CSD_CASCADE` (the mux's
+//! cascade mode — the flag spellings plus `verify`, default off),
+//! `CSD_SCREEN_SCALE` (the screen tier's decimal scale exponent,
+//! `1..=4`, default 4), and `CSD_CASCADE_BAND` (the calibration safety
+//! margin as a non-negative fraction of the probability range, default
+//! 0.02).
+
+use crate::cascade::CascadeMode;
 
 /// Names of the recognized environment knobs, for documentation and
 /// diagnostics.
-pub const ENV_KNOBS: [&str; 7] = [
+pub const ENV_KNOBS: [&str; 10] = [
     "CSD_POOL_THREADS",
     "CSD_LANE_WIDTH",
     "CSD_STREAM_LANES",
@@ -27,7 +36,66 @@ pub const ENV_KNOBS: [&str; 7] = [
     "CSD_STREAM_DETERMINISTIC_STEAL",
     "CSD_GATE_TABLE",
     "CSD_MAC_I16",
+    "CSD_CASCADE",
+    "CSD_SCREEN_SCALE",
+    "CSD_CASCADE_BAND",
 ];
+
+/// Reads `CSD_CASCADE`: the boolean spellings map to
+/// [`CascadeMode::On`]/[`CascadeMode::Off`], `verify` (case-insensitive)
+/// selects the shadow-verified mode, anything else falls back to the
+/// default ([`CascadeMode::Off`]).
+pub fn cascade_mode() -> CascadeMode {
+    std::env::var("CSD_CASCADE")
+        .ok()
+        .and_then(|v| parse_cascade(&v))
+        .unwrap_or_default()
+}
+
+/// Reads `CSD_SCREEN_SCALE` as the screen scale exponent: an integer in
+/// `1..=`[`csd_nn::SCREEN_SCALE_POW_MAX`], anything else ignored in
+/// favour of the default (4, the largest provable scale).
+pub fn screen_scale_pow() -> u32 {
+    positive_usize("CSD_SCREEN_SCALE")
+        .map(|n| n as u32)
+        .filter(|&n| n <= csd_nn::SCREEN_SCALE_POW_MAX)
+        .unwrap_or(csd_nn::SCREEN_SCALE_POW_MAX)
+}
+
+/// Reads `CSD_CASCADE_BAND` as the calibration margin: a non-negative
+/// finite fraction of the probability range, anything else ignored in
+/// favour of the default (0.02).
+pub fn cascade_band_margin() -> f64 {
+    std::env::var("CSD_CASCADE_BAND")
+        .ok()
+        .and_then(|v| parse_fraction(&v))
+        .unwrap_or(0.02)
+}
+
+/// The parsing rule behind [`cascade_mode`], separated for testing
+/// without touching the process environment.
+fn parse_cascade(value: &str) -> Option<CascadeMode> {
+    if value.trim().eq_ignore_ascii_case("verify") {
+        return Some(CascadeMode::Verify);
+    }
+    parse_flag(value).map(|on| {
+        if on {
+            CascadeMode::On
+        } else {
+            CascadeMode::Off
+        }
+    })
+}
+
+/// The parsing rule behind [`cascade_band_margin`], separated for
+/// testing without touching the process environment.
+fn parse_fraction(value: &str) -> Option<f64> {
+    value
+        .trim()
+        .parse::<f64>()
+        .ok()
+        .filter(|m| m.is_finite() && *m >= 0.0)
+}
 
 /// Reads `name` as a positive integer: `Some(n)` when the variable is
 /// set, parses (after trimming whitespace), and is at least 1; `None`
@@ -134,6 +202,92 @@ mod tests {
         assert!(ENV_KNOBS.contains(&"CSD_STREAM_DETERMINISTIC_STEAL"));
         assert!(ENV_KNOBS.contains(&"CSD_GATE_TABLE"));
         assert!(ENV_KNOBS.contains(&"CSD_MAC_I16"));
+        assert!(ENV_KNOBS.contains(&"CSD_CASCADE"));
+        assert!(ENV_KNOBS.contains(&"CSD_SCREEN_SCALE"));
+        assert!(ENV_KNOBS.contains(&"CSD_CASCADE_BAND"));
+    }
+
+    #[test]
+    fn cascade_knob_parses_tri_state() {
+        for on in ["1", "true", "ON", " yes "] {
+            assert_eq!(parse_cascade(on), Some(CascadeMode::On), "{on:?}");
+        }
+        for off in ["0", "false", "OFF", " no "] {
+            assert_eq!(parse_cascade(off), Some(CascadeMode::Off), "{off:?}");
+        }
+        for verify in ["verify", "VERIFY", " Verify "] {
+            assert_eq!(
+                parse_cascade(verify),
+                Some(CascadeMode::Verify),
+                "{verify:?}"
+            );
+        }
+        for bad in ["", "2", "cascade", "verify please", "on off"] {
+            assert_eq!(parse_cascade(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn cascade_knob_reads_through_the_environment() {
+        // The real knob, end to end: every mode, bad value, unset.
+        let saved = std::env::var("CSD_CASCADE").ok();
+        std::env::set_var("CSD_CASCADE", "verify");
+        assert_eq!(cascade_mode(), CascadeMode::Verify);
+        std::env::set_var("CSD_CASCADE", "on");
+        assert_eq!(cascade_mode(), CascadeMode::On);
+        std::env::set_var("CSD_CASCADE", "definitely");
+        assert_eq!(cascade_mode(), CascadeMode::Off, "bad value → default off");
+        std::env::remove_var("CSD_CASCADE");
+        assert_eq!(cascade_mode(), CascadeMode::Off, "unset → default off");
+        match saved {
+            Some(v) => std::env::set_var("CSD_CASCADE", v),
+            None => std::env::remove_var("CSD_CASCADE"),
+        }
+    }
+
+    #[test]
+    fn screen_scale_knob_clamps_to_the_provable_range() {
+        let saved = std::env::var("CSD_SCREEN_SCALE").ok();
+        std::env::set_var("CSD_SCREEN_SCALE", "3");
+        assert_eq!(screen_scale_pow(), 3);
+        std::env::set_var("CSD_SCREEN_SCALE", "4");
+        assert_eq!(screen_scale_pow(), 4);
+        std::env::set_var("CSD_SCREEN_SCALE", "5");
+        assert_eq!(screen_scale_pow(), 4, "beyond the i16 bound → default");
+        std::env::set_var("CSD_SCREEN_SCALE", "0");
+        assert_eq!(screen_scale_pow(), 4, "zero → default");
+        std::env::set_var("CSD_SCREEN_SCALE", "four");
+        assert_eq!(screen_scale_pow(), 4, "garbage → default");
+        std::env::remove_var("CSD_SCREEN_SCALE");
+        assert_eq!(screen_scale_pow(), 4, "unset → default");
+        match saved {
+            Some(v) => std::env::set_var("CSD_SCREEN_SCALE", v),
+            None => std::env::remove_var("CSD_SCREEN_SCALE"),
+        }
+    }
+
+    #[test]
+    fn band_margin_knob_accepts_only_non_negative_fractions() {
+        assert_eq!(parse_fraction("0.05"), Some(0.05));
+        assert_eq!(parse_fraction(" 0 "), Some(0.0));
+        assert_eq!(parse_fraction("1.5"), Some(1.5));
+        assert_eq!(parse_fraction("-0.1"), None);
+        assert_eq!(parse_fraction("NaN"), None);
+        assert_eq!(parse_fraction("inf"), None);
+        assert_eq!(parse_fraction("two percent"), None);
+        assert_eq!(parse_fraction(""), None);
+
+        let saved = std::env::var("CSD_CASCADE_BAND").ok();
+        std::env::set_var("CSD_CASCADE_BAND", "0.1");
+        assert_eq!(cascade_band_margin(), 0.1);
+        std::env::set_var("CSD_CASCADE_BAND", "-1");
+        assert_eq!(cascade_band_margin(), 0.02, "negative → default");
+        std::env::remove_var("CSD_CASCADE_BAND");
+        assert_eq!(cascade_band_margin(), 0.02, "unset → default");
+        match saved {
+            Some(v) => std::env::set_var("CSD_CASCADE_BAND", v),
+            None => std::env::remove_var("CSD_CASCADE_BAND"),
+        }
     }
 
     #[test]

@@ -80,6 +80,7 @@
 #![warn(missing_docs)]
 
 pub mod bitstream;
+pub mod cascade;
 pub mod engine;
 pub mod env;
 pub mod fleet;
@@ -98,7 +99,11 @@ pub mod timing;
 pub mod weights;
 
 pub use bitstream::{link, LinkError, Xclbin};
-pub use engine::{Classification, CsdInferenceEngine, GatePath};
+pub use cascade::{
+    build_cascade, calibrate_band, CalibrationReport, CascadeBand, CascadeMode, CascadeTier,
+    ScreenGates, ScreenModel, SCREEN_MODEL_VERSION,
+};
+pub use engine::{Classification, CsdInferenceEngine, GatePath, ScreenTierReport, TierReport};
 pub use fleet::{CsdFleet, FleetPolicy, FleetScan, FleetStats};
 pub use host::{DeviceRun, HostError, HostProgram, RecoveryPolicy, RecoveryStats};
 pub use kernels::LstmDims;
@@ -108,12 +113,13 @@ pub use mpsc::{AdmissionHandle, AdmissionQueue};
 pub use opt::OptimizationLevel;
 pub use pool::{PoolError, WorkerPool, WorkerPoolBuilder};
 pub use schedule::{Bottleneck, LaneBucket, LaneSchedule, PipelineSchedule, ScheduleEvent};
-pub use scratch::{EngineScratch, InferenceScratch, LaneScratch};
+pub use scratch::{EngineScratch, InferenceScratch, LaneScratch, ScreenLaneScratch};
 pub use shard::{ShardedStreamMux, StealPolicy, StreamInjector};
 pub use stream::{
     FleetMonitor, FleetResidentBytes, MuxStats, OverflowPolicy, StreamMux, StreamMuxConfig, Verdict,
 };
 pub use timing::{fig3, table1_fpga_row, Fig3Row, KernelBreakdown};
 pub use weights::{
-    FusedGates, LaneGatesFx, PackedGatesFx, PackedGatesI16, QuantizedWeights, LANE_MAX_STEPS,
+    i16_decline_count, FusedGates, I16Decline, LaneGatesFx, PackedGatesFx, PackedGatesI16,
+    QuantizedWeights, LANE_MAX_STEPS,
 };

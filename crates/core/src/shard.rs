@@ -240,6 +240,7 @@ impl ShardedStreamMux {
             policy: OverflowPolicy::DropNewest,
             shards: Some(1),
             steal: None,
+            cascade: config.cascade,
         };
         let vocab = engine.weights().dims().vocab;
         let shards: Vec<Shard> = (0..shard_count)
@@ -480,6 +481,9 @@ impl ShardedStreamMux {
             degraded_reruns: per.iter().map(|s| s.degraded_reruns).sum(),
             degraded_ticks: per.iter().map(|s| s.degraded_ticks).sum(),
             lanes_poisoned: per.iter().map(|s| s.lanes_poisoned).sum(),
+            screened: per.iter().map(|s| s.screened).sum(),
+            escalated: per.iter().map(|s| s.escalated).sum(),
+            cascade_flips: per.iter().map(|s| s.cascade_flips).sum(),
             steals: self.steals,
             shards: self.shards.len() as u64,
         }
@@ -935,6 +939,7 @@ mod tests {
                 policy: OverflowPolicy::DropOldest,
                 shards: Some(2),
                 steal: Some(StealPolicy::Deterministic),
+                ..StreamMuxConfig::default()
             },
         );
         for k in 0..8u64 {
@@ -967,6 +972,7 @@ mod tests {
                 policy: OverflowPolicy::DropNewest,
                 shards: Some(2),
                 steal: Some(StealPolicy::Deterministic),
+                ..StreamMuxConfig::default()
             },
         );
         // The first submit queues as pending; the tick moves it into a

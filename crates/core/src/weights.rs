@@ -425,6 +425,58 @@ pub struct PackedGatesI16 {
     cols: usize,
 }
 
+/// Why a [`PackedGatesI16::pack_explain`] call declined: the structured
+/// form of the `row_fits_i16_mac` failure that used to be silent (one
+/// pinned test aside). The engine surfaces the first decline per process
+/// as a one-shot log line and counts every decline in
+/// [`i16_decline_count`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct I16Decline {
+    /// Total fused rows examined.
+    pub rows: usize,
+    /// Gate input columns.
+    pub cols: usize,
+    /// Rows that failed the `i16×i16→i32` proof.
+    pub rows_failed: usize,
+    /// First failing row index.
+    pub first_failed_row: usize,
+    /// Largest `|weight raw|` seen (the `i16` container bound is 32767).
+    pub max_weight_abs: i64,
+    /// Largest per-column input bound (`zbound`) seen.
+    pub max_zbound: i64,
+}
+
+impl std::fmt::Display for I16Decline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "i16 MAC pack declined: {}/{} rows fail row_fits_i16_mac \
+             (first row {}, max |w|={}, max zbound={}, i16 bound 32767)",
+            self.rows_failed,
+            self.rows,
+            self.first_failed_row,
+            self.max_weight_abs,
+            self.max_zbound
+        )
+    }
+}
+
+/// Process-wide count of `i16` pack declines (every model whose rows
+/// failed the narrow-MAC proof since process start).
+pub fn i16_decline_count() -> u64 {
+    I16_DECLINES.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+static I16_DECLINES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static I16_DECLINE_LOGGED: std::sync::Once = std::sync::Once::new();
+
+fn record_i16_decline(decline: &I16Decline) {
+    I16_DECLINES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    I16_DECLINE_LOGGED.call_once(|| {
+        eprintln!("csd-accel: {decline} — engine keeps the f64-FMA/i32 paths (further declines counted, not logged)");
+    });
+}
+
 impl PackedGatesI16 {
     /// Narrows a fused gate matrix against the caller's per-column input
     /// bound, or `None` when any row fails the `i16×i16→i32` proof.
@@ -432,22 +484,74 @@ impl PackedGatesI16 {
     /// will ever present (the engine passes the same bounds
     /// [`LaneGatesFx::pack`] derives).
     pub fn pack(fused: &FusedGates<Fx6>, zbound: &[i64]) -> Option<Self> {
+        Self::pack_explain(fused, zbound).ok()
+    }
+
+    /// [`Self::pack`] with a structured decline: on failure, returns
+    /// *which* rows broke the proof and how far outside the containers
+    /// they were, bumps the process-wide decline counter, and emits a
+    /// one-shot log line for the first decline in the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`I16Decline`] when `zbound` disagrees with the matrix
+    /// shape or any row fails [`row_fits_i16_mac`].
+    pub fn pack_explain(fused: &FusedGates<Fx6>, zbound: &[i64]) -> Result<Self, I16Decline> {
         let (rows, cols) = (fused.w.rows(), fused.w.cols());
-        if zbound.len() != cols {
-            return None;
-        }
-        let mut w = Vec::with_capacity(rows * cols);
-        let mut row_raw = vec![0i64; cols];
+        let mut row_raw = vec![0i64; rows * cols];
         for r in 0..rows {
-            for (k, slot) in row_raw.iter_mut().enumerate() {
-                *slot = fused.w.get(r, k).raw();
+            for k in 0..cols {
+                row_raw[r * cols + k] = fused.w.get(r, k).raw();
             }
-            if !row_fits_i16_mac(&row_raw, zbound) {
-                return None;
-            }
-            w.extend(row_raw.iter().map(|&x| x as i16));
         }
-        Some(Self { w, rows, cols })
+        Self::pack_rows_raw(rows, cols, &row_raw, zbound)
+    }
+
+    /// The shared narrow-pack body over raw `i64` rows — the entry the
+    /// screen tier uses directly (its weights live at a screen scale,
+    /// not `Fx6`'s). Proves every row via [`row_fits_i16_mac`] against
+    /// `zbound`, recording and describing declines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`I16Decline`] when shapes disagree or any row fails the
+    /// proof.
+    pub fn pack_rows_raw(
+        rows: usize,
+        cols: usize,
+        w_raw: &[i64],
+        zbound: &[i64],
+    ) -> Result<Self, I16Decline> {
+        let mut decline = I16Decline {
+            rows,
+            cols,
+            rows_failed: 0,
+            first_failed_row: 0,
+            max_weight_abs: w_raw.iter().map(|&x| x.abs()).max().unwrap_or(0),
+            max_zbound: zbound.iter().map(|&x| x.abs()).max().unwrap_or(0),
+        };
+        if w_raw.len() != rows * cols || zbound.len() != cols {
+            decline.rows_failed = rows;
+            record_i16_decline(&decline);
+            return Err(decline);
+        }
+        let mut first_failed = None;
+        for r in 0..rows {
+            if !row_fits_i16_mac(&w_raw[r * cols..(r + 1) * cols], zbound) {
+                decline.rows_failed += 1;
+                first_failed.get_or_insert(r);
+            }
+        }
+        if let Some(first) = first_failed {
+            decline.first_failed_row = first;
+            record_i16_decline(&decline);
+            return Err(decline);
+        }
+        Ok(Self {
+            w: w_raw.iter().map(|&x| x as i16).collect(),
+            rows,
+            cols,
+        })
     }
 
     /// Row-major raw weights, narrowed to `i16`.

@@ -1,0 +1,192 @@
+//! Property-based contract of the two-tier cascade, online and serial.
+//!
+//! The cascade relaxes the mux's bit-identity contract in one place
+//! only: a window the calibrated band *resolves* carries the screen
+//! tier's probability. Everything else is invariant, and these
+//! properties pin it: a window's cascade verdict is a pure function of
+//! its contents (identical across lane widths, shard counts, and steal
+//! interleavings — whichever of the lane block, the screen block, or a
+//! serial fallback ran it), every *escalated* window's verdict is
+//! bit-identical to exact-only classification (0 ULP, the lane-stepping
+//! contract), and switching the cascade off reproduces the single-tier
+//! machine exactly.
+
+use csd_accel::{
+    build_cascade, CascadeMode, Classification, CsdInferenceEngine, OptimizationLevel,
+    ShardedStreamMux, StealPolicy, StreamMux, StreamMuxConfig, Verdict,
+};
+use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};
+use proptest::prelude::*;
+
+fn engine_and_weights(seed: u64) -> (CsdInferenceEngine, ModelWeights) {
+    let model = SequenceClassifier::new(ModelConfig::paper(), seed);
+    let weights = ModelWeights::from_model(&model);
+    let engine = CsdInferenceEngine::new(&weights, OptimizationLevel::FixedPoint);
+    (engine, weights)
+}
+
+fn arb_windows() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(0usize..278, 1..=100), 1..=12)
+}
+
+fn arb_steal() -> impl Strategy<Value = StealPolicy> {
+    prop_oneof![
+        Just(StealPolicy::Deterministic),
+        any::<u64>().prop_map(StealPolicy::Seeded),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Across lane widths, shard counts, and steal orders, every cascade
+    /// verdict equals serial `classify_cascade` of the same window, and
+    /// every escalated window is 0-ULP identical to exact-only
+    /// classification. Margins sweep from degenerate (0: a collapsed or
+    /// midpoint band) to wide (0.05: most windows escalate), so both
+    /// cascade outcomes and both degenerate band arms get traffic.
+    #[test]
+    fn cascade_verdicts_are_a_pure_function_of_the_window(
+        seed in any::<u64>(),
+        windows in arb_windows(),
+        ticks_between in prop::collection::vec(0usize..5, 12),
+        margin_idx in 0usize..3,
+        scale_pow in 3u32..=4,
+        steal in arb_steal(),
+    ) {
+        let margin = [0.0, 0.002, 0.05][margin_idx];
+        let (exact, weights) = engine_and_weights(seed);
+        let oracle = |s: &[usize]| exact.classify(s).is_positive;
+        let (tier, _, _) = build_cascade(&weights, scale_pow, margin, &windows, oracle)
+            .expect("quantizer guarantees the i16 pack");
+        let cascaded = exact.clone().with_cascade(tier);
+        let reference: Vec<(Classification, bool)> =
+            windows.iter().map(|w| cascaded.classify_cascade(w)).collect();
+        // Escalated windows must already match exact-only bit for bit.
+        for (w, (c, escalated)) in windows.iter().zip(&reference) {
+            if *escalated {
+                prop_assert_eq!(*c, exact.classify(w), "serial escalation not exact");
+            }
+        }
+
+        for width in [1usize, 4] {
+            let mut m = StreamMux::new(
+                cascaded.clone(),
+                StreamMuxConfig {
+                    lanes: Some(width),
+                    cascade: Some(CascadeMode::On),
+                    ..StreamMuxConfig::default()
+                },
+            );
+            let mut verdicts: Vec<Verdict> = Vec::new();
+            for (k, w) in windows.iter().enumerate() {
+                m.submit(k as u64, k, w);
+                for _ in 0..ticks_between[k % ticks_between.len()] {
+                    m.tick_into(&mut verdicts);
+                }
+            }
+            verdicts.extend(m.drain());
+            prop_assert!(m.is_idle());
+            prop_assert_eq!(verdicts.len(), windows.len(), "width {}", width);
+            for v in &verdicts {
+                let (c, escalated) = &reference[v.stream as usize];
+                prop_assert_eq!(
+                    v.classification, *c,
+                    "margin {} width {} stream {}", margin, width, v.stream
+                );
+                if *escalated {
+                    prop_assert_eq!(
+                        v.classification,
+                        exact.classify(&windows[v.stream as usize]),
+                        "escalated window drifted from exact-only"
+                    );
+                }
+            }
+            let stats = m.stats();
+            prop_assert_eq!(
+                stats.escalated,
+                reference.iter().filter(|(_, e)| *e).count() as u64
+            );
+            prop_assert_eq!(stats.screened + stats.escalated, windows.len() as u64);
+        }
+
+        for shards in [2usize, 4] {
+            let mut m = ShardedStreamMux::new(
+                cascaded.clone(),
+                StreamMuxConfig {
+                    lanes: Some(2),
+                    shards: Some(shards),
+                    steal: Some(steal),
+                    cascade: Some(CascadeMode::On),
+                    ..StreamMuxConfig::default()
+                },
+            );
+            let mut verdicts: Vec<Verdict> = Vec::new();
+            for (k, w) in windows.iter().enumerate() {
+                m.submit(k as u64, k, w);
+                for _ in 0..ticks_between[k % ticks_between.len()] {
+                    m.tick_into(&mut verdicts);
+                }
+            }
+            m.drain_into(&mut verdicts);
+            prop_assert!(m.is_idle());
+            prop_assert_eq!(verdicts.len(), windows.len(), "shards {}", shards);
+            for v in &verdicts {
+                let (c, escalated) = &reference[v.stream as usize];
+                prop_assert_eq!(
+                    v.classification, *c,
+                    "margin {} shards {} steal {:?} stream {}", margin, shards, steal, v.stream
+                );
+                if *escalated {
+                    prop_assert_eq!(
+                        v.classification,
+                        exact.classify(&windows[v.stream as usize]),
+                        "escalated window drifted from exact-only"
+                    );
+                }
+            }
+        }
+    }
+
+    /// With the cascade explicitly off, a cascade-mounted engine's mux
+    /// is byte-for-byte the single-tier machine: every verdict 0-ULP
+    /// identical to serial exact classification.
+    #[test]
+    fn cascade_off_reproduces_the_single_tier_machine(
+        seed in any::<u64>(),
+        windows in arb_windows(),
+        shards in 1usize..=3,
+        steal in arb_steal(),
+    ) {
+        let (exact, weights) = engine_and_weights(seed);
+        let oracle = |s: &[usize]| exact.classify(s).is_positive;
+        let (tier, _, _) = build_cascade(&weights, 4, 0.02, &windows, oracle)
+            .expect("quantizer guarantees the i16 pack");
+        let cascaded = exact.clone().with_cascade(tier);
+        let mut m = ShardedStreamMux::new(
+            cascaded,
+            StreamMuxConfig {
+                lanes: Some(2),
+                shards: Some(shards),
+                steal: Some(steal),
+                cascade: Some(CascadeMode::Off),
+                ..StreamMuxConfig::default()
+            },
+        );
+        for (k, w) in windows.iter().enumerate() {
+            m.submit(k as u64, k, w);
+        }
+        let verdicts = m.drain();
+        prop_assert_eq!(verdicts.len(), windows.len());
+        for v in &verdicts {
+            prop_assert_eq!(
+                v.classification,
+                exact.classify(&windows[v.stream as usize]),
+                "shards {} stream {}", shards, v.stream
+            );
+        }
+        let stats = m.stats();
+        prop_assert_eq!(stats.screened, 0);
+        prop_assert_eq!(stats.escalated, 0);
+    }
+}

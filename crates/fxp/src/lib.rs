@@ -53,7 +53,10 @@ pub mod dynfixed;
 pub mod error;
 pub mod scaled;
 
-pub use activation::{sigmoid_fx, sigmoid_fx_lut, sigmoid_fx_lut_slice, softsign_fx, FxActivation};
+pub use activation::{
+    div_round_raw, plan_sigmoid_raw, sigmoid_fx, sigmoid_fx_lut, sigmoid_fx_lut_slice, softsign_fx,
+    softsign_raw, FxActivation,
+};
 pub use bounds::{fits_i16, row_exact_in_f64, row_fits_i16_mac, row_mac_bound, EXACT_F64_INT};
 pub use dynfixed::DynFixed;
 pub use error::{max_abs_error, quantization_bound, ScaleSweep, ScaleSweepRow};

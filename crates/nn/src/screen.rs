@@ -1,0 +1,259 @@
+//! Screen-tier quantization: a low-scale integer copy of the trained
+//! LSTM whose every recurrent row provably fits the `i16 × i16 → i32`
+//! MAC (`csd_fxp::row_fits_i16_mac`).
+//!
+//! The deployed engine runs the paper's 10^6 decimal scale, which the
+//! narrow-MAC proof honestly declines (`|h| ≤ 1` is raw 10^6 ≫ `i16`).
+//! The cascade's *screen* tier re-quantizes the same trained weights at
+//! 10^4 (or lower), where the proof holds — and when a row's worst-case
+//! accumulator still exceeds the `i32` budget, the row is
+//! *retrain-calibrated*: shrunk proportionally into the provable
+//! envelope. The induced score error is absorbed downstream by the
+//! calibrated uncertainty band (escalation to the exact path), never by
+//! the verdict contract.
+
+use csd_fxp::row_fits_i16_mac;
+use serde::{Deserialize, Serialize};
+
+use crate::model::ModelConfig;
+use crate::weights::ModelWeights;
+
+/// Largest decimal power the screen tier accepts: the recurrent input
+/// bound `|h| ≤ 1` is raw `10^pow`, which must itself fit `i16`
+/// (`10^4 < 32767 < 10^5`).
+pub const SCREEN_SCALE_POW_MAX: u32 = 4;
+
+/// The trained model re-quantized at a screen scale, in fused-gate
+/// layout (gate order `i f c o`, fused row `r = g·H + j`): the form the
+/// accelerator's screen pack consumes directly.
+///
+/// All values are raw integers at scale `10^scale_pow`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScreenWeights {
+    /// Architecture the weights belong to.
+    pub config: ModelConfig,
+    /// Decimal scale exponent (`raw = round(value · 10^scale_pow)`).
+    pub scale_pow: u32,
+    /// Flat row-major `vocab × embed_dim` embedding table.
+    pub embedding: Vec<i64>,
+    /// Fused recurrent gate matrix `4H × H` — the rows that must pass
+    /// [`row_fits_i16_mac`] against the `|h| ≤ 1` input bound.
+    pub w_h: Vec<i64>,
+    /// Fused input gate matrix `4H × E` (folded into the vocabulary
+    /// gate table downstream; no narrow-container obligation).
+    pub w_x: Vec<i64>,
+    /// Fused gate bias, length `4H`.
+    pub bias: Vec<i64>,
+    /// Logistic-head weights, length `H`.
+    pub fc_w: Vec<i64>,
+    /// Logistic-head bias.
+    pub fc_b: i64,
+}
+
+/// What [`ScreenWeights::quantize`] did to make every row provable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScreenQuantReport {
+    /// The decimal scale (`10^scale_pow`).
+    pub scale: i64,
+    /// Recurrent rows that had to be shrunk into the `i16`/`i32` budget.
+    pub rows_clipped: usize,
+    /// Worst proportional shrink applied to any row (`1.0` = none).
+    pub worst_row_shrink: f64,
+}
+
+impl ScreenWeights {
+    /// Re-quantizes a trained export at `10^scale_pow`, shrinking any
+    /// recurrent row whose worst-case accumulator exceeds the narrow-MAC
+    /// budget. On return **every** `w_h` row passes
+    /// [`row_fits_i16_mac`] against the `|h| ≤ 1` bound — the screen
+    /// pack never declines.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scale_pow` is zero or above
+    /// [`SCREEN_SCALE_POW_MAX`], or when the export's array lengths
+    /// disagree with its config.
+    pub fn quantize(w: &ModelWeights, scale_pow: u32) -> (Self, ScreenQuantReport) {
+        assert!(
+            (1..=SCREEN_SCALE_POW_MAX).contains(&scale_pow),
+            "screen scale 10^{scale_pow} outside the provable range"
+        );
+        let scale = 10i64.pow(scale_pow);
+        let (v, x, h) = (w.config.vocab, w.config.embed_dim, w.config.hidden);
+        assert_eq!(w.embedding.len(), v * x, "embedding size mismatch");
+        assert_eq!(w.lstm_kernel.len(), x * 4 * h, "kernel size mismatch");
+        assert_eq!(w.lstm_recurrent.len(), h * 4 * h, "recurrent size mismatch");
+        assert_eq!(w.lstm_bias.len(), 4 * h, "bias size mismatch");
+        assert_eq!(w.fc_weights.len(), h, "fc size mismatch");
+
+        let q = |value: f64| -> i64 { (value * scale as f64).round() as i64 };
+        let zbound = vec![scale; h];
+        let mut w_h = Vec::with_capacity(4 * h * h);
+        let mut rows_clipped = 0usize;
+        let mut worst_row_shrink = 1.0f64;
+        for g in 0..4 {
+            for j in 0..h {
+                let mut row_f64: Vec<f64> = (0..h)
+                    .map(|hc| w.lstm_recurrent[hc * 4 * h + g * h + j])
+                    .collect();
+                let mut row: Vec<i64> = row_f64.iter().map(|&f| q(f)).collect();
+                let mut shrink = 1.0f64;
+                while !row_fits_i16_mac(&row, &zbound) {
+                    // Shrink into the binding budget (largest weight vs
+                    // i16, row sum vs the i32 accumulator), with a hair
+                    // of slack so requantization cannot re-violate; the
+                    // loop re-checks and tightens again if it somehow
+                    // does.
+                    let mx = row.iter().map(|r| r.abs()).max().unwrap_or(0) as f64;
+                    let sum: f64 = row.iter().map(|r| r.abs() as f64).sum();
+                    let factor = (f64::from(i16::MAX) / mx.max(1.0))
+                        .min(i32::MAX as f64 / scale as f64 / sum.max(1.0))
+                        .min(0.999)
+                        * (1.0 - 1e-9);
+                    shrink *= factor;
+                    for f in &mut row_f64 {
+                        *f *= factor;
+                    }
+                    row = row_f64.iter().map(|&f| q(f)).collect();
+                }
+                if shrink < 1.0 {
+                    rows_clipped += 1;
+                    worst_row_shrink = worst_row_shrink.min(shrink);
+                }
+                w_h.extend_from_slice(&row);
+            }
+        }
+        let mut w_x = Vec::with_capacity(4 * h * x);
+        let mut bias = Vec::with_capacity(4 * h);
+        for g in 0..4 {
+            for j in 0..h {
+                for xc in 0..x {
+                    w_x.push(q(w.lstm_kernel[xc * 4 * h + g * h + j]));
+                }
+                bias.push(q(w.lstm_bias[g * h + j]));
+            }
+        }
+        let screen = Self {
+            config: w.config,
+            scale_pow,
+            embedding: w.embedding.iter().map(|&f| q(f)).collect(),
+            w_h,
+            w_x,
+            bias,
+            fc_w: w.fc_weights.iter().map(|&f| q(f)).collect(),
+            fc_b: q(w.fc_bias),
+        };
+        let report = ScreenQuantReport {
+            scale,
+            rows_clipped,
+            worst_row_shrink,
+        };
+        (screen, report)
+    }
+
+    /// The decimal scale (`10^scale_pow`).
+    pub fn scale(&self) -> i64 {
+        10i64.pow(self.scale_pow)
+    }
+
+    /// One fused recurrent row (`H` raw weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is outside `0..4H`.
+    pub fn w_h_row(&self, r: usize) -> &[i64] {
+        let h = self.config.hidden;
+        &self.w_h[r * h..(r + 1) * h]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SequenceClassifier;
+
+    fn export() -> ModelWeights {
+        ModelWeights::from_model(&SequenceClassifier::new(ModelConfig::paper(), 33))
+    }
+
+    #[test]
+    fn every_row_passes_the_i16_proof_at_screen_scales() {
+        let w = export();
+        for pow in [3u32, 4] {
+            let (s, report) = ScreenWeights::quantize(&w, pow);
+            let zbound = vec![s.scale(); s.config.hidden];
+            for r in 0..4 * s.config.hidden {
+                assert!(
+                    row_fits_i16_mac(s.w_h_row(r), &zbound),
+                    "pow={pow} row {r} fails the proof"
+                );
+            }
+            assert_eq!(report.scale, s.scale());
+            assert!(report.worst_row_shrink <= 1.0 && report.worst_row_shrink > 0.0);
+        }
+    }
+
+    #[test]
+    fn untrained_paper_rows_need_no_clipping() {
+        // Fresh initialization keeps |w| ≪ 1; the 10^4 budget
+        // (Σ|w_raw| ≤ 214_748 over 32 columns) holds without shrink.
+        let (_, report) = ScreenWeights::quantize(&export(), 4);
+        assert_eq!(report.rows_clipped, 0);
+        assert_eq!(report.worst_row_shrink, 1.0);
+    }
+
+    #[test]
+    fn oversized_rows_are_shrunk_into_the_budget() {
+        let mut w = export();
+        let h = w.config.hidden;
+        // Blow up gate i, row 0: every recurrent weight to 8.0 — raw
+        // 80_000 at 10^4 breaks both the i16 weight bound and the i32
+        // row-sum budget.
+        for hc in 0..h {
+            w.lstm_recurrent[hc * 4 * h] = 8.0;
+        }
+        let (s, report) = ScreenWeights::quantize(&w, 4);
+        assert!(report.rows_clipped >= 1);
+        assert!(report.worst_row_shrink < 1.0);
+        let zbound = vec![s.scale(); h];
+        for r in 0..4 * h {
+            assert!(row_fits_i16_mac(s.w_h_row(r), &zbound));
+        }
+        // The shrink is proportional: the clipped row keeps its shape.
+        let row = s.w_h_row(0);
+        assert!(
+            row.iter().all(|&v| v == row[0]),
+            "uniform row stays uniform"
+        );
+        assert!(row[0] > 0);
+    }
+
+    #[test]
+    fn quantization_is_plain_rounding_at_the_scale() {
+        let w = export();
+        let (s, _) = ScreenWeights::quantize(&w, 4);
+        assert_eq!(s.embedding[0], (w.embedding[0] * 1e4).round() as i64);
+        assert_eq!(s.fc_b, (w.fc_bias * 1e4).round() as i64);
+        // Fused layout: w_x[r=g·H+j][e] = kernel[e·4H + g·H + j].
+        let h = w.config.hidden;
+        let r = 2 * h + 5; // gate c, row 5
+        assert_eq!(
+            s.w_x[r * w.config.embed_dim + 3],
+            (w.lstm_kernel[3 * 4 * h + 2 * h + 5] * 1e4).round() as i64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the provable range")]
+    fn scale_beyond_i16_input_bound_is_refused() {
+        let _ = ScreenWeights::quantize(&export(), 5);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (s, _) = ScreenWeights::quantize(&export(), 3);
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: ScreenWeights = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, s);
+    }
+}
