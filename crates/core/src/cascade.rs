@@ -25,6 +25,8 @@
 //! Scores on the band boundary escalate: `decide` returns a verdict only
 //! for scores *strictly* outside `[lo, hi]`.
 
+#![deny(clippy::unwrap_used)]
+
 use serde::{Deserialize, Serialize};
 
 use csd_fxp::{div_round_raw, plan_sigmoid_raw, softsign_raw};
@@ -350,6 +352,55 @@ impl ScreenGates {
         let width = s.width();
         self.head(|k| s.h[k * width + lane])
     }
+
+    /// Scores a batch of sequences through the lane path — the bulk
+    /// counterpart of [`score_serial`](Self::score_serial), bit-identical
+    /// to it per sequence (the parity tests prove it). Sequences are
+    /// processed `width` lanes at a time; a lane whose sequence ends
+    /// before the chunk's longest retires at its own last step and parks
+    /// for the remainder, exactly the mux's schedule.
+    ///
+    /// The schedule contract is explicit about degenerate shapes: an
+    /// empty batch (or an empty chunk) runs zero lane steps and
+    /// contributes no scores — `max()` over no lane lengths is `None`,
+    /// never a panic — and a zero-length sequence scores the head of the
+    /// zero state, matching `score_serial(&[])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is zero or any item is outside the
+    /// vocabulary.
+    pub fn score_lanes(&self, seqs: &[&[usize]], width: usize) -> Vec<i64> {
+        assert!(width > 0, "a lane block needs at least one lane");
+        let mut out = Vec::with_capacity(seqs.len());
+        for chunk in seqs.chunks(width) {
+            let mut s = ScreenLaneScratch::new(self.hidden, width);
+            // `chunks` never yields an empty slice, but the schedule
+            // must not depend on that: no lanes → no steps, no scores.
+            let Some(longest) = chunk.iter().map(|q| q.len()).max() else {
+                continue;
+            };
+            let mut done: Vec<Option<i64>> = vec![None; chunk.len()];
+            let mut items: Vec<Option<usize>> = vec![None; width];
+            for t in 0..longest {
+                // A lane whose sequence just ended retires *before* its
+                // first parked step (None re-steps the previous item).
+                for (l, q) in chunk.iter().enumerate() {
+                    if t == q.len() && done[l].is_none() {
+                        done[l] = Some(self.retire_lane(&s, l));
+                    }
+                }
+                for (l, slot) in items.iter_mut().enumerate() {
+                    *slot = chunk.get(l).and_then(|q| q.get(t).copied());
+                }
+                self.step_lanes(&mut s, &items);
+            }
+            for (l, score) in done.into_iter().enumerate() {
+                out.push(score.unwrap_or_else(|| self.retire_lane(&s, l)));
+            }
+        }
+        out
+    }
 }
 
 /// The attached cascade: packed screen gates plus the stored model they
@@ -539,6 +590,7 @@ pub fn build_cascade<F: Fn(&[usize]) -> bool>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use csd_nn::{ModelConfig, SequenceClassifier};
@@ -563,36 +615,42 @@ mod tests {
         for pow in [3u32, 4] {
             let gates = ScreenGates::pack(&screen_weights(pow)).expect("packs");
             let seqs = sequences(gates.vocab());
+            let views: Vec<&[usize]> = seqs.iter().map(Vec::as_slice).collect();
             for width in [1usize, 3, 16] {
-                for chunk in seqs.chunks(width) {
-                    let mut s = ScreenLaneScratch::new(gates.hidden(), width);
-                    let longest = chunk.iter().map(Vec::len).max().unwrap();
-                    let mut done = vec![None; width];
-                    for t in 0..longest {
-                        let items: Vec<Option<usize>> = (0..width)
-                            .map(|l| chunk.get(l).and_then(|s| s.get(t).copied()))
-                            .collect();
-                        // Lanes whose sequence ended park (None = re-step
-                        // on the previous item), so retire *before* the
-                        // first parked step.
-                        for (l, seq) in chunk.iter().enumerate() {
-                            if t == seq.len() && done[l].is_none() {
-                                done[l] = Some(gates.retire_lane(&s, l));
-                            }
-                        }
-                        gates.step_lanes(&mut s, &items);
-                    }
-                    for (l, seq) in chunk.iter().enumerate() {
-                        let lane_score = done[l].unwrap_or_else(|| gates.retire_lane(&s, l));
-                        assert_eq!(
-                            lane_score,
-                            gates.score_serial(seq),
-                            "pow={pow} width={width} lane={l} diverged"
-                        );
-                    }
+                let lane_scores = gates.score_lanes(&views, width);
+                assert_eq!(lane_scores.len(), seqs.len());
+                for (l, (seq, lane_score)) in seqs.iter().zip(&lane_scores).enumerate() {
+                    assert_eq!(
+                        *lane_score,
+                        gates.score_serial(seq),
+                        "pow={pow} width={width} lane={l} diverged"
+                    );
                 }
             }
         }
+    }
+
+    #[test]
+    fn empty_chunk_scores_no_lanes_instead_of_panicking() {
+        // Regression: the lane-walk schedule took `max()` over the
+        // chunk's sequence lengths and unwrapped it, so the empty-chunk
+        // shape panicked instead of scheduling zero steps.
+        let gates = ScreenGates::pack(&screen_weights(4)).expect("packs");
+        assert!(gates.score_lanes(&[], 1).is_empty());
+        assert!(gates.score_lanes(&[], 16).is_empty());
+    }
+
+    #[test]
+    fn zero_length_sequences_score_the_zero_state_on_both_paths() {
+        let gates = ScreenGates::pack(&screen_weights(4)).expect("packs");
+        let serial = gates.score_serial(&[]);
+        // Alone, and sharing a chunk with a non-empty lane (the parked
+        // lane must retire before its first step).
+        assert_eq!(gates.score_lanes(&[&[]], 4), vec![serial]);
+        let other: Vec<usize> = vec![1, 2, 3];
+        let scores = gates.score_lanes(&[&[], &other], 4);
+        assert_eq!(scores[0], serial);
+        assert_eq!(scores[1], gates.score_serial(&other));
     }
 
     #[test]

@@ -116,7 +116,8 @@ pub use schedule::{Bottleneck, LaneBucket, LaneSchedule, PipelineSchedule, Sched
 pub use scratch::{EngineScratch, InferenceScratch, LaneScratch, ScreenLaneScratch};
 pub use shard::{ShardedStreamMux, StealPolicy, StreamInjector};
 pub use stream::{
-    FleetMonitor, FleetResidentBytes, MuxStats, OverflowPolicy, StreamMux, StreamMuxConfig, Verdict,
+    FleetMonitor, FleetResidentBytes, MuxStats, OverflowPolicy, StreamLoss, StreamMux,
+    StreamMuxConfig, Verdict,
 };
 pub use timing::{fig3, table1_fpga_row, Fig3Row, KernelBreakdown};
 pub use weights::{

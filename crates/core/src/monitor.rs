@@ -161,6 +161,10 @@ pub struct StreamMonitor {
     classifications: usize,
     alerted: Option<Alert>,
     per_item_us: f64,
+    /// Out-of-vocabulary calls dropped at `observe` (cached vocab size
+    /// keeps the boundary check off the engine's assert path).
+    vocab: usize,
+    oov_calls: u64,
 }
 
 impl StreamMonitor {
@@ -179,6 +183,7 @@ impl StreamMonitor {
             "cannot need more votes than the horizon holds"
         );
         let per_item_us = PipelineSchedule::for_level(engine.level()).steady_item_us;
+        let vocab = engine.weights().dims().vocab;
         Self {
             engine,
             config,
@@ -189,6 +194,8 @@ impl StreamMonitor {
             classifications: 0,
             alerted: None,
             per_item_us,
+            vocab,
+            oov_calls: 0,
         }
     }
 
@@ -213,13 +220,27 @@ impl StreamMonitor {
         self.alerted
     }
 
+    /// Out-of-vocabulary calls dropped so far (each counted toward
+    /// [`calls_seen`](Self::calls_seen) but excluded from the window).
+    pub fn oov_calls(&self) -> u64 {
+        self.oov_calls
+    }
+
     /// Feeds one API call; returns a newly-raised alert, if any.
     ///
-    /// # Panics
-    ///
-    /// Panics on an out-of-vocabulary token.
+    /// An out-of-vocabulary call cannot be embedded, so it is dropped
+    /// here — tallied in [`oov_calls`](Self::oov_calls), counted toward
+    /// [`calls_seen`](Self::calls_seen), excluded from the window —
+    /// rather than panicking inside the engine. A monitor fed by a live
+    /// (possibly hostile) process must treat the call stream as
+    /// untrusted input; this matches
+    /// [`FleetMonitor::observe`](crate::stream::FleetMonitor::observe).
     pub fn observe(&mut self, call: usize) -> Option<Alert> {
         self.calls_seen += 1;
+        if !crate::kernels::preprocess::in_vocabulary(self.vocab, call) {
+            self.oov_calls += 1;
+            return None;
+        }
         self.window.push(call);
         if self.alerted.is_some() || !self.window.is_full() {
             return None;
@@ -271,6 +292,7 @@ impl StreamMonitor {
         self.since_classify = 0;
         self.classifications = 0;
         self.alerted = None;
+        self.oov_calls = 0;
     }
 }
 
@@ -309,11 +331,9 @@ impl MonitorPool {
     }
 
     /// Feeds one API call observed in process `pid`; returns a
-    /// newly-raised alert for that process, if any.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an out-of-vocabulary token.
+    /// newly-raised alert for that process, if any. Out-of-vocabulary
+    /// calls are dropped and tallied by the backing fleet monitor,
+    /// never a panic.
     pub fn observe(&mut self, pid: u64, call: usize) -> Option<Alert> {
         self.fleet.observe(pid, call);
         self.fleet
@@ -499,6 +519,30 @@ mod tests {
             }
         }
         assert_eq!(single_alert, pool_alert);
+    }
+
+    #[test]
+    fn oov_calls_are_dropped_and_tallied_not_a_panic() {
+        let mut m = monitor(small_config());
+        // ModelConfig::tiny(16) has vocab 16; token 10_000 is hostile
+        // input, not a reason to take the monitor down.
+        assert!(m.observe(10_000).is_none());
+        assert_eq!(m.oov_calls(), 1);
+        assert_eq!(m.calls_seen(), 1, "the call was still observed");
+        // The window excludes the garbage: parity with a monitor that
+        // never saw it, shifted by the dropped call count.
+        let mut clean = monitor(small_config());
+        for i in 0..40usize {
+            m.observe(i % 16);
+            clean.observe(i % 16);
+        }
+        assert_eq!(m.classifications(), clean.classifications());
+        assert_eq!(
+            m.alert().map(|a| a.probability),
+            clean.alert().map(|a| a.probability)
+        );
+        m.reset();
+        assert_eq!(m.oov_calls(), 0, "reset clears the tally");
     }
 
     #[test]

@@ -59,7 +59,7 @@ use serde::{Deserialize, Serialize};
 use crate::engine::CsdInferenceEngine;
 use crate::mpsc::{AdmissionHandle, AdmissionQueue};
 use crate::pool::WorkerPool;
-use crate::stream::{MuxStats, OverflowPolicy, StreamMux, StreamMuxConfig, Verdict};
+use crate::stream::{MuxStats, OverflowPolicy, StreamLoss, StreamMux, StreamMuxConfig, Verdict};
 
 /// How the rebalancer picks its steal victims.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -185,8 +185,14 @@ pub struct ShardedStreamMux {
     rng: u64,
     next_seq: u64,
     steals: u64,
-    dropped: u64,
-    dropped_by_stream: HashMap<u64, u64>,
+    /// Admitted windows later evicted by `DropOldest` global
+    /// backpressure (charged to the stream that lost its window).
+    evicted: u64,
+    evicted_by_stream: HashMap<u64, u64>,
+    /// Windows refused at admission by `DropNewest` global backpressure
+    /// (charged to the submitting stream).
+    refused: u64,
+    refused_by_stream: HashMap<u64, u64>,
     /// Windows refused for out-of-vocabulary tokens, coordinator-wide
     /// (both `submit` and injector admissions validate here, before a
     /// window can reach any shard's lane block).
@@ -265,8 +271,10 @@ impl ShardedStreamMux {
             rng,
             next_seq: 0,
             steals: 0,
-            dropped: 0,
-            dropped_by_stream: HashMap::new(),
+            evicted: 0,
+            evicted_by_stream: HashMap::new(),
+            refused: 0,
+            refused_by_stream: HashMap::new(),
             rejected: 0,
             rejected_by_stream: HashMap::new(),
             vocab,
@@ -318,9 +326,33 @@ impl ShardedStreamMux {
                 .all(|s| s.mux.is_idle() && s.inbox.is_empty())
     }
 
-    /// Windows dropped by backpressure that belonged to `stream`.
+    /// Windows dropped by backpressure that belonged to `stream` — the
+    /// sum of [`evicted_for`](Self::evicted_for) and
+    /// [`refused_for`](Self::refused_for).
     pub fn dropped_for(&self, stream: u64) -> u64 {
-        self.dropped_by_stream.get(&stream).copied().unwrap_or(0)
+        self.evicted_for(stream) + self.refused_for(stream)
+    }
+
+    /// Admitted windows of `stream` later evicted by
+    /// [`OverflowPolicy::DropOldest`] global backpressure.
+    pub fn evicted_for(&self, stream: u64) -> u64 {
+        self.evicted_by_stream.get(&stream).copied().unwrap_or(0)
+    }
+
+    /// Windows of `stream` refused at admission by
+    /// [`OverflowPolicy::DropNewest`] global backpressure.
+    pub fn refused_for(&self, stream: u64) -> u64 {
+        self.refused_by_stream.get(&stream).copied().unwrap_or(0)
+    }
+
+    /// The full per-stream loss breakdown (evicted / refused /
+    /// rejected) for `stream`.
+    pub fn loss_for(&self, stream: u64) -> StreamLoss {
+        StreamLoss {
+            evicted: self.evicted_for(stream),
+            refused: self.refused_for(stream),
+            rejected: self.rejected_for(stream),
+        }
     }
 
     /// Windows of `stream` refused for out-of-vocabulary tokens — at
@@ -467,7 +499,9 @@ impl ShardedStreamMux {
         MuxStats {
             ticks: per.iter().map(|s| s.ticks).sum(),
             verdicts,
-            dropped: self.dropped + per.iter().map(|s| s.dropped).sum::<u64>(),
+            dropped: self.evicted + self.refused + per.iter().map(|s| s.dropped).sum::<u64>(),
+            evicted: self.evicted + per.iter().map(|s| s.evicted).sum::<u64>(),
+            refused: self.refused + per.iter().map(|s| s.refused).sum::<u64>(),
             rejected: self.rejected + per.iter().map(|s| s.rejected).sum::<u64>(),
             occupancy: if lane_steps == 0 {
                 0.0
@@ -526,7 +560,7 @@ impl ShardedStreamMux {
             )
             + order_heap
             + table(
-                self.dropped_by_stream.capacity(),
+                self.evicted_by_stream.capacity() + self.refused_by_stream.capacity(),
                 std::mem::size_of::<(u64, u64)>(),
             )
             + self.ready.capacity() * verdict
@@ -566,20 +600,21 @@ impl ShardedStreamMux {
                     // by in-flight work): admit.
                     return true;
                 };
-                let (stream, seq) = self.shards[i]
-                    .mux
-                    .evict_oldest_pending()
-                    .expect("victim shard has pending work");
-                self.dropped += 1;
-                *self.dropped_by_stream.entry(stream).or_insert(0) += 1;
+                // The victim was selected for having pending work, but a
+                // miss must not panic the coordinator — just admit.
+                let Some((stream, seq)) = self.shards[i].mux.evict_oldest_pending() else {
+                    return true;
+                };
+                self.evicted += 1;
+                *self.evicted_by_stream.entry(stream).or_insert(0) += 1;
                 // A tombstone settles the dropped seq so later verdicts
                 // of the stream are not held forever.
                 self.settle(stream, seq, None);
                 true
             }
             OverflowPolicy::DropNewest => {
-                self.dropped += 1;
-                *self.dropped_by_stream.entry(incoming).or_insert(0) += 1;
+                self.refused += 1;
+                *self.refused_by_stream.entry(incoming).or_insert(0) += 1;
                 false
             }
         }
@@ -722,10 +757,11 @@ impl ShardedStreamMux {
                     eligible[k]
                 }
             };
-            let window = self.shards[victim]
-                .mux
-                .steal_youngest()
-                .expect("eligible shard has pending work");
+            // Eligibility requires pending work; a racing miss just ends
+            // this rebalance round rather than panicking mid-steal.
+            let Some(window) = self.shards[victim].mux.steal_youngest() else {
+                break;
+            };
             self.shards[t].mux.adopt(window);
             self.steals += 1;
         }
@@ -958,7 +994,11 @@ mod tests {
         assert_eq!(total_drops, 5);
         for k in 0..5u64 {
             assert_eq!(mux.dropped_for(k), 1);
+            assert_eq!(mux.evicted_for(k), 1, "DropOldest losses are evictions");
+            assert_eq!(mux.refused_for(k), 0);
         }
+        assert_eq!(stats.evicted, 5);
+        assert_eq!(stats.refused, 0);
     }
 
     #[test]
@@ -989,6 +1029,10 @@ mod tests {
         let verdicts = mux.drain();
         assert_eq!(verdicts.len(), 2, "streams 0 and 2 made it through");
         assert_eq!(mux.stats().dropped, 2);
+        assert_eq!(mux.stats().refused, 2, "DropNewest losses are refusals");
+        assert_eq!(mux.stats().evicted, 0);
+        assert_eq!(mux.refused_for(1), 1);
+        assert_eq!(mux.loss_for(3).refused, 1);
     }
 
     #[test]

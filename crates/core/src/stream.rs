@@ -58,6 +58,8 @@
 //! counts disagreements in [`MuxStats::cascade_flips`] — the production
 //! mode's zero-flip claim, measurable in place.
 
+#![deny(clippy::unwrap_used)]
+
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Once};
 use std::time::Instant;
@@ -163,11 +165,25 @@ pub struct MuxStats {
     pub ticks: u64,
     /// Windows retired (verdicts emitted).
     pub verdicts: u64,
-    /// Windows dropped by backpressure.
+    /// Windows dropped by backpressure — the sum of
+    /// [`evicted`](Self::evicted) and [`refused`](Self::refused), kept
+    /// as the historical aggregate so old snapshots stay comparable.
     pub dropped: u64,
+    /// Windows evicted *after admission*: the queue was full under
+    /// [`OverflowPolicy::DropOldest`] and the oldest pending window was
+    /// discarded to make room for a newer one. Charged to the stream
+    /// that lost its window, not the one that submitted.
+    #[serde(default)]
+    pub evicted: u64,
+    /// Windows refused *at submission*: the queue was full under
+    /// [`OverflowPolicy::DropNewest`] and the incoming window was turned
+    /// away. Charged to the submitting stream.
+    #[serde(default)]
+    pub refused: u64,
     /// Windows refused at submission for out-of-vocabulary tokens — a
     /// typed rejection at the admission boundary, never a panic inside
-    /// a shared lane block.
+    /// a shared lane block. Distinct from backpressure: rejection means
+    /// the *data* was unclassifiable, not that the mux was overloaded.
     #[serde(default)]
     pub rejected: u64,
     /// Mean fraction of lane slots occupied per tick (1.0 = every sweep
@@ -221,6 +237,36 @@ impl MuxStats {
     /// predate sharding and were all single-mux.
     fn one_shard() -> u64 {
         1
+    }
+}
+
+/// Per-stream submission-loss breakdown: every way a stream's windows
+/// can fail to produce a verdict, separately countable so a monitor (or
+/// the sentry service) can report *why* a process lost coverage — was
+/// its data garbage, was it overload eviction, or was it turned away at
+/// the door.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamLoss {
+    /// Admitted windows of this stream later evicted by
+    /// [`OverflowPolicy::DropOldest`] backpressure.
+    pub evicted: u64,
+    /// Windows refused at submission by [`OverflowPolicy::DropNewest`]
+    /// backpressure.
+    pub refused: u64,
+    /// Windows refused at submission for out-of-vocabulary tokens.
+    pub rejected: u64,
+}
+
+impl StreamLoss {
+    /// Total windows of the stream that never produced a verdict.
+    pub fn total(&self) -> u64 {
+        self.evicted + self.refused + self.rejected
+    }
+
+    /// Backpressure losses only (evicted + refused), matching the
+    /// historical `dropped` aggregate.
+    pub fn dropped(&self) -> u64 {
+        self.evicted + self.refused
     }
 }
 
@@ -313,10 +359,15 @@ pub struct StreamMux {
     active: usize,
     ticks: u64,
     verdicts: u64,
-    dropped: u64,
-    /// Per-stream backpressure-drop tallies (which process lost data,
-    /// not just how much was lost overall).
-    dropped_by_stream: HashMap<u64, u64>,
+    /// Admitted windows later evicted by `DropOldest` backpressure.
+    evicted: u64,
+    /// Windows refused at submission by `DropNewest` backpressure.
+    refused: u64,
+    /// Per-stream backpressure-eviction tallies (which process lost
+    /// already-admitted data, not just how much was lost overall).
+    evicted_by_stream: HashMap<u64, u64>,
+    /// Per-stream refused-at-submission tallies.
+    refused_by_stream: HashMap<u64, u64>,
     /// Windows refused at submission for out-of-vocabulary tokens.
     rejected: u64,
     /// Per-stream out-of-vocabulary rejection tallies: which process
@@ -412,8 +463,10 @@ impl StreamMux {
             active: 0,
             ticks: 0,
             verdicts: 0,
-            dropped: 0,
-            dropped_by_stream: HashMap::new(),
+            evicted: 0,
+            refused: 0,
+            evicted_by_stream: HashMap::new(),
+            refused_by_stream: HashMap::new(),
             rejected: 0,
             rejected_by_stream: HashMap::new(),
             vocab,
@@ -466,15 +519,39 @@ impl StreamMux {
         self.faults.is_some()
     }
 
-    /// Windows dropped by backpressure that belonged to `stream`.
+    /// Windows dropped by backpressure that belonged to `stream` — the
+    /// sum of [`evicted_for`](Self::evicted_for) and
+    /// [`refused_for`](Self::refused_for).
     pub fn dropped_for(&self, stream: u64) -> u64 {
-        self.dropped_by_stream.get(&stream).copied().unwrap_or(0)
+        self.evicted_for(stream) + self.refused_for(stream)
+    }
+
+    /// Admitted windows of `stream` later evicted by
+    /// [`OverflowPolicy::DropOldest`] backpressure.
+    pub fn evicted_for(&self, stream: u64) -> u64 {
+        self.evicted_by_stream.get(&stream).copied().unwrap_or(0)
+    }
+
+    /// Windows of `stream` refused at submission by
+    /// [`OverflowPolicy::DropNewest`] backpressure.
+    pub fn refused_for(&self, stream: u64) -> u64 {
+        self.refused_by_stream.get(&stream).copied().unwrap_or(0)
     }
 
     /// Windows of `stream` refused at submission for out-of-vocabulary
     /// tokens.
     pub fn rejected_for(&self, stream: u64) -> u64 {
         self.rejected_by_stream.get(&stream).copied().unwrap_or(0)
+    }
+
+    /// The full per-stream loss breakdown (evicted / refused /
+    /// rejected) for `stream`.
+    pub fn loss_for(&self, stream: u64) -> StreamLoss {
+        StreamLoss {
+            evicted: self.evicted_for(stream),
+            refused: self.refused_for(stream),
+            rejected: self.rejected_for(stream),
+        }
     }
 
     /// Number of lane slots.
@@ -517,7 +594,9 @@ impl StreamMux {
         MuxStats {
             ticks: self.ticks,
             verdicts: self.verdicts,
-            dropped: self.dropped,
+            dropped: self.evicted + self.refused,
+            evicted: self.evicted,
+            refused: self.refused,
             rejected: self.rejected,
             occupancy: if self.ticks == 0 {
                 0.0
@@ -570,14 +649,18 @@ impl StreamMux {
         if self.pending.len() >= self.max_pending {
             match self.policy {
                 OverflowPolicy::DropOldest => {
-                    let old = self.pending.pop_front().expect("queue full, non-empty");
-                    *self.dropped_by_stream.entry(old.stream).or_insert(0) += 1;
-                    self.free_bufs.push(old.seq);
-                    self.dropped += 1;
+                    // `max_pending > 0` (asserted at construction) makes a
+                    // full queue non-empty, but an eviction miss must not
+                    // take down the lane block — fall through to admission.
+                    if let Some(old) = self.pending.pop_front() {
+                        *self.evicted_by_stream.entry(old.stream).or_insert(0) += 1;
+                        self.free_bufs.push(old.seq);
+                        self.evicted += 1;
+                    }
                 }
                 OverflowPolicy::DropNewest => {
-                    *self.dropped_by_stream.entry(stream).or_insert(0) += 1;
-                    self.dropped += 1;
+                    *self.refused_by_stream.entry(stream).or_insert(0) += 1;
+                    self.refused += 1;
                     return false;
                 }
             }
@@ -1188,6 +1271,14 @@ impl FleetMonitor {
         self.mux.stats().dropped
     }
 
+    /// The full loss breakdown for process `pid`: windows evicted by
+    /// backpressure after admission, refused at admission, or rejected
+    /// for out-of-vocabulary tokens. What a deployment reports as this
+    /// process's coverage gap — and *why* the gap exists.
+    pub fn loss_for(&self, pid: u64) -> StreamLoss {
+        self.mux.loss_for(pid)
+    }
+
     /// Out-of-vocabulary calls observed in process `pid` — each was
     /// dropped at [`observe`](Self::observe) (typed and tallied, never
     /// a panic in a shared lane block).
@@ -1421,6 +1512,7 @@ impl FleetMonitor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::monitor::StreamMonitor;
@@ -1525,6 +1617,11 @@ mod tests {
         let kept: Vec<u64> = verdicts.iter().map(|v| v.stream).collect();
         assert_eq!(kept, vec![2, 3], "oldest two evicted");
         assert_eq!(mux.stats().dropped, 2);
+        assert_eq!(mux.stats().evicted, 2, "DropOldest losses are evictions");
+        assert_eq!(mux.stats().refused, 0);
+        assert_eq!(mux.evicted_for(0), 1, "stream 0 lost its admitted window");
+        assert_eq!(mux.refused_for(0), 0);
+        assert_eq!(mux.loss_for(1).total(), 1);
     }
 
     #[test]
@@ -1545,6 +1642,38 @@ mod tests {
         let kept: Vec<u64> = verdicts.iter().map(|v| v.stream).collect();
         assert_eq!(kept, vec![0, 1]);
         assert_eq!(mux.stats().dropped, 1);
+        assert_eq!(mux.stats().refused, 1, "DropNewest losses are refusals");
+        assert_eq!(mux.stats().evicted, 0);
+        assert_eq!(mux.refused_for(2), 1, "submitter charged");
+        assert_eq!(mux.evicted_for(2), 0);
+        assert_eq!(
+            mux.loss_for(2),
+            StreamLoss {
+                evicted: 0,
+                refused: 1,
+                rejected: 0
+            }
+        );
+    }
+
+    #[test]
+    fn mux_stats_json_predating_loss_split_still_deserializes() {
+        // A BENCH_*.json snapshot written before `evicted`/`refused`
+        // existed: the split fields default to zero, `dropped` keeps
+        // its recorded aggregate.
+        let old = r#"{
+            "ticks": 10, "verdicts": 8, "dropped": 3,
+            "occupancy": 0.5, "p50_latency_ticks": 1,
+            "p99_latency_ticks": 2, "verdicts_per_sec": 100.0,
+            "faults": 0, "degraded_reruns": 0, "degraded_ticks": 0,
+            "lanes_poisoned": 0
+        }"#;
+        let stats: MuxStats = serde_json::from_str(old).expect("old snapshot parses");
+        assert_eq!(stats.dropped, 3);
+        assert_eq!(stats.evicted, 0);
+        assert_eq!(stats.refused, 0);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.shards, 1);
     }
 
     #[test]

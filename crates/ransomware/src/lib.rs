@@ -25,6 +25,8 @@
 //! - [`sandbox`] — the Cuckoo-replacement executor (Windows 10/11).
 //! - [`window`] — sliding-window extraction (length 100).
 //! - [`dataset`] — corpus assembly, CSV round-trip, train/test splits.
+//! - [`replay`] — the corpus as interleaved live traffic: a replayable
+//!   process-event trace format plus the seeded load generator.
 //!
 //! # Example
 //!
@@ -47,6 +49,7 @@ pub mod api;
 pub mod benign;
 pub mod dataset;
 pub mod family;
+pub mod replay;
 pub mod sandbox;
 pub mod variant;
 pub mod window;
@@ -56,6 +59,7 @@ pub use api::{ApiCall, ApiCategory, ApiVocabulary};
 pub use benign::BenignProfile;
 pub use dataset::{Dataset, DatasetBuilder, SplitKind};
 pub use family::{FamilyProfile, Table2Row};
+pub use replay::{interleave, EventTrace, ReplayProfile, TraceEvent, TraceEventKind};
 pub use sandbox::{ApiTrace, Sandbox, TraceLabel, WindowsVersion};
 pub use variant::Variant;
 pub use window::{sliding_windows, SlidingWindows, WINDOW_LEN};

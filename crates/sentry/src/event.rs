@@ -1,0 +1,397 @@
+//! Process events and the local wire protocol.
+//!
+//! A [`ProcessEvent`] is one observation from a producer — a driver
+//! shim, an ETW consumer, a sandbox agent — about one process: it
+//! spawned (with an image name), it issued one API call (by vocabulary
+//! index), or it exited. Events carry a microsecond timestamp assigned
+//! by the producer; the sentry itself orders by arrival and uses the
+//! timestamp only for reporting.
+//!
+//! Remote producers speak a length-prefixed frame protocol over a local
+//! Unix socket (see [`bus`](crate::bus)): each frame is a `u32`
+//! little-endian payload length followed by the payload,
+//!
+//! ```text
+//! ┌────────────┬─────┬──────────────┬────────────┬───────────────────┐
+//! │ len u32 LE │ tag │ t_us u64 LE  │ pid u32 LE │ tag-specific body │
+//! └────────────┴─────┴──────────────┴────────────┴───────────────────┘
+//!   tag 0 = Spawn (body: u16 LE name length + UTF-8 bytes)
+//!   tag 1 = Api   (body: u32 LE vocabulary index)
+//!   tag 2 = Exit  (no body)
+//! ```
+//!
+//! The decoder treats the stream as *untrusted*: a corrupt length
+//! prefix, an unknown tag, a truncated body, or invalid UTF-8 is a
+//! typed [`WireError`], never a panic and never an unbounded
+//! allocation ([`MAX_FRAME_LEN`] bounds what a length prefix may
+//! claim). The bus drops the offending connection and tallies the
+//! error; co-resident producers are unaffected.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use csd_ransomware::replay::{TraceEvent, TraceEventKind};
+
+/// Upper bound on a frame payload. The largest legitimate frame is a
+/// spawn whose image name is path-length bound, far under this; a
+/// corrupt or hostile length prefix beyond it is refused before any
+/// allocation happens.
+pub const MAX_FRAME_LEN: usize = 4096;
+
+/// What happened to the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// The process started; the payload is its image name (used for
+    /// whitelist checks).
+    Spawn(String),
+    /// The process issued one API call, by vocabulary index.
+    Api(usize),
+    /// The process exited.
+    Exit,
+}
+
+/// One observation about one process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessEvent {
+    /// Producer-assigned timestamp, microseconds from an arbitrary
+    /// per-trace origin.
+    pub t_us: u64,
+    /// OS process id. PIDs are recycled by the OS; the sentry maps them
+    /// to non-recycled session ids (see [`crate::session`]).
+    pub pid: u32,
+    /// The observation.
+    pub kind: EventKind,
+}
+
+impl ProcessEvent {
+    /// Convenience constructor for an API-call event.
+    pub fn api(t_us: u64, pid: u32, call: usize) -> Self {
+        Self {
+            t_us,
+            pid,
+            kind: EventKind::Api(call),
+        }
+    }
+
+    /// Convenience constructor for a spawn event.
+    pub fn spawn(t_us: u64, pid: u32, name: &str) -> Self {
+        Self {
+            t_us,
+            pid,
+            kind: EventKind::Spawn(name.to_string()),
+        }
+    }
+
+    /// Convenience constructor for an exit event.
+    pub fn exit(t_us: u64, pid: u32) -> Self {
+        Self {
+            t_us,
+            pid,
+            kind: EventKind::Exit,
+        }
+    }
+}
+
+impl From<&TraceEvent> for ProcessEvent {
+    /// A replay-trace event (the corpus load generator's format) maps
+    /// 1:1 onto a live event.
+    fn from(e: &TraceEvent) -> Self {
+        let kind = match &e.kind {
+            TraceEventKind::Spawn(name) => EventKind::Spawn(name.clone()),
+            TraceEventKind::Api(call) => EventKind::Api(*call),
+            TraceEventKind::Exit => EventKind::Exit,
+        };
+        Self {
+            t_us: e.t_us,
+            pid: e.pid,
+            kind,
+        }
+    }
+}
+
+/// Why a frame could not be decoded. Everything a hostile or corrupt
+/// producer can send maps here — the decode path has no panic.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket read or write failed.
+    Io(io::Error),
+    /// The length prefix claims a payload larger than [`MAX_FRAME_LEN`].
+    Oversize(usize),
+    /// The payload ended before the declared length.
+    Truncated,
+    /// The first payload byte is not a known event tag.
+    BadTag(u8),
+    /// A spawn name is not valid UTF-8.
+    BadName,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket i/o failed: {e}"),
+            WireError::Oversize(n) => {
+                write!(f, "frame claims {n} bytes (limit {MAX_FRAME_LEN})")
+            }
+            WireError::Truncated => write!(f, "frame shorter than its declared length"),
+            WireError::BadTag(t) => write!(f, "unknown event tag {t}"),
+            WireError::BadName => write!(f, "spawn name is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Encodes one event as a frame onto `w`.
+pub fn write_frame<W: Write>(w: &mut W, event: &ProcessEvent) -> Result<(), WireError> {
+    let mut payload = Vec::with_capacity(32);
+    match &event.kind {
+        EventKind::Spawn(name) => {
+            payload.push(0u8);
+            payload.extend_from_slice(&event.t_us.to_le_bytes());
+            payload.extend_from_slice(&event.pid.to_le_bytes());
+            let bytes = name.as_bytes();
+            let len = u16::try_from(bytes.len().min(u16::MAX as usize)).unwrap_or(u16::MAX);
+            payload.extend_from_slice(&len.to_le_bytes());
+            payload.extend_from_slice(&bytes[..len as usize]);
+        }
+        EventKind::Api(call) => {
+            payload.push(1u8);
+            payload.extend_from_slice(&event.t_us.to_le_bytes());
+            payload.extend_from_slice(&event.pid.to_le_bytes());
+            let call = u32::try_from(*call).unwrap_or(u32::MAX);
+            payload.extend_from_slice(&call.to_le_bytes());
+        }
+        EventKind::Exit => {
+            payload.push(2u8);
+            payload.extend_from_slice(&event.t_us.to_le_bytes());
+            payload.extend_from_slice(&event.pid.to_le_bytes());
+        }
+    }
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversize(payload.len()))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&payload)?;
+    Ok(())
+}
+
+/// Reads exactly `buf.len()` bytes, distinguishing a clean EOF at a
+/// frame boundary (`Ok(false)` when `at_boundary`) from a mid-frame
+/// truncation.
+fn read_exact_or_eof<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    at_boundary: bool,
+) -> Result<bool, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && at_boundary {
+                    return Ok(false);
+                }
+                return Err(WireError::Truncated);
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Decodes the next frame from `r`. Returns `Ok(None)` on a clean EOF
+/// at a frame boundary (the producer hung up); any malformed input is a
+/// typed [`WireError`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<ProcessEvent>, WireError> {
+    let mut len_buf = [0u8; 4];
+    if !read_exact_or_eof(r, &mut len_buf, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversize(len));
+    }
+    if len < 13 {
+        // Every event carries at least tag + t_us + pid.
+        return Err(WireError::Truncated);
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or_eof(r, &mut payload, false)?;
+    decode_payload(&payload)
+}
+
+/// Decodes one frame payload (everything after the length prefix).
+fn decode_payload(payload: &[u8]) -> Result<Option<ProcessEvent>, WireError> {
+    // Callers guarantee `payload.len() >= 13`; re-checked here so this
+    // stays safe standalone.
+    let (Some(&tag), Some(t_bytes), Some(pid_bytes)) =
+        (payload.first(), payload.get(1..9), payload.get(9..13))
+    else {
+        return Err(WireError::Truncated);
+    };
+    let mut t_us = [0u8; 8];
+    t_us.copy_from_slice(t_bytes);
+    let t_us = u64::from_le_bytes(t_us);
+    let mut pid = [0u8; 4];
+    pid.copy_from_slice(pid_bytes);
+    let pid = u32::from_le_bytes(pid);
+    let body = &payload[13..];
+    let kind = match tag {
+        0 => {
+            let Some(len_bytes) = body.get(..2) else {
+                return Err(WireError::Truncated);
+            };
+            let name_len = u16::from_le_bytes([len_bytes[0], len_bytes[1]]) as usize;
+            let Some(name) = body.get(2..2 + name_len) else {
+                return Err(WireError::Truncated);
+            };
+            let name = std::str::from_utf8(name).map_err(|_| WireError::BadName)?;
+            EventKind::Spawn(name.to_string())
+        }
+        1 => {
+            let Some(call_bytes) = body.get(..4) else {
+                return Err(WireError::Truncated);
+            };
+            let call =
+                u32::from_le_bytes([call_bytes[0], call_bytes[1], call_bytes[2], call_bytes[3]]);
+            EventKind::Api(call as usize)
+        }
+        2 => EventKind::Exit,
+        t => return Err(WireError::BadTag(t)),
+    };
+    Ok(Some(ProcessEvent { t_us, pid, kind }))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(event: &ProcessEvent) -> ProcessEvent {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, event).unwrap();
+        read_frame(&mut Cursor::new(buf)).unwrap().unwrap()
+    }
+
+    #[test]
+    fn frames_roundtrip_every_kind() {
+        for event in [
+            ProcessEvent::spawn(17, 4242, "C:\\Users\\victim\\evil.exe"),
+            ProcessEvent::api(18, 4242, 277),
+            ProcessEvent::exit(19, 4242),
+            ProcessEvent::spawn(0, 0, ""),
+        ] {
+            assert_eq!(roundtrip(&event), event);
+        }
+    }
+
+    #[test]
+    fn stream_of_frames_decodes_in_order_until_clean_eof() {
+        let events = vec![
+            ProcessEvent::spawn(1, 7, "a.exe"),
+            ProcessEvent::api(2, 7, 13),
+            ProcessEvent::api(3, 7, 14),
+            ProcessEvent::exit(4, 7),
+        ];
+        let mut buf = Vec::new();
+        for e in &events {
+            write_frame(&mut buf, e).unwrap();
+        }
+        let mut r = Cursor::new(buf);
+        for e in &events {
+            assert_eq!(read_frame(&mut r).unwrap().as_ref(), Some(e));
+        }
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_refused_before_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(WireError::Oversize(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_and_truncations_are_typed_errors() {
+        // Unknown tag.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&13u32.to_le_bytes());
+        buf.push(9);
+        buf.extend_from_slice(&[0u8; 12]);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(WireError::BadTag(9))
+        ));
+        // Frame cut mid-payload.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &ProcessEvent::api(5, 1, 2)).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(WireError::Truncated)
+        ));
+        // Length prefix cut mid-word.
+        let buf = vec![3u8, 0];
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(WireError::Truncated)
+        ));
+        // Declared length too small to hold the fixed header.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(&[1u8; 4]);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_spawn_name_is_a_typed_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &ProcessEvent::spawn(1, 2, "ok")).unwrap();
+        // Corrupt the name bytes in place (last two bytes of the frame).
+        let n = buf.len();
+        buf[n - 2] = 0xFF;
+        buf[n - 1] = 0xFE;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(WireError::BadName)
+        ));
+    }
+
+    #[test]
+    fn replay_trace_events_convert_one_to_one() {
+        let spawn = TraceEvent {
+            t_us: 5,
+            pid: 31,
+            kind: TraceEventKind::Spawn("x.exe".to_string()),
+        };
+        assert_eq!(
+            ProcessEvent::from(&spawn),
+            ProcessEvent::spawn(5, 31, "x.exe")
+        );
+        let api = TraceEvent {
+            t_us: 6,
+            pid: 31,
+            kind: TraceEventKind::Api(100),
+        };
+        assert_eq!(ProcessEvent::from(&api), ProcessEvent::api(6, 31, 100));
+        let exit = TraceEvent {
+            t_us: 7,
+            pid: 31,
+            kind: TraceEventKind::Exit,
+        };
+        assert_eq!(ProcessEvent::from(&exit), ProcessEvent::exit(7, 31));
+    }
+}

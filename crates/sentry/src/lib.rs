@@ -1,0 +1,72 @@
+//! `csd-sentry` — live process-event ingestion over the fleet engine.
+//!
+//! The reproduced paper (DSN-S 2024) deploys its CSD-resident LSTM as a
+//! *monitor*: "the CSD continuously monitors the API calls of the host
+//! system in the background" (§I). The rest of this workspace builds
+//! the engine side of that sentence — bit-faithful kernels, the
+//! continuous-batching mux, fleet sharding; this crate builds the
+//! service around it, following the split Owlyshield (the production
+//! EDR the paper's deployment model resembles) uses between its driver
+//! shim, process tracker, and actions-on-kill layers:
+//!
+//! - [`event`] — [`ProcessEvent`]: spawn / API-call / exit
+//!   observations, plus the length-prefixed local wire protocol with a
+//!   panic-free, allocation-bounded decoder for untrusted producers.
+//! - [`bus`] — the bounded many-producer event bus: in-process
+//!   [`EventProducer`] handles and the Unix-socket [`SocketServer`]
+//!   that remote producers connect to.
+//! - [`session`] — per-PID lifecycle: spawn / exit / idle-timeout /
+//!   PID-supersession, each incarnation keyed by a never-reused session
+//!   id so recycled PIDs can't inherit verdicts or incidents.
+//! - [`whitelist`] — image-name allow list consulted between alert and
+//!   action (suppresses the response, never the detection).
+//! - [`actions`] — the dispatch end: log / kill / quarantine, every
+//!   outcome latched as an [`Incident`].
+//! - [`service`] — [`Sentry`]: the assembly. Events in; windows sliced
+//!   at the serial monitor's classify points and submitted to a
+//!   [`ShardedStreamMux`](csd_accel::ShardedStreamMux) keyed by session
+//!   id; verdicts folded through `FleetMonitor`-identical vote rings;
+//!   incidents out.
+//!
+//! # Example
+//!
+//! ```rust
+//! use csd_accel::{CsdInferenceEngine, OptimizationLevel};
+//! use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};
+//! use csd_sentry::{ProcessEvent, Sentry, SentryConfig};
+//!
+//! let model = SequenceClassifier::new(ModelConfig::tiny(16), 9);
+//! let engine = CsdInferenceEngine::new(
+//!     &ModelWeights::from_model(&model),
+//!     OptimizationLevel::FixedPoint,
+//! );
+//! let mut sentry = Sentry::new(
+//!     engine,
+//!     SentryConfig { window_len: 8, stride: 4, votes_needed: 1, vote_horizon: 1,
+//!                    ..SentryConfig::default() },
+//! );
+//! sentry.ingest(&ProcessEvent::spawn(0, 4242, "suspect.exe"));
+//! for i in 0..8 {
+//!     sentry.ingest(&ProcessEvent::api(1 + i, 4242, (i as usize * 7) % 16));
+//! }
+//! let incidents = sentry.drain(); // verdicts fold; maybe an incident
+//! assert!(incidents.len() <= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+
+pub mod actions;
+pub mod bus;
+pub mod event;
+pub mod service;
+pub mod session;
+pub mod whitelist;
+
+pub use actions::{ActionKind, ActionTaken, Incident};
+pub use bus::{EventBus, EventProducer, SocketClient, SocketServer, DEFAULT_BUS_CAPACITY};
+pub use event::{read_frame, write_frame, EventKind, ProcessEvent, WireError, MAX_FRAME_LEN};
+pub use service::{Sentry, SentryConfig, SentryStats};
+pub use session::{Applied, EndReason, Session, SessionTable};
+pub use whitelist::Whitelist;

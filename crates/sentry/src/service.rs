@@ -1,0 +1,635 @@
+//! The sentry service: events in, incidents out.
+//!
+//! [`Sentry`] is the assembly: it applies each [`ProcessEvent`] to the
+//! [`SessionTable`], slices every live session's in-vocabulary call
+//! stream into windows — offset 0 first (early detection), then every
+//! `stride` calls, exactly the classify points of the serial
+//! [`StreamMonitor`](csd_accel::StreamMonitor) — and submits them to a
+//! [`ShardedStreamMux`] keyed by *session id*, not PID. Retired
+//! verdicts fold into the same vote-ring semantics as the
+//! [`FleetMonitor`](csd_accel::FleetMonitor) (a `u64` bitmask over the
+//! last `vote_horizon` verdicts, alert at `votes_needed` positives,
+//! latched forever); a fresh alert passes the whitelist check and the
+//! configured [`ActionKind`] before latching as an [`Incident`].
+//!
+//! Because streams key on never-reused session ids, a verdict raced by
+//! an exit folds against the dead incarnation (recorded `post_exit`),
+//! never against whatever process the OS hands the PID to next.
+//!
+//! The engine contract is untouched: every window classifies through
+//! the sharded mux's lane kernels, bit-identical to offline
+//! [`classify`](csd_accel::CsdInferenceEngine::classify) of the same
+//! window — which is what makes live-vs-offline alert parity a testable
+//! invariant rather than a hope (see `exp_sentry`).
+
+use std::collections::{HashMap, VecDeque};
+
+use csd_accel::{
+    Alert, CsdInferenceEngine, MuxStats, PipelineSchedule, ShardedStreamMux, StreamLoss,
+    StreamMuxConfig, Verdict,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::actions::{ActionKind, ActionTaken, Incident};
+use crate::event::ProcessEvent;
+use crate::session::{Applied, SessionTable};
+use crate::whitelist::Whitelist;
+
+/// Sentry tuning. Defaults mirror the serial monitor's
+/// (`MonitorConfig`): window 100, stride 10, 2-of-3 votes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SentryConfig {
+    /// Window length fed to the engine.
+    pub window_len: usize,
+    /// Calls between successive windows of one session.
+    pub stride: usize,
+    /// Positive verdicts within the horizon that raise an alert.
+    pub votes_needed: usize,
+    /// Recent verdicts the vote ring remembers (≤ 64).
+    pub vote_horizon: usize,
+    /// End sessions idle this many events of the ingest clock; `None`
+    /// disables the timeout.
+    pub idle_timeout_events: Option<u64>,
+    /// Events between idle sweeps.
+    pub sweep_every: u64,
+    /// What to do when an alert fires.
+    pub action: ActionKind,
+    /// The sharded mux under the service.
+    pub mux: StreamMuxConfig,
+}
+
+impl Default for SentryConfig {
+    fn default() -> Self {
+        Self {
+            window_len: 100,
+            stride: 10,
+            votes_needed: 2,
+            vote_horizon: 3,
+            idle_timeout_events: None,
+            sweep_every: 512,
+            action: ActionKind::Log,
+            mux: StreamMuxConfig::default(),
+        }
+    }
+}
+
+/// Per-session stream state on the sentry side: window cursor plus the
+/// vote ring. Keyed by session id in [`Sentry::streams`].
+#[derive(Debug, Default)]
+struct StreamRecord {
+    /// Windows submitted so far; the next starts at
+    /// `submitted * stride`.
+    submitted: usize,
+    /// Last `vote_horizon` verdicts, bit 0 newest.
+    ring: u64,
+    /// Verdicts folded for this session.
+    verdicts: u32,
+    /// An incident latched; no further windows or folds.
+    latched: bool,
+    /// `(at_call, ingest clock)` per accepted submission, in order —
+    /// matched back up at fold for service-side latency. Evicted
+    /// windows never fold, so entries are matched by `at_call` (stale
+    /// ones are skipped), not blindly popped.
+    stamps: VecDeque<(usize, u64)>,
+}
+
+/// Aggregate service counters, for reports and the bench campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SentryStats {
+    /// Events ingested.
+    pub events: u64,
+    /// Sessions started (spawn or implicit).
+    pub sessions_started: u64,
+    /// Sessions ended (exit, idle timeout, superseded).
+    pub sessions_ended: u64,
+    /// Out-of-vocabulary calls dropped at ingest.
+    pub oov_calls: u64,
+    /// Calls dropped because their session was killed/quarantined.
+    pub dropped_after_kill: u64,
+    /// Exits for PIDs never seen.
+    pub stray_exits: u64,
+    /// Verdicts folded into vote rings.
+    pub verdicts_folded: u64,
+    /// Incidents latched (including suppressed ones).
+    pub incidents: u64,
+    /// Incidents whose action was withheld by the whitelist.
+    pub suppressed: u64,
+    /// Incidents whose verdict landed after session end.
+    pub post_exit_incidents: u64,
+    /// The mux's own counters (submissions, occupancy, loss).
+    pub mux: MuxStats,
+}
+
+/// The live ingestion service over one sharded fleet engine.
+#[derive(Debug)]
+pub struct Sentry {
+    config: SentryConfig,
+    vote_mask: u64,
+    per_item_us: f64,
+    mux: ShardedStreamMux,
+    sessions: SessionTable,
+    whitelist: Whitelist,
+    streams: HashMap<u64, StreamRecord>,
+    incidents: Vec<Incident>,
+    /// Verdict latency samples: events the session observed between
+    /// window-full and the verdict's fold.
+    latencies: Vec<u64>,
+    /// Verdict latency on the service clock: events the *service*
+    /// ingested (across all sessions) between window-full and fold.
+    service_latencies: Vec<u64>,
+    verdicts_folded: u64,
+    suppressed: u64,
+    post_exit_incidents: u64,
+    events: u64,
+    verdict_buf: Vec<Verdict>,
+}
+
+impl Sentry {
+    /// Builds the service over `engine`. The vocabulary bound for
+    /// ingest-side filtering comes from the engine's own dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len`, `stride`, or `votes_needed` is zero, or
+    /// `votes_needed > vote_horizon`, or `vote_horizon > 64`.
+    pub fn new(engine: CsdInferenceEngine, config: SentryConfig) -> Self {
+        assert!(config.window_len > 0, "window length must be positive");
+        assert!(config.stride > 0, "stride must be positive");
+        assert!(config.votes_needed > 0, "votes_needed must be positive");
+        assert!(
+            config.votes_needed <= config.vote_horizon,
+            "votes_needed cannot exceed the vote horizon"
+        );
+        assert!(config.vote_horizon <= 64, "vote ring is one u64");
+        assert!(config.sweep_every > 0, "sweep cadence must be positive");
+        let vote_mask = if config.vote_horizon == 64 {
+            u64::MAX
+        } else {
+            (1u64 << config.vote_horizon) - 1
+        };
+        let per_item_us = PipelineSchedule::for_level(engine.level()).steady_item_us;
+        let vocab = engine.weights().dims().vocab;
+        let sessions = SessionTable::new(vocab, config.idle_timeout_events);
+        let mux = ShardedStreamMux::new(engine, config.mux);
+        Self {
+            config,
+            vote_mask,
+            per_item_us,
+            mux,
+            sessions,
+            whitelist: Whitelist::new(),
+            streams: HashMap::new(),
+            incidents: Vec::new(),
+            latencies: Vec::new(),
+            service_latencies: Vec::new(),
+            verdicts_folded: 0,
+            suppressed: 0,
+            post_exit_incidents: 0,
+            events: 0,
+            verdict_buf: Vec::new(),
+        }
+    }
+
+    /// The whitelist, for configuration.
+    pub fn whitelist_mut(&mut self) -> &mut Whitelist {
+        &mut self.whitelist
+    }
+
+    /// The whitelist, read-only.
+    pub fn whitelist(&self) -> &Whitelist {
+        &self.whitelist
+    }
+
+    /// Ingests one event: session lifecycle, window slicing, mux
+    /// submission. Classification happens at [`poll`](Self::poll) /
+    /// [`drain`](Self::drain). Never panics on any event sequence —
+    /// ingest is the service's untrusted boundary.
+    pub fn ingest(&mut self, event: &ProcessEvent) {
+        self.events += 1;
+        match self.sessions.apply(event) {
+            Applied::Started {
+                sid,
+                buffered: Some(true),
+            }
+            | Applied::Call {
+                sid,
+                buffered: true,
+            } => self.pump_windows(sid),
+            _ => {}
+        }
+        if self.config.idle_timeout_events.is_some()
+            && self.events.is_multiple_of(self.config.sweep_every)
+        {
+            // Ended sessions submit no further windows; verdicts still
+            // in flight fold as post-exit records.
+            let _ = self.sessions.sweep_idle();
+        }
+    }
+
+    /// Ingests a batch of events in order.
+    pub fn ingest_all(&mut self, events: &[ProcessEvent]) {
+        for e in events {
+            self.ingest(e);
+        }
+    }
+
+    /// Submits every complete, unsubmitted window of session `sid`,
+    /// then compacts the session's buffer down to what future windows
+    /// still need.
+    fn pump_windows(&mut self, sid: u64) {
+        let (window_len, stride) = (self.config.window_len, self.config.stride);
+        loop {
+            let rec = self.streams.entry(sid).or_default();
+            if rec.latched {
+                return;
+            }
+            let offset = rec.submitted * stride;
+            let Some(s) = self.sessions.session(sid) else {
+                return;
+            };
+            if !s.is_live() || offset + window_len > s.vocab_calls() {
+                break;
+            }
+            let Some(window) = s.window_at(offset, window_len) else {
+                break;
+            };
+            let at_call = s.calls_seen() as usize;
+            // A refused submission (backpressure under DropNewest) is
+            // shed load: the cursor still advances and the mux tallies
+            // the refusal per stream.
+            let accepted = self.mux.submit(sid, at_call, window);
+            if let Some(rec) = self.streams.get_mut(&sid) {
+                rec.submitted += 1;
+                if accepted {
+                    rec.stamps.push_back((at_call, self.events));
+                }
+            }
+        }
+        let consumed = self
+            .streams
+            .get(&sid)
+            .map_or(0, |rec| rec.submitted * stride);
+        if let Some(s) = self.sessions.session_mut(sid) {
+            s.discard_consumed(consumed);
+        }
+    }
+
+    /// Runs one engine round and returns incidents raised by it.
+    pub fn poll(&mut self) -> Vec<Incident> {
+        let mut buf = std::mem::take(&mut self.verdict_buf);
+        buf.clear();
+        self.mux.tick_into(&mut buf);
+        let new = self.fold(&buf);
+        self.verdict_buf = buf;
+        new
+    }
+
+    /// Classifies everything queued or in flight and returns incidents
+    /// raised.
+    pub fn drain(&mut self) -> Vec<Incident> {
+        let mut buf = std::mem::take(&mut self.verdict_buf);
+        buf.clear();
+        self.mux.drain_into(&mut buf);
+        let new = self.fold(&buf);
+        self.verdict_buf = buf;
+        new
+    }
+
+    /// Folds retired verdicts into vote rings; a completed vote runs
+    /// the dispatch path: whitelist check, configured action, latched
+    /// incident. Verdicts key on session ids, so nothing here can touch
+    /// a PID's later incarnation.
+    fn fold(&mut self, verdicts: &[Verdict]) -> Vec<Incident> {
+        let mut raised = Vec::new();
+        for v in verdicts {
+            let Some(rec) = self.streams.get_mut(&v.stream) else {
+                continue;
+            };
+            if rec.latched {
+                continue;
+            }
+            self.verdicts_folded += 1;
+            rec.verdicts += 1;
+            rec.ring = ((rec.ring << 1) | u64::from(v.classification.is_positive)) & self.vote_mask;
+            let verdicts_folded = rec.verdicts;
+            let vote_complete = (rec.ring.count_ones() as usize) >= self.config.votes_needed;
+            // Match the verdict to its submission stamp; stamps for
+            // windows evicted before classifying are skipped here.
+            let submitted_at = loop {
+                match rec.stamps.front().copied() {
+                    Some((at, _)) if at < v.at_call => {
+                        rec.stamps.pop_front();
+                    }
+                    Some((at, stamp)) if at == v.at_call => {
+                        rec.stamps.pop_front();
+                        break Some(stamp);
+                    }
+                    _ => break None,
+                }
+            };
+            if let Some(stamp) = submitted_at {
+                self.service_latencies
+                    .push(self.events.saturating_sub(stamp));
+            }
+            let Some(s) = self.sessions.session(v.stream) else {
+                continue;
+            };
+            self.latencies
+                .push(s.calls_seen().saturating_sub(v.at_call as u64));
+            if !vote_complete {
+                continue;
+            }
+            let (pid, name, post_exit) = (s.pid(), s.name().map(str::to_string), !s.is_live());
+            if let Some(rec) = self.streams.get_mut(&v.stream) {
+                rec.latched = true;
+            }
+            let whitelisted = self.whitelist.contains(name.as_deref());
+            let action = if whitelisted {
+                self.suppressed += 1;
+                ActionTaken::Suppressed
+            } else {
+                if self.config.action.stops_process() && !post_exit {
+                    self.sessions.kill(v.stream);
+                }
+                self.config.action.taken()
+            };
+            if post_exit {
+                self.post_exit_incidents += 1;
+            }
+            let incident = Incident {
+                sid: v.stream,
+                pid,
+                name,
+                alert: Alert {
+                    at_call: v.at_call,
+                    probability: v.classification.probability,
+                    inference_us: f64::from(verdicts_folded)
+                        * self.config.window_len as f64
+                        * self.per_item_us,
+                },
+                action,
+                post_exit,
+            };
+            self.incidents.push(incident.clone());
+            raised.push(incident);
+        }
+        raised
+    }
+
+    /// Every incident latched so far, in latch order.
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// The incident latched against session `sid`, if any.
+    pub fn incident_for(&self, sid: u64) -> Option<&Incident> {
+        self.incidents.iter().find(|i| i.sid == sid)
+    }
+
+    /// Verdict-latency samples: events the session observed past
+    /// window-full before each verdict folded.
+    pub fn latencies(&self) -> &[u64] {
+        &self.latencies
+    }
+
+    /// Verdict-latency samples on the service clock: events ingested
+    /// across all sessions between each window's fill and its verdict's
+    /// fold — the deployment-side staleness of a verdict under
+    /// interleaved load.
+    pub fn service_latencies(&self) -> &[u64] {
+        &self.service_latencies
+    }
+
+    /// The session table, read-only.
+    pub fn sessions(&self) -> &SessionTable {
+        &self.sessions
+    }
+
+    /// Per-session engine-side loss (evicted / refused / rejected).
+    pub fn loss_for(&self, sid: u64) -> StreamLoss {
+        self.mux.loss_for(sid)
+    }
+
+    /// Events ingested so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> SentryStats {
+        SentryStats {
+            events: self.events,
+            sessions_started: self.sessions.started(),
+            sessions_ended: self.sessions.ended_count(),
+            oov_calls: self.sessions.oov_total(),
+            dropped_after_kill: self.sessions.dropped_after_kill(),
+            stray_exits: self.sessions.stray_exits(),
+            verdicts_folded: self.verdicts_folded,
+            incidents: self.incidents.len() as u64,
+            suppressed: self.suppressed,
+            post_exit_incidents: self.post_exit_incidents,
+            mux: self.mux.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::event::ProcessEvent;
+    use csd_accel::OptimizationLevel;
+    use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};
+
+    const VOCAB: usize = 16;
+
+    fn engine() -> CsdInferenceEngine {
+        let model = SequenceClassifier::new(ModelConfig::tiny(VOCAB), 9);
+        CsdInferenceEngine::new(
+            &ModelWeights::from_model(&model),
+            OptimizationLevel::FixedPoint,
+        )
+    }
+
+    fn config() -> SentryConfig {
+        SentryConfig {
+            window_len: 8,
+            stride: 4,
+            votes_needed: 1,
+            vote_horizon: 1,
+            ..SentryConfig::default()
+        }
+    }
+
+    /// A deterministic trace, same generator family as the stream
+    /// tests.
+    fn trace(salt: usize, n: usize) -> Vec<usize> {
+        (0..n).map(|i| (i * 7 + salt * 3) % VOCAB).collect()
+    }
+
+    fn feed(sentry: &mut Sentry, pid: u32, calls: &[usize]) {
+        for (i, &c) in calls.iter().enumerate() {
+            sentry.ingest(&ProcessEvent::api(i as u64, pid, c));
+        }
+    }
+
+    #[test]
+    fn verdicts_match_offline_classification_window_for_window() {
+        let e = engine();
+        let offline = e.clone();
+        let mut sentry = Sentry::new(e, config());
+        let calls = trace(1, 24);
+        feed(&mut sentry, 10, &calls);
+        sentry.ingest(&ProcessEvent::exit(99, 10));
+        let incidents = sentry.drain();
+        // Oracle: alert iff any of the serial monitor's windows
+        // (offset 0, then every stride) classifies positive.
+        let any_positive = (0..)
+            .map(|k| k * 4)
+            .take_while(|&off| off + 8 <= calls.len())
+            .any(|off| offline.classify(&calls[off..off + 8]).is_positive);
+        let sid = sentry.sessions().sessions().next().unwrap().sid();
+        assert_eq!(
+            sentry.incident_for(sid).is_some(),
+            any_positive,
+            "live alert parity with offline classify"
+        );
+        assert_eq!(incidents.len(), usize::from(any_positive));
+    }
+
+    #[test]
+    fn one_incident_per_session_and_it_latches() {
+        let e = engine();
+        let mut sentry = Sentry::new(e, config());
+        // Long trace: many windows, but at most one incident.
+        feed(&mut sentry, 5, &trace(2, 200));
+        sentry.drain();
+        assert!(sentry.incidents().len() <= 1);
+        let stats = sentry.stats();
+        assert!(stats.verdicts_folded >= 1);
+    }
+
+    #[test]
+    fn kill_action_stops_the_session_and_tallies_stragglers() {
+        let e = engine();
+        let offline = e.clone();
+        let mut cfg = config();
+        cfg.action = ActionKind::Kill;
+        let mut sentry = Sentry::new(e, cfg);
+        // Find a salt whose first window classifies positive so the
+        // kill path actually fires.
+        let salt = (0..64)
+            .find(|&s| offline.classify(&trace(s, 8)).is_positive)
+            .expect("some window classifies positive");
+        let calls = trace(salt, 8);
+        feed(&mut sentry, 77, &calls);
+        let incidents = sentry.drain();
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].action, ActionTaken::Killed);
+        let sid = incidents[0].sid;
+        assert!(sentry.sessions().session(sid).unwrap().is_killed());
+        // Stragglers after the kill are dropped and tallied.
+        sentry.ingest(&ProcessEvent::api(1000, 77, 1));
+        sentry.ingest(&ProcessEvent::api(1001, 77, 2));
+        assert_eq!(sentry.stats().dropped_after_kill, 2);
+    }
+
+    #[test]
+    fn whitelisted_image_suppresses_the_action_but_records_the_firing() {
+        let e = engine();
+        let offline = e.clone();
+        let mut cfg = config();
+        cfg.action = ActionKind::Kill;
+        let mut sentry = Sentry::new(e, cfg);
+        sentry.whitelist_mut().add("backup.exe");
+        let salt = (0..64)
+            .find(|&s| offline.classify(&trace(s, 8)).is_positive)
+            .expect("some window classifies positive");
+        sentry.ingest(&ProcessEvent::spawn(0, 3, "backup.exe"));
+        feed(&mut sentry, 3, &trace(salt, 8));
+        let incidents = sentry.drain();
+        assert_eq!(incidents.len(), 1, "detection is never suppressed");
+        assert_eq!(incidents[0].action, ActionTaken::Suppressed);
+        let sid = incidents[0].sid;
+        assert!(
+            !sentry.sessions().session(sid).unwrap().is_killed(),
+            "whitelisted process keeps running"
+        );
+        assert_eq!(sentry.stats().suppressed, 1);
+    }
+
+    #[test]
+    fn verdict_racing_an_exit_folds_post_exit_against_the_dead_session() {
+        let e = engine();
+        let offline = e.clone();
+        let mut cfg = config();
+        cfg.action = ActionKind::Kill;
+        let mut sentry = Sentry::new(e, cfg);
+        let salt = (0..64)
+            .find(|&s| offline.classify(&trace(s, 8)).is_positive)
+            .expect("some window classifies positive");
+        // Submit the window, then exit before draining: the verdict
+        // lands after the session ended.
+        feed(&mut sentry, 8, &trace(salt, 8));
+        sentry.ingest(&ProcessEvent::exit(100, 8));
+        let incidents = sentry.drain();
+        assert_eq!(incidents.len(), 1);
+        assert!(incidents[0].post_exit);
+        assert_eq!(sentry.stats().post_exit_incidents, 1);
+        // Reuse the pid: the old incident must not move, and the new
+        // incarnation starts clean.
+        sentry.ingest(&ProcessEvent::spawn(101, 8, "fresh.exe"));
+        let new_sid = sentry.sessions().sid_for_pid(8).unwrap();
+        assert_ne!(new_sid, incidents[0].sid);
+        assert!(sentry.incident_for(new_sid).is_none());
+    }
+
+    #[test]
+    fn latency_samples_count_events_past_window_full() {
+        let e = engine();
+        let mut sentry = Sentry::new(e, config());
+        // Exactly one window, drained immediately after it fills: the
+        // session observes no further events, so latency is 0.
+        feed(&mut sentry, 2, &trace(3, 8));
+        sentry.drain();
+        assert_eq!(sentry.latencies(), &[0]);
+        // Feed more calls before draining the next window's verdict:
+        // latency counts them.
+        feed(&mut sentry, 2, &trace(3, 8)); // completes windows at stride 4
+        sentry.drain();
+        assert!(sentry.latencies().len() >= 2);
+    }
+
+    #[test]
+    fn service_latency_counts_events_ingested_between_fill_and_fold() {
+        let e = engine();
+        let mut sentry = Sentry::new(e, config());
+        // Fill pid 1's window, then ingest 10 events on *another* pid
+        // before draining: the service clock advanced 10 between fill
+        // and fold.
+        feed(&mut sentry, 1, &trace(5, 8));
+        feed(&mut sentry, 2, &trace(6, 10));
+        sentry.drain();
+        assert!(
+            sentry.service_latencies().contains(&10),
+            "pid 1's verdict was 10 ingested events stale: {:?}",
+            sentry.service_latencies()
+        );
+        // Session-local latency for pid 1 is still 0: *it* observed
+        // nothing past window-full.
+        assert!(sentry.latencies().contains(&0));
+    }
+
+    #[test]
+    fn oov_calls_never_reach_the_engine() {
+        let e = engine();
+        let mut sentry = Sentry::new(e, config());
+        let mut calls = trace(4, 8);
+        calls.insert(3, 5000); // far out of vocabulary
+        feed(&mut sentry, 12, &calls);
+        sentry.drain();
+        let stats = sentry.stats();
+        assert_eq!(stats.oov_calls, 1);
+        assert_eq!(stats.mux.rejected, 0, "filtered at ingest, not at the mux");
+    }
+}

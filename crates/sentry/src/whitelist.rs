@@ -1,0 +1,92 @@
+//! The process whitelist: the deployment's false-positive valve.
+//!
+//! Backup suites, compression tools, and indexers legitimately exhibit
+//! the paper's ransomware signature — mass reads, writes, renames —
+//! and a detector that kills the nightly backup is worse than none.
+//! Between an alert and its action, the sentry consults this list: a
+//! whitelisted image name suppresses the *action* (and the suppression
+//! is recorded as an incident), it never suppresses detection itself,
+//! so the operator still sees what fired.
+//!
+//! Matching is by exact image name or by path prefix (e.g. everything
+//! under `C:\Program Files\Backup\`). Sessions that never produced a
+//! `Spawn` event have no name and are never whitelisted — an unknown
+//! process does not get the benefit of the doubt.
+
+/// An image-name whitelist.
+#[derive(Debug, Clone, Default)]
+pub struct Whitelist {
+    exact: Vec<String>,
+    prefixes: Vec<String>,
+}
+
+impl Whitelist {
+    /// An empty whitelist (nothing is suppressed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an exact image name.
+    pub fn add(&mut self, name: &str) -> &mut Self {
+        self.exact.push(name.to_string());
+        self
+    }
+
+    /// Adds a path prefix; any name starting with it matches.
+    pub fn add_prefix(&mut self, prefix: &str) -> &mut Self {
+        self.prefixes.push(prefix.to_string());
+        self
+    }
+
+    /// Whether `name` is whitelisted. `None` (no spawn observed, name
+    /// unknown) never matches.
+    pub fn contains(&self, name: Option<&str>) -> bool {
+        let Some(name) = name else {
+            return false;
+        };
+        self.exact.iter().any(|n| n == name)
+            || self.prefixes.iter().any(|p| name.starts_with(p.as_str()))
+    }
+
+    /// Number of entries (exact + prefix).
+    pub fn len(&self) -> usize {
+        self.exact.len() + self.prefixes.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty() && self.prefixes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_prefix_matching() {
+        let mut w = Whitelist::new();
+        w.add("backup.exe");
+        w.add_prefix("C:\\Program Files\\Backup\\");
+        assert!(w.contains(Some("backup.exe")));
+        assert!(w.contains(Some("C:\\Program Files\\Backup\\agent.exe")));
+        assert!(!w.contains(Some("backup.exe.evil")));
+        assert!(!w.contains(Some("evil.exe")));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn unnamed_sessions_are_never_whitelisted() {
+        let mut w = Whitelist::new();
+        w.add_prefix(""); // Matches every *named* process.
+        assert!(w.contains(Some("anything")));
+        assert!(!w.contains(None), "no spawn, no benefit of the doubt");
+    }
+
+    #[test]
+    fn empty_list_suppresses_nothing() {
+        let w = Whitelist::new();
+        assert!(w.is_empty());
+        assert!(!w.contains(Some("backup.exe")));
+    }
+}

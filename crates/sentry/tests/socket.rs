@@ -1,0 +1,155 @@
+//! End-to-end over the Unix socket: remote producers speak the frame
+//! protocol to a [`SocketServer`], the bus feeds a [`Sentry`], and the
+//! sentry's verdicts match offline classification of the same windows.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use csd_accel::{CsdInferenceEngine, OptimizationLevel};
+use csd_nn::{ModelConfig, ModelWeights, SequenceClassifier};
+use csd_sentry::{EventBus, ProcessEvent, Sentry, SentryConfig, SocketClient, SocketServer};
+
+const VOCAB: usize = 16;
+
+fn engine() -> CsdInferenceEngine {
+    let model = SequenceClassifier::new(ModelConfig::tiny(VOCAB), 9);
+    CsdInferenceEngine::new(
+        &ModelWeights::from_model(&model),
+        OptimizationLevel::FixedPoint,
+    )
+}
+
+fn config() -> SentryConfig {
+    SentryConfig {
+        window_len: 8,
+        stride: 4,
+        votes_needed: 1,
+        vote_horizon: 1,
+        ..SentryConfig::default()
+    }
+}
+
+fn trace(salt: usize, n: usize) -> Vec<usize> {
+    (0..n).map(|i| (i * 7 + salt * 3) % VOCAB).collect()
+}
+
+/// A socket path unique to this test process and tag.
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("csd-sentry-{}-{tag}.sock", std::process::id()))
+}
+
+/// Drains the bus into the sentry until `expect` events arrived or the
+/// deadline passes.
+fn pump(bus: &EventBus, sentry: &mut Sentry, expect: u64, rounds: usize) {
+    let mut buf = Vec::new();
+    for _ in 0..rounds {
+        buf.clear();
+        bus.recv_into(&mut buf, Duration::from_millis(20));
+        sentry.ingest_all(&buf);
+        if sentry.events() >= expect {
+            return;
+        }
+    }
+    panic!(
+        "bus delivered {} of {expect} expected events",
+        sentry.events()
+    );
+}
+
+#[test]
+fn socket_producers_reach_verdict_parity_with_offline_classify() {
+    let offline = engine();
+    let mut sentry = Sentry::new(engine(), config());
+    let bus = EventBus::new(4096);
+    let path = socket_path("parity");
+    let server = SocketServer::bind(&path, bus.producer()).expect("bind");
+
+    // Three remote producers, one process each, concurrent connections.
+    let pids: Vec<u32> = vec![100, 200, 300];
+    let handles: Vec<_> = pids
+        .iter()
+        .map(|&pid| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut client = SocketClient::connect(&path).expect("connect");
+                client
+                    .send(&ProcessEvent::spawn(0, pid, &format!("proc-{pid}.exe")))
+                    .expect("spawn frame");
+                for (i, &c) in trace(pid as usize, 24).iter().enumerate() {
+                    client
+                        .send(&ProcessEvent::api(1 + i as u64, pid, c))
+                        .expect("api frame");
+                }
+                client.send(&ProcessEvent::exit(99, pid)).expect("exit");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("producer thread");
+    }
+
+    // 3 producers × (spawn + 24 calls + exit).
+    pump(&bus, &mut sentry, 3 * 26, 500);
+    sentry.drain();
+    assert_eq!(server.frames(), 3 * 26);
+    assert_eq!(server.decode_errors(), 0);
+
+    for &pid in &pids {
+        let calls = trace(pid as usize, 24);
+        let any_positive = (0..)
+            .map(|k| k * 4)
+            .take_while(|&off| off + 8 <= calls.len())
+            .any(|off| offline.classify(&calls[off..off + 8]).is_positive);
+        let session = sentry
+            .sessions()
+            .sessions()
+            .find(|s| s.pid() == pid)
+            .expect("session exists");
+        assert_eq!(session.calls_seen(), 24);
+        assert_eq!(
+            sentry.incident_for(session.sid()).is_some(),
+            any_positive,
+            "pid {pid}: live alert parity with offline classify"
+        );
+    }
+    drop(server);
+}
+
+#[test]
+fn malformed_frames_drop_one_connection_without_disturbing_peers() {
+    let mut sentry = Sentry::new(engine(), config());
+    let bus = EventBus::new(1024);
+    let path = socket_path("hostile");
+    let server = SocketServer::bind(&path, bus.producer()).expect("bind");
+
+    // A hostile connection: one good frame, then garbage.
+    {
+        use std::io::Write;
+        let mut raw = std::os::unix::net::UnixStream::connect(&path).expect("connect");
+        let mut frame = Vec::new();
+        csd_sentry::write_frame(&mut frame, &ProcessEvent::api(0, 66, 1)).expect("encode");
+        raw.write_all(&frame).expect("good frame");
+        raw.write_all(&u32::MAX.to_le_bytes()).expect("bad length");
+        raw.write_all(&[0xAB; 32]).expect("junk");
+    }
+    // A well-behaved connection afterwards.
+    let mut client = SocketClient::connect(&path).expect("connect");
+    for (i, &c) in trace(7, 8).iter().enumerate() {
+        client
+            .send(&ProcessEvent::api(i as u64, 77, c))
+            .expect("api frame");
+    }
+
+    // 1 good frame from the hostile peer + 8 from the honest one.
+    pump(&bus, &mut sentry, 9, 500);
+    sentry.drain();
+
+    assert_eq!(server.decode_errors(), 1, "hostile connection tallied");
+    let honest = sentry
+        .sessions()
+        .sessions()
+        .find(|s| s.pid() == 77)
+        .expect("honest session exists");
+    assert_eq!(honest.calls_seen(), 8, "peer unaffected by the bad frame");
+    drop(server);
+}

@@ -20,6 +20,7 @@
 //! | [`accel`] | `csd-accel` | **The paper's contribution**: the five-kernel CSD inference engine |
 //! | [`ransomware`] | `csd-ransomware` | Synthetic Cuckoo corpus: 10 families / 76 variants + benign suite |
 //! | [`baselines`] | `csd-baselines` | CPU/GPU execution models + native measurement (Table I) |
+//! | [`sentry`] | `csd-sentry` | Host-side live ingestion: process events → sessions → windows → response |
 //!
 //! ## Quickstart
 //!
@@ -55,4 +56,5 @@ pub use csd_fxp as fxp;
 pub use csd_hls as hls;
 pub use csd_nn as nn;
 pub use csd_ransomware as ransomware;
+pub use csd_sentry as sentry;
 pub use csd_tensor as tensor;

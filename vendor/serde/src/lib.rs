@@ -75,6 +75,17 @@ impl Value {
         }
     }
 
+    /// Looks up a struct field that may be absent: `Some` only when
+    /// `self` is a map containing `name`. The derive's
+    /// `#[serde(default)]` path — a missing field is not an error
+    /// there, it takes the field's default instead.
+    pub fn opt_field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
     /// The sequence elements, or an error.
     pub fn as_seq(&self) -> Result<&[Value], DeError> {
         match self {

@@ -5,9 +5,13 @@
 //! (`to_value`) and `Deserialize` (`from_value`) traits. Supports the
 //! shapes this workspace actually derives: named-field structs, tuple
 //! structs, unit-only and tuple-variant enums, simple generics
-//! (`Vector<T>`, `Matrix<T>`, `Fixed<const P: u32>`), and the
-//! `#[serde(transparent)]` attribute. Anything else produces a
-//! `compile_error!` naming the unsupported construct.
+//! (`Vector<T>`, `Matrix<T>`, `Fixed<const P: u32>`), the
+//! `#[serde(transparent)]` attribute, and per-field `#[serde(default)]`
+//! / `#[serde(default = "path")]` on named fields (a missing field
+//! deserializes to `Default::default()` or `path()` instead of
+//! erroring — what keeps old benchmark JSON readable as structs grow
+//! fields). Anything else produces a `compile_error!` naming the
+//! unsupported construct.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -29,9 +33,26 @@ enum Mode {
     Deserialize,
 }
 
+/// How a missing named field deserializes.
+#[derive(Debug, Clone, PartialEq)]
+enum FieldDefault {
+    /// Absence is an error (no `#[serde(default)]`).
+    Required,
+    /// `#[serde(default)]`: absence takes `Default::default()`.
+    DefaultTrait,
+    /// `#[serde(default = "path")]`: absence calls `path()`.
+    Path(String),
+}
+
+#[derive(Debug)]
+struct NamedField {
+    name: String,
+    default: FieldDefault,
+}
+
 #[derive(Debug)]
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<NamedField>),
     Tuple(usize),
     Unit,
 }
@@ -244,15 +265,49 @@ fn parse_param(tokens: &[TokenTree]) -> Result<Param, String> {
     }
 }
 
-/// Field names of a named-field body, in declaration order.
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+/// The `#[serde(default)]` / `#[serde(default = "path")]` marker in an
+/// attribute's token group, if present.
+fn serde_default_of(stream: TokenStream) -> Option<FieldDefault> {
+    let mut iter = stream.into_iter();
+    match (iter.next(), iter.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            for (i, tt) in inner.iter().enumerate() {
+                if !matches!(tt, TokenTree::Ident(d) if d.to_string() == "default") {
+                    continue;
+                }
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (inner.get(i + 1), inner.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let path = lit.to_string().trim_matches('"').to_string();
+                        return Some(FieldDefault::Path(path));
+                    }
+                }
+                return Some(FieldDefault::DefaultTrait);
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Named fields (with their default markers) in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<NamedField>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut pos = 0;
+    let mut pending_default = FieldDefault::Required;
     while pos < tokens.len() {
-        // Skip attributes and visibility.
+        // Skip attributes and visibility, remembering any serde default
+        // marker for the field that follows.
         match &tokens[pos] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(pos + 1) {
+                    if let Some(d) = serde_default_of(g.stream()) {
+                        pending_default = d;
+                    }
+                }
                 pos += 2; // `#` + bracket group
                 continue;
             }
@@ -294,7 +349,10 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             }
             pos += 1;
         }
-        fields.push(name);
+        fields.push(NamedField {
+            name,
+            default: std::mem::replace(&mut pending_default, FieldDefault::Required),
+        });
     }
     Ok(fields)
 }
@@ -417,12 +475,13 @@ fn ser_struct(item: &Item, fields: &Fields) -> String {
     match fields {
         Fields::Unit => "::serde::Value::Null".to_string(),
         Fields::Named(names) if item.transparent && names.len() == 1 => {
-            format!("::serde::Serialize::to_value(&self.{})", names[0])
+            format!("::serde::Serialize::to_value(&self.{})", names[0].name)
         }
         Fields::Named(names) => {
             let pushes: Vec<String> = names
                 .iter()
-                .map(|n| {
+                .map(|f| {
+                    let n = &f.name;
                     format!(
                         "entries.push(({n:?}.to_string(), ::serde::Serialize::to_value(&self.{n})));"
                     )
@@ -470,10 +529,17 @@ fn ser_enum(item: &Item, variants: &[Variant]) -> String {
                     )
                 }
                 Fields::Named(fields) => {
-                    let binds = fields.join(", ");
+                    let binds = fields
+                        .iter()
+                        .map(|f| f.name.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ");
                     let pushes: Vec<String> = fields
                         .iter()
-                        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))"))
+                        .map(|f| {
+                            let n = &f.name;
+                            format!("({n:?}.to_string(), ::serde::Serialize::to_value({n}))")
+                        })
                         .collect();
                     format!(
                         "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![({vname:?}\
@@ -499,19 +565,40 @@ fn gen_deserialize(item: &Item) -> String {
     )
 }
 
+/// One named field's deserialization initializer against the map held
+/// in `src`: required fields error when absent, defaulted fields fall
+/// back to `Default::default()` or their named function.
+fn de_named_field(f: &NamedField, src: &str) -> String {
+    let n = &f.name;
+    match &f.default {
+        FieldDefault::Required => {
+            format!("{n}: ::serde::Deserialize::from_value({src}.field({n:?})?)?")
+        }
+        FieldDefault::DefaultTrait => format!(
+            "{n}: match {src}.opt_field({n:?}) {{ \
+               ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?, \
+               ::std::option::Option::None => ::std::default::Default::default(), \
+             }}"
+        ),
+        FieldDefault::Path(path) => format!(
+            "{n}: match {src}.opt_field({n:?}) {{ \
+               ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?, \
+               ::std::option::Option::None => {path}(), \
+             }}"
+        ),
+    }
+}
+
 fn de_struct(item: &Item, fields: &Fields) -> String {
     let name = &item.name;
     match fields {
         Fields::Unit => format!("Ok({name})"),
         Fields::Named(names) if item.transparent && names.len() == 1 => format!(
             "Ok({name} {{ {}: ::serde::Deserialize::from_value(value)? }})",
-            names[0]
+            names[0].name
         ),
         Fields::Named(names) => {
-            let inits: Vec<String> = names
-                .iter()
-                .map(|n| format!("{n}: ::serde::Deserialize::from_value(value.field({n:?})?)?"))
-                .collect();
+            let inits: Vec<String> = names.iter().map(|f| de_named_field(f, "value")).collect();
             format!("Ok({name} {{ {} }})", inits.join(", "))
         }
         Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(value)?))"),
@@ -557,12 +644,8 @@ fn de_enum(item: &Item, variants: &[Variant]) -> String {
                     ))
                 }
                 Fields::Named(fields) => {
-                    let inits: Vec<String> = fields
-                        .iter()
-                        .map(|f| {
-                            format!("{f}: ::serde::Deserialize::from_value(inner.field({f:?})?)?")
-                        })
-                        .collect();
+                    let inits: Vec<String> =
+                        fields.iter().map(|f| de_named_field(f, "inner")).collect();
                     Some(format!(
                         "{vname:?} => Ok({name}::{vname} {{ {} }}),",
                         inits.join(", ")
