@@ -97,6 +97,18 @@ impl CascadeBand {
     pub fn width_frac(&self) -> f64 {
         (self.hi - self.lo).max(0) as f64 / self.scale as f64
     }
+
+    /// The *forced* verdict for a score, used by the mux's screen-only
+    /// overload mode when escalation to the exact path is suspended:
+    /// the band splits at its midpoint (`2·score > lo + hi` is
+    /// positive). Outside the band this agrees with
+    /// [`decide`](Self::decide); inside it, the verdict is a knowingly
+    /// degraded best effort, counted separately (`MuxStats::forced_screen`)
+    /// so overload-mode coverage is never mistaken for calibrated
+    /// screening.
+    pub fn force(&self, score: i64) -> bool {
+        score.saturating_mul(2) > self.lo.saturating_add(self.hi)
+    }
 }
 
 /// A screen model ready to store or ship: the quantized weights plus

@@ -221,6 +221,17 @@ pub struct MuxStats {
     /// verdict is still the one emitted).
     #[serde(default)]
     pub cascade_flips: u64,
+    /// Windows force-decided at the screen band's midpoint while the
+    /// screen-only overload hint was set — verdicts that would have
+    /// escalated to the exact path under normal operation. A knowingly
+    /// degraded count, kept separate from [`screened`](Self::screened)
+    /// so overload-mode coverage is never mistaken for calibrated
+    /// screening.
+    #[serde(default)]
+    pub forced_screen: u64,
+    /// Ticks executed while the screen-only overload hint was set.
+    #[serde(default)]
+    pub screen_only_ticks: u64,
     /// Pending windows moved between shards by the rebalancer (always 0
     /// for a standalone mux, and for a shard's own snapshot — steals are
     /// coordinator events).
@@ -404,6 +415,12 @@ pub struct StreamMux {
     screened: u64,
     escalated: u64,
     cascade_flips: u64,
+    /// Overload hint: while set, windows the band would escalate are
+    /// force-decided at the band midpoint instead of taking an exact
+    /// lane (see [`set_screen_only`](Self::set_screen_only)).
+    screen_only: bool,
+    forced_screen: u64,
+    screen_only_ticks: u64,
 }
 
 impl StreamMux {
@@ -487,7 +504,29 @@ impl StreamMux {
             screened: 0,
             escalated: 0,
             cascade_flips: 0,
+            screen_only: false,
+            forced_screen: 0,
+            screen_only_ticks: 0,
         }
+    }
+
+    /// Sets or clears the screen-only overload hint. While set, windows
+    /// whose screen score falls inside the calibrated band are
+    /// force-decided at the band midpoint ([`CascadeBand::force`])
+    /// instead of escalating to the exact path — bounding verdict
+    /// latency under backlog at the cost of calibrated accuracy, with
+    /// every forced verdict counted in [`MuxStats::forced_screen`].
+    /// Windows already escalated keep their claim on an exact lane.
+    /// A no-op (beyond remembering the flag) unless the mux is running
+    /// a screening cascade: with no screen tier there is no cheaper
+    /// path to prefer.
+    pub fn set_screen_only(&mut self, on: bool) {
+        self.screen_only = on;
+    }
+
+    /// Whether the screen-only overload hint is currently set.
+    pub fn screen_only(&self) -> bool {
+        self.screen_only
     }
 
     /// The resolved cascade mode: [`CascadeMode::Off`] unless screening
@@ -613,6 +652,8 @@ impl StreamMux {
             screened: self.screened,
             escalated: self.escalated,
             cascade_flips: self.cascade_flips,
+            forced_screen: self.forced_screen,
+            screen_only_ticks: self.screen_only_ticks,
             steals: 0,
             shards: MuxStats::one_shard(),
         }
@@ -794,6 +835,17 @@ impl StreamMux {
                     self.emit(window, c, out);
                     return;
                 }
+                if self.screen_only {
+                    // Overload: force the in-band verdict rather than
+                    // pay the exact path. Counted, never silent.
+                    self.forced_screen += 1;
+                    let c = Classification {
+                        probability: score as f64 / tier.gates().scale() as f64,
+                        is_positive: tier.band().force(score),
+                    };
+                    self.emit(window, c, out);
+                    return;
+                }
                 self.escalated += 1;
             }
         }
@@ -920,6 +972,17 @@ impl StreamMux {
                     };
                     self.emit(window, c, out);
                 }
+                None if self.screen_only => {
+                    // Overload: force the in-band verdict at the band
+                    // midpoint instead of queueing for an exact lane.
+                    self.forced_screen += 1;
+                    let is_positive = tier.band().force(score);
+                    let c = Classification {
+                        probability: score as f64 / tier.gates().scale() as f64,
+                        is_positive,
+                    };
+                    self.emit(window, c, out);
+                }
                 None => {
                     self.escalated += 1;
                     window.pos = 0;
@@ -947,6 +1010,18 @@ impl StreamMux {
     /// queue *within the same tick* — continuous batching with no batch
     /// barrier. With nothing active or pending this is a no-op.
     pub fn tick_into(&mut self, out: &mut Vec<Verdict>) -> usize {
+        let ticks_before = self.ticks;
+        let n = self.tick_inner(out);
+        if self.screen_only {
+            self.screen_only_ticks += self.ticks - ticks_before;
+        }
+        n
+    }
+
+    /// [`tick_into`](Self::tick_into) minus the screen-only tick
+    /// accounting (which needs the before/after tick delta around the
+    /// whole sweep).
+    fn tick_inner(&mut self, out: &mut Vec<Verdict>) -> usize {
         let before = out.len();
         // Re-admit poisoned lanes whose cooldown has expired. The lane's
         // state is garbage after the fault, but refill clears at
@@ -2204,6 +2279,78 @@ mod tests {
         let stats = mux.stats();
         assert!(stats.screened > 0, "verify mode still screens");
         assert_eq!(stats.cascade_flips, 0, "calibrated windows cannot flip");
+    }
+
+    #[test]
+    fn screen_only_forces_in_band_windows_and_counts_them() {
+        let (engine, _, windows) = cascaded_engine();
+        let tier = engine.cascade_shared().expect("fixture mounts a tier");
+        let mut mux = StreamMux::new(engine.clone(), cascade_config(4, CascadeMode::On));
+        mux.set_screen_only(true);
+        assert!(mux.screen_only());
+        for (k, w) in windows.iter().enumerate() {
+            assert!(mux.submit(k as u64, k, w));
+        }
+        let verdicts = mux.drain();
+        assert_eq!(verdicts.len(), windows.len(), "every window still verdicts");
+        let mut forced = 0u64;
+        for v in &verdicts {
+            let (score, decision) = tier.screen(&windows[v.stream as usize]);
+            match decision {
+                Some(p) => assert_eq!(v.classification.is_positive, p, "out-of-band unchanged"),
+                None => {
+                    forced += 1;
+                    assert_eq!(
+                        v.classification.is_positive,
+                        tier.band().force(score),
+                        "in-band window takes the band-midpoint verdict"
+                    );
+                }
+            }
+        }
+        let stats = mux.stats();
+        assert!(forced > 0, "fixture has in-band windows by construction");
+        assert_eq!(stats.forced_screen, forced);
+        assert_eq!(stats.escalated, 0, "screen-only never escalates");
+        assert!(stats.screen_only_ticks > 0);
+        // Clearing the hint restores calibrated escalation for the same
+        // windows.
+        mux.set_screen_only(false);
+        for (k, w) in windows.iter().enumerate() {
+            assert!(mux.submit(k as u64, k, w));
+        }
+        let _ = mux.drain();
+        let stats = mux.stats();
+        assert_eq!(
+            stats.escalated, forced,
+            "hint cleared, band escalates again"
+        );
+        assert_eq!(stats.forced_screen, forced, "no further forcing");
+    }
+
+    #[test]
+    fn sharded_screen_only_propagates_and_aggregates() {
+        let (engine, _, windows) = cascaded_engine();
+        let mut mux = ShardedStreamMux::new(
+            engine,
+            StreamMuxConfig {
+                lanes: Some(2),
+                shards: Some(2),
+                cascade: Some(CascadeMode::On),
+                ..StreamMuxConfig::default()
+            },
+        );
+        assert!(!mux.screen_only());
+        mux.set_screen_only(true);
+        assert!(mux.screen_only());
+        for (k, w) in windows.iter().enumerate() {
+            assert!(mux.submit(k as u64, k, w));
+        }
+        let verdicts = mux.drain();
+        assert_eq!(verdicts.len(), windows.len());
+        let stats = mux.stats();
+        assert!(stats.forced_screen > 0, "forcing crosses the coordinator");
+        assert_eq!(stats.escalated, 0);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 pub mod analysis;
 pub mod api;
 pub mod benign;
+pub mod chaos;
 pub mod dataset;
 pub mod family;
 pub mod replay;
@@ -57,6 +58,7 @@ pub mod window;
 pub use analysis::DamageTimeline;
 pub use api::{ApiCall, ApiCategory, ApiVocabulary};
 pub use benign::BenignProfile;
+pub use chaos::{ChaosConfig, ChaosCounters, ChaosOp, ChaosSchedule};
 pub use dataset::{Dataset, DatasetBuilder, SplitKind};
 pub use family::{FamilyProfile, Table2Row};
 pub use replay::{interleave, EventTrace, ReplayProfile, TraceEvent, TraceEventKind};

@@ -61,6 +61,25 @@ impl ActionKind {
     }
 }
 
+/// What actually happened when the action was dispatched to its
+/// backend — the *outcome*, as distinct from the *intent* recorded in
+/// [`ActionTaken`]. PR 9 latched only the intent; the durable journal
+/// records outcomes, so a restarted sentry knows whether a quarantine
+/// completed before the crash or must be reconciled.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionOutcome {
+    /// No backend intervention was attempted: log-only action,
+    /// whitelist suppression, or the session had already exited.
+    #[default]
+    NotAttempted,
+    /// The backend applied the action; the string is its receipt
+    /// (e.g. the sandbox path a quarantined image was moved to).
+    Applied(String),
+    /// The backend failed; the string is the error. The incident still
+    /// latches — a failed response is forensic signal, not silence.
+    Failed(String),
+}
+
 /// One latched alert-plus-response record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Incident {
@@ -75,6 +94,11 @@ pub struct Incident {
     pub alert: Alert,
     /// What the sentry did.
     pub action: ActionTaken,
+    /// What the action's backend reported. Defaults on deserialize so
+    /// pre-outcome journal records (and older forensic exports) still
+    /// load.
+    #[serde(default)]
+    pub outcome: ActionOutcome,
     /// The verdict landed after the session had already ended (exit or
     /// idle timeout raced the engine) — the record stands, but there
     /// was no process left to act on.
@@ -107,10 +131,24 @@ mod tests {
                 inference_us: 12.5,
             },
             action: ActionTaken::Killed,
+            outcome: ActionOutcome::Applied("terminated".to_string()),
             post_exit: false,
         };
         let json = serde_json::to_string(&incident).expect("serializes");
         assert!(json.contains("evil.exe"));
         assert!(json.contains("Killed"));
+        assert!(json.contains("terminated"));
+        let back: Incident = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, incident);
+    }
+
+    #[test]
+    fn pre_outcome_records_deserialize_with_a_default_outcome() {
+        // A PR 9-era record: no `outcome` key at all.
+        let json = r#"{"sid":1,"pid":2,"name":null,
+            "alert":{"at_call":100,"probability":0.9,"inference_us":1.0},
+            "action":"Logged","post_exit":false}"#;
+        let back: Incident = serde_json::from_str(json).expect("deserializes");
+        assert_eq!(back.outcome, ActionOutcome::NotAttempted);
     }
 }

@@ -12,9 +12,14 @@
 //! The wire decode path treats connections as untrusted: a malformed
 //! frame ends *that connection* (typed error, tallied in
 //! [`SocketServer::decode_errors`]) and never disturbs the bus, other
-//! producers, or the consumer. The server shuts down on drop: the
-//! accept loop and every live connection thread are joined, so a test
-//! or host program tears down cleanly.
+//! producers, or the consumer. The same isolation holds for *panics*:
+//! each reader thread's body runs under `catch_unwind`, so a panic in
+//! per-connection processing (a hostile frame that trips a bug, a
+//! poisoned hook) is caught at the thread boundary, tallied in
+//! [`SocketServer::reader_panics`], and ends only that connection —
+//! never a silent thread death, never a wedged accept loop. The server
+//! shuts down on drop: the accept loop and every live connection
+//! thread are joined, so a test or host program tears down cleanly.
 
 use std::io::BufReader;
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -126,6 +131,12 @@ impl EventProducer {
 /// stop it without a wake-up connection.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
 
+/// Per-frame instrumentation hook: called with each decoded frame
+/// before it is forwarded to the bus. The chaos harness and regression
+/// tests use it to observe or disturb (panic in) per-connection
+/// processing.
+pub type FrameHook = Arc<dyn Fn(&ProcessEvent) + Send + Sync>;
+
 /// A Unix-socket frame server feeding an [`EventBus`].
 #[derive(Debug)]
 pub struct SocketServer {
@@ -133,6 +144,7 @@ pub struct SocketServer {
     running: Arc<AtomicBool>,
     decode_errors: Arc<AtomicU64>,
     frames: Arc<AtomicU64>,
+    reader_panics: Arc<AtomicU64>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -143,18 +155,38 @@ impl SocketServer {
     /// remote producer through the kernel buffer). A stale socket file
     /// at `path` is removed first.
     pub fn bind(path: &Path, producer: EventProducer) -> std::io::Result<Self> {
+        Self::bind_with_hook(path, producer, None)
+    }
+
+    /// [`bind`](Self::bind) with a per-frame [`FrameHook`] installed on
+    /// every connection.
+    pub fn bind_with_hook(
+        path: &Path,
+        producer: EventProducer,
+        hook: Option<FrameHook>,
+    ) -> std::io::Result<Self> {
         let _ = std::fs::remove_file(path);
         let listener = UnixListener::bind(path)?;
         listener.set_nonblocking(true)?;
         let running = Arc::new(AtomicBool::new(true));
         let decode_errors = Arc::new(AtomicU64::new(0));
         let frames = Arc::new(AtomicU64::new(0));
+        let reader_panics = Arc::new(AtomicU64::new(0));
         let accept_thread = {
             let running = Arc::clone(&running);
             let decode_errors = Arc::clone(&decode_errors);
             let frames = Arc::clone(&frames);
+            let reader_panics = Arc::clone(&reader_panics);
             std::thread::spawn(move || {
-                accept_loop(&listener, &producer, &running, &decode_errors, &frames);
+                accept_loop(AcceptCtx {
+                    listener: &listener,
+                    producer: &producer,
+                    running: &running,
+                    decode_errors: &decode_errors,
+                    frames: &frames,
+                    reader_panics: &reader_panics,
+                    hook: hook.as_ref(),
+                });
             })
         };
         Ok(Self {
@@ -162,6 +194,7 @@ impl SocketServer {
             running,
             decode_errors,
             frames,
+            reader_panics,
             accept_thread: Some(accept_thread),
         })
     }
@@ -169,6 +202,13 @@ impl SocketServer {
     /// Connections dropped because they sent a malformed frame.
     pub fn decode_errors(&self) -> u64 {
         self.decode_errors.load(Ordering::Relaxed)
+    }
+
+    /// Reader threads that died by panic — caught at the thread
+    /// boundary, counted, connection dropped. Anything non-zero is a
+    /// bug being witnessed instead of lost.
+    pub fn reader_panics(&self) -> u64 {
+        self.reader_panics.load(Ordering::Relaxed)
     }
 
     /// Frames decoded and forwarded so far, across all connections.
@@ -192,25 +232,48 @@ impl Drop for SocketServer {
     }
 }
 
+/// Everything the accept loop threads through to its connections.
+struct AcceptCtx<'a> {
+    listener: &'a UnixListener,
+    producer: &'a EventProducer,
+    running: &'a Arc<AtomicBool>,
+    decode_errors: &'a Arc<AtomicU64>,
+    frames: &'a Arc<AtomicU64>,
+    reader_panics: &'a Arc<AtomicU64>,
+    hook: Option<&'a FrameHook>,
+}
+
 /// Accepts connections until `running` clears, spawning one decode
-/// thread per connection; joins them all before returning.
-fn accept_loop(
-    listener: &UnixListener,
-    producer: &EventProducer,
-    running: &Arc<AtomicBool>,
-    decode_errors: &Arc<AtomicU64>,
-    frames: &Arc<AtomicU64>,
-) {
+/// thread per connection; joins them all before returning. Each
+/// connection body runs under `catch_unwind`: a panic is counted and
+/// ends that connection only.
+fn accept_loop(ctx: AcceptCtx<'_>) {
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    while running.load(Ordering::SeqCst) {
-        match listener.accept() {
+    while ctx.running.load(Ordering::SeqCst) {
+        match ctx.listener.accept() {
             Ok((stream, _)) => {
-                let producer = producer.clone();
-                let running = Arc::clone(running);
-                let decode_errors = Arc::clone(decode_errors);
-                let frames = Arc::clone(frames);
+                let producer = ctx.producer.clone();
+                let running = Arc::clone(ctx.running);
+                let decode_errors = Arc::clone(ctx.decode_errors);
+                let frames = Arc::clone(ctx.frames);
+                let reader_panics = Arc::clone(ctx.reader_panics);
+                let hook = ctx.hook.map(Arc::clone);
                 connections.push(std::thread::spawn(move || {
-                    serve_connection(stream, &producer, &running, &decode_errors, &frames);
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        serve_connection(
+                            stream,
+                            &producer,
+                            &running,
+                            &decode_errors,
+                            &frames,
+                            hook.as_ref(),
+                        );
+                    }));
+                    if caught.is_err() {
+                        // The thread boundary is where a lost panic
+                        // would otherwise vanish: count it here.
+                        reader_panics.fetch_add(1, Ordering::Relaxed);
+                    }
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -232,6 +295,7 @@ fn serve_connection(
     running: &Arc<AtomicBool>,
     decode_errors: &Arc<AtomicU64>,
     frames: &Arc<AtomicU64>,
+    hook: Option<&FrameHook>,
 ) {
     // A read timeout keeps shutdown responsive on idle connections.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
@@ -240,6 +304,9 @@ fn serve_connection(
         match read_frame(&mut reader) {
             Ok(Some(event)) => {
                 frames.fetch_add(1, Ordering::Relaxed);
+                if let Some(hook) = hook {
+                    hook(&event);
+                }
                 if !producer.send(event) {
                     return; // Consumer gone; nothing left to feed.
                 }

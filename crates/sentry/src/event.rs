@@ -147,32 +147,40 @@ impl From<io::Error> for WireError {
     }
 }
 
+/// Encodes one event as a tag-prefixed payload (everything after the
+/// wire length prefix) appended onto `out`. The same encoding frames
+/// events on the socket and records them in the durable journal, so the
+/// two paths cannot drift.
+pub fn encode_payload(event: &ProcessEvent, out: &mut Vec<u8>) {
+    match &event.kind {
+        EventKind::Spawn(name) => {
+            out.push(0u8);
+            out.extend_from_slice(&event.t_us.to_le_bytes());
+            out.extend_from_slice(&event.pid.to_le_bytes());
+            let bytes = name.as_bytes();
+            let len = u16::try_from(bytes.len().min(u16::MAX as usize)).unwrap_or(u16::MAX);
+            out.extend_from_slice(&len.to_le_bytes());
+            out.extend_from_slice(&bytes[..len as usize]);
+        }
+        EventKind::Api(call) => {
+            out.push(1u8);
+            out.extend_from_slice(&event.t_us.to_le_bytes());
+            out.extend_from_slice(&event.pid.to_le_bytes());
+            let call = u32::try_from(*call).unwrap_or(u32::MAX);
+            out.extend_from_slice(&call.to_le_bytes());
+        }
+        EventKind::Exit => {
+            out.push(2u8);
+            out.extend_from_slice(&event.t_us.to_le_bytes());
+            out.extend_from_slice(&event.pid.to_le_bytes());
+        }
+    }
+}
+
 /// Encodes one event as a frame onto `w`.
 pub fn write_frame<W: Write>(w: &mut W, event: &ProcessEvent) -> Result<(), WireError> {
     let mut payload = Vec::with_capacity(32);
-    match &event.kind {
-        EventKind::Spawn(name) => {
-            payload.push(0u8);
-            payload.extend_from_slice(&event.t_us.to_le_bytes());
-            payload.extend_from_slice(&event.pid.to_le_bytes());
-            let bytes = name.as_bytes();
-            let len = u16::try_from(bytes.len().min(u16::MAX as usize)).unwrap_or(u16::MAX);
-            payload.extend_from_slice(&len.to_le_bytes());
-            payload.extend_from_slice(&bytes[..len as usize]);
-        }
-        EventKind::Api(call) => {
-            payload.push(1u8);
-            payload.extend_from_slice(&event.t_us.to_le_bytes());
-            payload.extend_from_slice(&event.pid.to_le_bytes());
-            let call = u32::try_from(*call).unwrap_or(u32::MAX);
-            payload.extend_from_slice(&call.to_le_bytes());
-        }
-        EventKind::Exit => {
-            payload.push(2u8);
-            payload.extend_from_slice(&event.t_us.to_le_bytes());
-            payload.extend_from_slice(&event.pid.to_le_bytes());
-        }
-    }
+    encode_payload(event, &mut payload);
     let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversize(payload.len()))?;
     w.write_all(&len.to_le_bytes())?;
     w.write_all(&payload)?;
@@ -225,8 +233,10 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<ProcessEvent>, WireError>
     decode_payload(&payload)
 }
 
-/// Decodes one frame payload (everything after the length prefix).
-fn decode_payload(payload: &[u8]) -> Result<Option<ProcessEvent>, WireError> {
+/// Decodes one frame payload (everything after the length prefix) —
+/// the inverse of [`encode_payload`]. Also the journal's record-body
+/// decoder.
+pub fn decode_payload(payload: &[u8]) -> Result<Option<ProcessEvent>, WireError> {
     // Callers guarantee `payload.len() >= 13`; re-checked here so this
     // stays safe standalone.
     let (Some(&tag), Some(t_bytes), Some(pid_bytes)) =

@@ -59,14 +59,30 @@
 
 pub mod actions;
 pub mod bus;
+pub mod durable;
 pub mod event;
+pub mod journal;
+pub mod quarantine;
 pub mod service;
 pub mod session;
+pub mod snapshot;
+pub mod supervisor;
 pub mod whitelist;
 
-pub use actions::{ActionKind, ActionTaken, Incident};
-pub use bus::{EventBus, EventProducer, SocketClient, SocketServer, DEFAULT_BUS_CAPACITY};
+pub use actions::{ActionKind, ActionOutcome, ActionTaken, Incident};
+pub use bus::{
+    EventBus, EventProducer, FrameHook, SocketClient, SocketServer, DEFAULT_BUS_CAPACITY,
+};
+pub use durable::{DurableConfig, DurableSentry, RecoveryReport, SNAPSHOT_MAGIC};
 pub use event::{read_frame, write_frame, EventKind, ProcessEvent, WireError, MAX_FRAME_LEN};
-pub use service::{Sentry, SentryConfig, SentryStats};
+pub use journal::{
+    Journal, JournalConfig, JournalError, JournalRecord, JournalRecovery, JOURNAL_MAGIC,
+};
+pub use quarantine::{FsSandboxBackend, QuarantineBackend, SimBackend};
+pub use service::{OverloadLevel, Sentry, SentryConfig, SentryStats, ShedRecord};
 pub use session::{Applied, EndReason, Session, SessionTable};
+pub use snapshot::{SentrySnapshot, SessionSnap, StreamSnap, TableSnap, SNAPSHOT_VERSION};
+pub use supervisor::{
+    run_service, supervise, ServiceConfig, ServiceOutcome, SupervisorPolicy, SupervisorReport,
+};
 pub use whitelist::Whitelist;

@@ -30,9 +30,11 @@ use csd_accel::{
 };
 use serde::{Deserialize, Serialize};
 
-use crate::actions::{ActionKind, ActionTaken, Incident};
+use crate::actions::{ActionKind, ActionOutcome, ActionTaken, Incident};
 use crate::event::ProcessEvent;
+use crate::quarantine::{QuarantineBackend, SimBackend};
 use crate::session::{Applied, SessionTable};
+use crate::snapshot::{SentrySnapshot, StreamSnap, SNAPSHOT_VERSION};
 use crate::whitelist::Whitelist;
 
 /// Sentry tuning. Defaults mirror the serial monitor's
@@ -54,6 +56,27 @@ pub struct SentryConfig {
     pub sweep_every: u64,
     /// What to do when an alert fires.
     pub action: ActionKind,
+    /// Drop events whose timestamp is not strictly greater than the
+    /// last event seen for the same PID. An at-least-once transport
+    /// (resets re-send, chaos duplicates) delivers the same frame
+    /// twice; per-connection FIFO plus strictly-increasing per-process
+    /// timestamps make `t_us` a valid dedup key. Off by default:
+    /// in-process producers are exactly-once and hand-built tests reuse
+    /// timestamps freely. Dropped duplicates are counted
+    /// ([`SentryStats::dup_events`]) and still occupy an event slot on
+    /// the ingest clock, so the journal's durable-event cursor stays
+    /// 1:1 with delivered frames.
+    #[serde(default)]
+    pub dedup_monotone_ts: bool,
+    /// Bounded-staleness SLO, in ingest-clock events: the oldest
+    /// outstanding submitted window should be at most this many events
+    /// stale. `None` disables the overload governor. When set, the
+    /// governor walks the degradation ladder as staleness crosses
+    /// `slo/2` (SLO-driven polling), `slo` (screen-only mux hint), and
+    /// `2·slo` (shed zero-vote sessions) — see
+    /// [`overload_level`](Sentry::overload_level).
+    #[serde(default)]
+    pub staleness_slo: Option<u64>,
     /// The sharded mux under the service.
     pub mux: StreamMuxConfig,
 }
@@ -68,9 +91,51 @@ impl Default for SentryConfig {
             idle_timeout_events: None,
             sweep_every: 512,
             action: ActionKind::Log,
+            dedup_monotone_ts: false,
+            staleness_slo: None,
             mux: StreamMuxConfig::default(),
         }
     }
+}
+
+/// Where the overload governor currently sits on the degradation
+/// ladder. Rungs engage as verdict staleness crosses fractions of the
+/// configured SLO and release with hysteresis (one rung per ingest,
+/// only once staleness falls to half the rung's entry threshold), so
+/// the ladder doesn't flap at a boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OverloadLevel {
+    /// Staleness within budget; no intervention.
+    #[default]
+    Normal,
+    /// Staleness above `slo/2`: every ingest also runs an engine round
+    /// (SLO-driven poll cadence), counted in
+    /// [`SentryStats::slo_polls`].
+    FastPoll,
+    /// Staleness above `slo`: the mux is hinted screen-only — in-band
+    /// windows take the band-midpoint verdict instead of the exact
+    /// path ([`MuxStats::forced_screen`]). A no-op without a screening
+    /// cascade; the ladder still proceeds to shedding.
+    ScreenOnly,
+    /// Staleness above `2·slo`: sessions with folded verdicts and zero
+    /// positive votes stop being monitored — a typed, counted loss
+    /// ([`Sentry::shed_log`]), never a silent one.
+    Shed,
+}
+
+/// One session the overload governor stopped monitoring: the typed
+/// record of deliberately shed coverage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShedRecord {
+    /// The shed session.
+    pub sid: u64,
+    /// Its PID at shed time.
+    pub pid: u32,
+    /// Submitted windows still awaiting verdicts when shed (their
+    /// verdicts will be ignored).
+    pub windows_outstanding: u64,
+    /// Ingest-clock event count at shed time.
+    pub at_event: u64,
 }
 
 /// Per-session stream state on the sentry side: window cursor plus the
@@ -86,6 +151,10 @@ struct StreamRecord {
     verdicts: u32,
     /// An incident latched; no further windows or folds.
     latched: bool,
+    /// Shed by the overload governor: no further windows or folds, and
+    /// outstanding verdicts are ignored — the typed coverage loss of
+    /// [`OverloadLevel::Shed`].
+    shed: bool,
     /// `(at_call, ingest clock)` per accepted submission, in order —
     /// matched back up at fold for service-side latency. Evicted
     /// windows never fold, so entries are matched by `at_call` (stale
@@ -116,6 +185,24 @@ pub struct SentryStats {
     pub suppressed: u64,
     /// Incidents whose verdict landed after session end.
     pub post_exit_incidents: u64,
+    /// Action dispatches the backend reported as failed (the incident
+    /// still latched, with the error in its outcome).
+    #[serde(default)]
+    pub actions_failed: u64,
+    /// Duplicate events dropped by monotone-timestamp dedup (0 unless
+    /// [`SentryConfig::dedup_monotone_ts`]).
+    #[serde(default)]
+    pub dup_events: u64,
+    /// Sessions shed by the overload governor.
+    #[serde(default)]
+    pub shed_sessions: u64,
+    /// Extra engine rounds run by the SLO-driven poll governor.
+    #[serde(default)]
+    pub slo_polls: u64,
+    /// Current verdict staleness: ingest-clock events since the oldest
+    /// outstanding submitted window.
+    #[serde(default)]
+    pub staleness: u64,
     /// The mux's own counters (submissions, occupancy, loss).
     pub mux: MuxStats,
 }
@@ -129,6 +216,7 @@ pub struct Sentry {
     mux: ShardedStreamMux,
     sessions: SessionTable,
     whitelist: Whitelist,
+    backend: Box<dyn QuarantineBackend>,
     streams: HashMap<u64, StreamRecord>,
     incidents: Vec<Incident>,
     /// Verdict latency samples: events the session observed between
@@ -140,8 +228,24 @@ pub struct Sentry {
     verdicts_folded: u64,
     suppressed: u64,
     post_exit_incidents: u64,
+    actions_failed: u64,
     events: u64,
     verdict_buf: Vec<Verdict>,
+    /// Last event timestamp seen per PID, for monotone-timestamp dedup
+    /// (populated only when [`SentryConfig::dedup_monotone_ts`]).
+    last_t_us: HashMap<u32, u64>,
+    dup_events: u64,
+    /// Where the overload governor sits on the degradation ladder.
+    overload: OverloadLevel,
+    /// Sessions the governor shed, in shed order.
+    shed_log: Vec<ShedRecord>,
+    slo_polls: u64,
+    /// Whether the overload governor runs. `false` during journal
+    /// replay: mid-replay staleness measures the replay loop, not live
+    /// load, and shedding on it would diverge recovery from the live
+    /// run for no benefit — recovery catches up as fast as it can and
+    /// re-enables the governor when live traffic resumes.
+    governing: bool,
 }
 
 impl Sentry {
@@ -178,6 +282,7 @@ impl Sentry {
             mux,
             sessions,
             whitelist: Whitelist::new(),
+            backend: Box::new(SimBackend::new()),
             streams: HashMap::new(),
             incidents: Vec::new(),
             latencies: Vec::new(),
@@ -185,9 +290,23 @@ impl Sentry {
             verdicts_folded: 0,
             suppressed: 0,
             post_exit_incidents: 0,
+            actions_failed: 0,
             events: 0,
             verdict_buf: Vec::new(),
+            last_t_us: HashMap::new(),
+            dup_events: 0,
+            overload: OverloadLevel::Normal,
+            shed_log: Vec::new(),
+            slo_polls: 0,
+            governing: true,
         }
+    }
+
+    /// Replaces the action backend (default: the in-memory
+    /// [`SimBackend`]). Kill/quarantine responses dispatch through it
+    /// and the incident records its outcome.
+    pub fn set_backend(&mut self, backend: Box<dyn QuarantineBackend>) {
+        self.backend = backend;
     }
 
     /// The whitelist, for configuration.
@@ -202,10 +321,28 @@ impl Sentry {
 
     /// Ingests one event: session lifecycle, window slicing, mux
     /// submission. Classification happens at [`poll`](Self::poll) /
-    /// [`drain`](Self::drain). Never panics on any event sequence —
-    /// ingest is the service's untrusted boundary.
-    pub fn ingest(&mut self, event: &ProcessEvent) {
+    /// [`drain`](Self::drain) — except under overload, when the
+    /// SLO-driven governor may run engine rounds right here; incidents
+    /// those rounds raise are returned (empty whenever the governor is
+    /// idle or disabled). Never panics on any event sequence — ingest
+    /// is the service's untrusted boundary.
+    pub fn ingest(&mut self, event: &ProcessEvent) -> Vec<Incident> {
         self.events += 1;
+        if self.config.dedup_monotone_ts {
+            match self.last_t_us.get(&event.pid) {
+                Some(&last) if event.t_us <= last => {
+                    // A re-sent or duplicated frame: the slot on the
+                    // ingest clock is consumed (keeping the durable
+                    // event cursor 1:1 with delivered frames) but the
+                    // event itself is dropped, typed and counted.
+                    self.dup_events += 1;
+                    return Vec::new();
+                }
+                _ => {
+                    self.last_t_us.insert(event.pid, event.t_us);
+                }
+            }
+        }
         match self.sessions.apply(event) {
             Applied::Started {
                 sid,
@@ -224,13 +361,17 @@ impl Sentry {
             // in flight fold as post-exit records.
             let _ = self.sessions.sweep_idle();
         }
+        self.govern()
     }
 
-    /// Ingests a batch of events in order.
-    pub fn ingest_all(&mut self, events: &[ProcessEvent]) {
+    /// Ingests a batch of events in order, returning any incidents
+    /// raised by governor-driven engine rounds along the way.
+    pub fn ingest_all(&mut self, events: &[ProcessEvent]) -> Vec<Incident> {
+        let mut raised = Vec::new();
         for e in events {
-            self.ingest(e);
+            raised.extend(self.ingest(e));
         }
+        raised
     }
 
     /// Submits every complete, unsubmitted window of session `sid`,
@@ -240,7 +381,7 @@ impl Sentry {
         let (window_len, stride) = (self.config.window_len, self.config.stride);
         loop {
             let rec = self.streams.entry(sid).or_default();
-            if rec.latched {
+            if rec.latched || rec.shed {
                 return;
             }
             let offset = rec.submitted * stride;
@@ -295,6 +436,128 @@ impl Sentry {
         new
     }
 
+    /// Current verdict staleness: ingest-clock events elapsed since the
+    /// oldest submitted window still awaiting its verdict (0 when
+    /// nothing is outstanding). This — not queue depth — is what the
+    /// overload SLO bounds: a fixed poll cadence lets it grow without
+    /// limit when ingest outpaces the engine, which is exactly the
+    /// degeneration the governor exists to stop.
+    pub fn staleness(&self) -> u64 {
+        self.streams
+            .values()
+            .filter(|r| !r.shed && !r.latched)
+            .filter_map(|r| r.stamps.front().map(|&(_, stamp)| stamp))
+            .min()
+            .map_or(0, |oldest| self.events.saturating_sub(oldest))
+    }
+
+    /// Where the overload governor currently sits on the degradation
+    /// ladder (always [`OverloadLevel::Normal`] without an SLO).
+    pub fn overload_level(&self) -> OverloadLevel {
+        self.overload
+    }
+
+    /// Sessions the overload governor shed, in shed order.
+    pub fn shed_log(&self) -> &[ShedRecord] {
+        &self.shed_log
+    }
+
+    /// Enables or disables the overload governor (recovery replay turns
+    /// it off; see the field docs).
+    pub(crate) fn set_governing(&mut self, on: bool) {
+        self.governing = on;
+    }
+
+    /// The overload governor: one ladder step per ingested event.
+    ///
+    /// Entry thresholds are `slo/2` (FastPoll), `slo` (ScreenOnly) and
+    /// `2·slo` (Shed); a rung releases — one step per event — only when
+    /// staleness falls to *half* its entry threshold, so the ladder
+    /// can't flap across a boundary. At FastPoll and above, every
+    /// ingest also runs an engine round, which replaces the fixed
+    /// caller cadence with an SLO-driven one.
+    fn govern(&mut self) -> Vec<Incident> {
+        let Some(slo) = self.config.staleness_slo else {
+            return Vec::new();
+        };
+        if !self.governing {
+            return Vec::new();
+        }
+        let slo = slo.max(2);
+        let s = self.staleness();
+        let target = if s > 2 * slo {
+            OverloadLevel::Shed
+        } else if s > slo {
+            OverloadLevel::ScreenOnly
+        } else if s > slo / 2 {
+            OverloadLevel::FastPoll
+        } else {
+            OverloadLevel::Normal
+        };
+        if target > self.overload {
+            self.overload = target;
+        } else {
+            // Hysteresis: release one rung only at half the rung's
+            // entry threshold.
+            let release = match self.overload {
+                OverloadLevel::Shed => s <= slo,
+                OverloadLevel::ScreenOnly => s <= slo / 2,
+                OverloadLevel::FastPoll => s <= slo / 4,
+                OverloadLevel::Normal => false,
+            };
+            if release {
+                self.overload = match self.overload {
+                    OverloadLevel::Shed => OverloadLevel::ScreenOnly,
+                    OverloadLevel::ScreenOnly => OverloadLevel::FastPoll,
+                    _ => OverloadLevel::Normal,
+                };
+            }
+        }
+        self.mux
+            .set_screen_only(self.overload >= OverloadLevel::ScreenOnly);
+        if self.overload == OverloadLevel::Shed {
+            self.shed_zero_vote_sessions();
+        }
+        if self.overload >= OverloadLevel::FastPoll {
+            self.slo_polls += 1;
+            return self.poll();
+        }
+        Vec::new()
+    }
+
+    /// Sheds every stream that has folded at least one verdict, holds
+    /// zero positive votes, and still has windows outstanding — the
+    /// sessions whose backlog is least likely to end in an incident.
+    /// Streams that have not produced a verdict yet are never shed: a
+    /// just-spawned ransomware process must not lose its first window
+    /// to load shedding.
+    fn shed_zero_vote_sessions(&mut self) {
+        let mut shed: Vec<(u64, u64)> = self
+            .streams
+            .iter()
+            .filter(|(_, r)| {
+                !r.latched && !r.shed && r.verdicts > 0 && r.ring == 0 && !r.stamps.is_empty()
+            })
+            .map(|(&sid, r)| (sid, r.stamps.len() as u64))
+            .collect();
+        shed.sort_unstable_by_key(|&(sid, _)| sid);
+        for (sid, outstanding) in shed {
+            let Some(pid) = self.sessions.session(sid).map(|s| s.pid()) else {
+                continue;
+            };
+            if let Some(rec) = self.streams.get_mut(&sid) {
+                rec.shed = true;
+                rec.stamps.clear();
+            }
+            self.shed_log.push(ShedRecord {
+                sid,
+                pid,
+                windows_outstanding: outstanding,
+                at_event: self.events,
+            });
+        }
+    }
+
     /// Folds retired verdicts into vote rings; a completed vote runs
     /// the dispatch path: whitelist check, configured action, latched
     /// incident. Verdicts key on session ids, so nothing here can touch
@@ -305,7 +568,7 @@ impl Sentry {
             let Some(rec) = self.streams.get_mut(&v.stream) else {
                 continue;
             };
-            if rec.latched {
+            if rec.latched || rec.shed {
                 continue;
             }
             self.verdicts_folded += 1;
@@ -344,14 +607,29 @@ impl Sentry {
                 rec.latched = true;
             }
             let whitelisted = self.whitelist.contains(name.as_deref());
-            let action = if whitelisted {
+            let (action, outcome) = if whitelisted {
                 self.suppressed += 1;
-                ActionTaken::Suppressed
+                (ActionTaken::Suppressed, ActionOutcome::NotAttempted)
             } else {
-                if self.config.action.stops_process() && !post_exit {
+                let outcome = if self.config.action.stops_process() && !post_exit {
                     self.sessions.kill(v.stream);
-                }
-                self.config.action.taken()
+                    // The terminal effect: dispatch to the backend and
+                    // record what it reported, not just the intent.
+                    let dispatched = match self.config.action {
+                        ActionKind::Quarantine => self.backend.quarantine(pid, name.as_deref()),
+                        _ => self.backend.kill(pid, name.as_deref()),
+                    };
+                    match dispatched {
+                        Ok(receipt) => ActionOutcome::Applied(receipt),
+                        Err(err) => {
+                            self.actions_failed += 1;
+                            ActionOutcome::Failed(err)
+                        }
+                    }
+                } else {
+                    ActionOutcome::NotAttempted
+                };
+                (self.config.action.taken(), outcome)
             };
             if post_exit {
                 self.post_exit_incidents += 1;
@@ -368,12 +646,129 @@ impl Sentry {
                         * self.per_item_us,
                 },
                 action,
+                outcome,
                 post_exit,
             };
             self.incidents.push(incident.clone());
             raised.push(incident);
         }
         raised
+    }
+
+    /// Flattens the sentry's durable state for a checkpoint.
+    ///
+    /// Call this *quiescently* — right after [`drain`](Self::drain),
+    /// when the mux holds no queued or in-flight windows. Windows
+    /// still in the mux are not captured; a restore from a
+    /// non-quiescent snapshot would silently drop them. Latency sample
+    /// vectors and the incident log are also excluded: the former are
+    /// run-local telemetry, the latter's system of record is the
+    /// durable journal (see [`adopt_incident`](Self::adopt_incident)).
+    pub fn snapshot(&self) -> SentrySnapshot {
+        let mut streams: Vec<StreamSnap> = self
+            .streams
+            .iter()
+            .map(|(&sid, r)| StreamSnap {
+                sid,
+                submitted: r.submitted,
+                ring: r.ring,
+                verdicts: r.verdicts,
+                latched: r.latched,
+                shed: r.shed,
+            })
+            .collect();
+        streams.sort_unstable_by_key(|s| s.sid);
+        let mut last_t_us: Vec<(u32, u64)> =
+            self.last_t_us.iter().map(|(&pid, &t)| (pid, t)).collect();
+        last_t_us.sort_unstable_by_key(|&(pid, _)| pid);
+        SentrySnapshot {
+            version: SNAPSHOT_VERSION,
+            events: self.events,
+            verdicts_folded: self.verdicts_folded,
+            whitelist_exact: self.whitelist.exact().to_vec(),
+            whitelist_prefixes: self.whitelist.prefixes().to_vec(),
+            table: self.sessions.snapshot(),
+            streams,
+            last_t_us,
+            dup_events: self.dup_events,
+            shed_log: self.shed_log.clone(),
+        }
+    }
+
+    /// Rebuilds a sentry from a checkpoint over a fresh engine, with
+    /// the *same* config the snapshotted sentry ran under (the config
+    /// travels with the deployment, not the snapshot). Replaying the
+    /// journal's event records from `snapshot.events` on brings the
+    /// restored sentry to the uninterrupted run's incident set.
+    ///
+    /// Incident-derived counters (`suppressed`, `post_exit_incidents`,
+    /// `actions_failed`) start at zero here and are recomputed as
+    /// [`adopt_incident`](Self::adopt_incident) re-adopts the journal's
+    /// incident records — every incident is journaled, so the recount
+    /// is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same config invariants as [`new`](Self::new).
+    pub fn restore(
+        engine: CsdInferenceEngine,
+        config: SentryConfig,
+        snap: &SentrySnapshot,
+    ) -> Self {
+        let mut sentry = Self::new(engine, config);
+        sentry.sessions = SessionTable::restore(&snap.table);
+        for s in &snap.streams {
+            sentry.streams.insert(
+                s.sid,
+                StreamRecord {
+                    submitted: s.submitted,
+                    ring: s.ring,
+                    verdicts: s.verdicts,
+                    latched: s.latched,
+                    shed: s.shed,
+                    stamps: VecDeque::new(),
+                },
+            );
+        }
+        sentry.last_t_us = snap.last_t_us.iter().copied().collect();
+        sentry.dup_events = snap.dup_events;
+        sentry.shed_log = snap.shed_log.clone();
+        for name in &snap.whitelist_exact {
+            sentry.whitelist.add(name);
+        }
+        for prefix in &snap.whitelist_prefixes {
+            sentry.whitelist.add_prefix(prefix);
+        }
+        sentry.events = snap.events;
+        sentry.verdicts_folded = snap.verdicts_folded;
+        sentry
+    }
+
+    /// Re-adopts a journal-recovered incident: the stream latches, the
+    /// session is marked killed if the original action stopped the
+    /// process, counters recount, and the incident rejoins the log —
+    /// all *without* re-dispatching the backend. The action already
+    /// ran (or failed) before the crash; recovery must not run it
+    /// twice.
+    pub fn adopt_incident(&mut self, incident: Incident) {
+        let rec = self.streams.entry(incident.sid).or_default();
+        rec.latched = true;
+        if matches!(
+            incident.action,
+            ActionTaken::Killed | ActionTaken::Quarantined
+        ) {
+            self.sessions.kill(incident.sid);
+        }
+        if incident.action == ActionTaken::Suppressed {
+            self.suppressed += 1;
+        }
+        if incident.post_exit {
+            self.post_exit_incidents += 1;
+        }
+        if matches!(incident.outcome, ActionOutcome::Failed(_)) {
+            self.actions_failed += 1;
+        }
+        self.incidents.push(incident);
     }
 
     /// Every incident latched so far, in latch order.
@@ -428,6 +823,11 @@ impl Sentry {
             incidents: self.incidents.len() as u64,
             suppressed: self.suppressed,
             post_exit_incidents: self.post_exit_incidents,
+            actions_failed: self.actions_failed,
+            dup_events: self.dup_events,
+            shed_sessions: self.shed_log.len() as u64,
+            slo_polls: self.slo_polls,
+            staleness: self.staleness(),
             mux: self.mux.stats(),
         }
     }
@@ -631,5 +1031,131 @@ mod tests {
         let stats = sentry.stats();
         assert_eq!(stats.oov_calls, 1);
         assert_eq!(stats.mux.rejected, 0, "filtered at ingest, not at the mux");
+    }
+
+    #[test]
+    fn monotone_dedup_drops_resent_frames_but_keeps_the_event_clock() {
+        let e = engine();
+        let mut cfg = config();
+        cfg.dedup_monotone_ts = true;
+        let mut sentry = Sentry::new(e, cfg);
+        sentry.ingest(&ProcessEvent::api(5, 1, 3));
+        // An at-least-once transport re-delivers the same frame.
+        sentry.ingest(&ProcessEvent::api(5, 1, 3));
+        // And an older one, out of order after a reset.
+        sentry.ingest(&ProcessEvent::api(4, 1, 7));
+        let stats = sentry.stats();
+        assert_eq!(stats.dup_events, 2, "both re-deliveries dropped");
+        assert_eq!(
+            stats.events, 3,
+            "duplicates still occupy an ingest-clock slot (journal cursor parity)"
+        );
+        let calls: u64 = sentry.sessions().sessions().map(|s| s.calls_seen()).sum();
+        assert_eq!(calls, 1, "the session saw the call exactly once");
+        // A genuinely newer frame passes.
+        sentry.ingest(&ProcessEvent::api(6, 1, 2));
+        assert_eq!(sentry.stats().dup_events, 2);
+    }
+
+    /// A slow one-lane mux with a fixed caller poll cadence. Feeds
+    /// `rounds` strides of traffic on `n_pids` concurrent sessions,
+    /// polling every `cadence` events, and returns the worst staleness
+    /// observed.
+    fn overload_run(slo: Option<u64>, n_pids: u32, rounds: usize, cadence: u64) -> (Sentry, u64) {
+        let mut cfg = config();
+        cfg.staleness_slo = slo;
+        cfg.mux.lanes = Some(1);
+        cfg.mux.shards = Some(1);
+        cfg.mux.max_pending = 4096;
+        let mut sentry = Sentry::new(engine(), cfg);
+        let mut t = 0u64;
+        let mut worst = 0u64;
+        for round in 0..rounds {
+            for pid in 1..=n_pids {
+                for k in 0..4usize {
+                    t += 1;
+                    sentry.ingest(&ProcessEvent::api(
+                        t,
+                        pid,
+                        (round * 4 + k + pid as usize) % VOCAB,
+                    ));
+                    worst = worst.max(sentry.staleness());
+                    if t.is_multiple_of(cadence) {
+                        sentry.poll();
+                    }
+                }
+            }
+        }
+        (sentry, worst)
+    }
+
+    /// Pins the degeneration the governor exists to fix: with a fixed
+    /// poll cadence and no SLO, ingest outpaces the engine and verdict
+    /// staleness grows without bound — the backlog at the end is
+    /// proportional to everything ever fed.
+    #[test]
+    fn fixed_poll_cadence_degenerates_staleness_without_an_slo() {
+        let (sentry, worst) = overload_run(None, 4, 40, 64);
+        assert_eq!(sentry.overload_level(), OverloadLevel::Normal);
+        assert_eq!(sentry.stats().slo_polls, 0);
+        assert!(
+            worst > 200,
+            "staleness should degenerate under fixed cadence, got {worst}"
+        );
+        assert!(sentry.shed_log().is_empty(), "no governor, no shedding");
+    }
+
+    /// The same workload under an SLO: the ladder engages, polling goes
+    /// SLO-driven, and worst-case staleness stays bounded near the shed
+    /// threshold instead of growing with the feed length.
+    #[test]
+    fn slo_governor_bounds_staleness_under_the_same_workload() {
+        let slo = 48u64;
+        let (sentry, worst) = overload_run(Some(slo), 4, 40, 64);
+        let stats = sentry.stats();
+        assert!(stats.slo_polls > 0, "the governor drove extra polls");
+        assert!(
+            worst <= 3 * slo,
+            "staleness bounded near the ladder's top rung, got {worst} (slo {slo})"
+        );
+        // Shedding, if it happened, is typed and counted — never
+        // silent.
+        assert_eq!(stats.shed_sessions, sentry.shed_log().len() as u64);
+        for rec in sentry.shed_log() {
+            assert!(rec.windows_outstanding > 0, "shed records carry the loss");
+            let session = sentry
+                .sessions()
+                .session(rec.sid)
+                .expect("shed sid tracked");
+            assert_eq!(session.pid(), rec.pid);
+            assert!(
+                sentry.incident_for(rec.sid).is_none(),
+                "only zero-vote sessions are shed"
+            );
+        }
+    }
+
+    /// Forcing the ladder to the top rung sheds only sessions that have
+    /// folded a verdict with zero positive votes, and a shed stream
+    /// folds nothing afterwards.
+    #[test]
+    fn shed_rung_sheds_only_zero_vote_sessions_and_freezes_them() {
+        let slo = 16u64;
+        let (sentry, _) = overload_run(Some(slo), 6, 60, u64::MAX);
+        assert!(
+            !sentry.shed_log().is_empty(),
+            "six sessions against one lane with slo 16 must shed"
+        );
+        let shed_sids: Vec<u64> = sentry.shed_log().iter().map(|r| r.sid).collect();
+        let mut sorted = shed_sids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), shed_sids.len(), "a session shed twice");
+        for incident in sentry.incidents() {
+            assert!(
+                !shed_sids.contains(&incident.sid),
+                "an incident was raised for a shed session"
+            );
+        }
     }
 }

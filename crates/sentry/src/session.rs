@@ -26,6 +26,7 @@
 use std::collections::HashMap;
 
 use crate::event::{EventKind, ProcessEvent};
+use crate::snapshot::{SessionSnap, TableSnap};
 
 /// Why a session ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,6 +155,50 @@ impl Session {
     fn retire_buffer(&mut self) {
         self.base += self.buf.len();
         self.buf = Vec::new();
+    }
+
+    /// Flattens the session for a checkpoint.
+    fn snap(&self) -> SessionSnap {
+        SessionSnap {
+            sid: self.sid,
+            pid: self.pid,
+            name: self.name.clone(),
+            buf: self.buf.clone(),
+            base: self.base,
+            calls_seen: self.calls_seen,
+            oov: self.oov,
+            killed: self.killed,
+            ended: match self.ended {
+                None => 0,
+                Some(EndReason::Exit) => 1,
+                Some(EndReason::IdleTimeout) => 2,
+                Some(EndReason::Superseded) => 3,
+            },
+            started_at: self.started_at,
+            last_event: self.last_event,
+        }
+    }
+
+    /// Rebuilds a session from its checkpoint form.
+    fn from_snap(s: &SessionSnap) -> Self {
+        Self {
+            sid: s.sid,
+            pid: s.pid,
+            name: s.name.clone(),
+            buf: s.buf.clone(),
+            base: s.base,
+            calls_seen: s.calls_seen,
+            oov: s.oov,
+            killed: s.killed,
+            ended: match s.ended {
+                1 => Some(EndReason::Exit),
+                2 => Some(EndReason::IdleTimeout),
+                3 => Some(EndReason::Superseded),
+                _ => None,
+            },
+            started_at: s.started_at,
+            last_event: s.last_event,
+        }
     }
 }
 
@@ -414,6 +459,53 @@ impl SessionTable {
     /// Out-of-vocabulary calls across all sessions.
     pub fn oov_total(&self) -> u64 {
         self.oov_total
+    }
+
+    /// Flattens the table for a checkpoint: every session, every PID
+    /// link, every counter, and — critically for replay determinism —
+    /// the `next_sid` cursor. Output is sorted, so equal tables
+    /// produce byte-equal snapshots.
+    pub fn snapshot(&self) -> TableSnap {
+        let mut by_pid: Vec<(u32, u64)> = self.by_pid.iter().map(|(&p, &s)| (p, s)).collect();
+        by_pid.sort_unstable();
+        let mut sessions: Vec<SessionSnap> = self.sessions.values().map(Session::snap).collect();
+        sessions.sort_unstable_by_key(|s| s.sid);
+        TableSnap {
+            vocab: self.vocab,
+            idle_timeout_events: self.idle_timeout_events,
+            next_sid: self.next_sid,
+            clock: self.clock,
+            started: self.started,
+            ended: self.ended,
+            dropped_after_kill: self.dropped_after_kill,
+            stray_exits: self.stray_exits,
+            oov_total: self.oov_total,
+            by_pid,
+            sessions,
+        }
+    }
+
+    /// Rebuilds a table from its checkpoint form. Replaying the same
+    /// events against the restored table assigns the same session ids
+    /// and reaches the same state as the uninterrupted table.
+    pub fn restore(snap: &TableSnap) -> Self {
+        Self {
+            vocab: snap.vocab.max(1),
+            idle_timeout_events: snap.idle_timeout_events,
+            by_pid: snap.by_pid.iter().copied().collect(),
+            sessions: snap
+                .sessions
+                .iter()
+                .map(|s| (s.sid, Session::from_snap(s)))
+                .collect(),
+            next_sid: snap.next_sid,
+            clock: snap.clock,
+            started: snap.started,
+            ended: snap.ended,
+            dropped_after_kill: snap.dropped_after_kill,
+            stray_exits: snap.stray_exits,
+            oov_total: snap.oov_total,
+        }
     }
 }
 

@@ -48,6 +48,16 @@ impl Whitelist {
             || self.prefixes.iter().any(|p| name.starts_with(p.as_str()))
     }
 
+    /// The exact names, in insertion order (for checkpointing).
+    pub fn exact(&self) -> &[String] {
+        &self.exact
+    }
+
+    /// The path prefixes, in insertion order (for checkpointing).
+    pub fn prefixes(&self) -> &[String] {
+        &self.prefixes
+    }
+
     /// Number of entries (exact + prefix).
     pub fn len(&self) -> usize {
         self.exact.len() + self.prefixes.len()

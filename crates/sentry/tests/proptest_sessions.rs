@@ -80,7 +80,9 @@ fn run_script(seed: u64, action: ActionKind, idle: Option<u64>, script: &[Step])
             Step::Spawn(pid) => {
                 sentry.ingest(&ProcessEvent::spawn(t, *pid, &format!("proc-{pid}.exe")));
             }
-            Step::Call(pid, call) => sentry.ingest(&ProcessEvent::api(t, *pid, *call)),
+            Step::Call(pid, call) => {
+                sentry.ingest(&ProcessEvent::api(t, *pid, *call));
+            }
             Step::Burst(pid, n) => {
                 for i in 0..*n {
                     sentry.ingest(&ProcessEvent::api(
@@ -90,7 +92,9 @@ fn run_script(seed: u64, action: ActionKind, idle: Option<u64>, script: &[Step])
                     ));
                 }
             }
-            Step::Exit(pid) => sentry.ingest(&ProcessEvent::exit(t, *pid)),
+            Step::Exit(pid) => {
+                sentry.ingest(&ProcessEvent::exit(t, *pid));
+            }
             Step::Poll => {
                 sentry.poll();
             }
@@ -197,13 +201,17 @@ proptest! {
                 Step::Spawn(pid) => {
                     sentry.ingest(&ProcessEvent::spawn(t, *pid, &format!("proc-{pid}.exe")));
                 }
-                Step::Call(pid, call) => sentry.ingest(&ProcessEvent::api(t, *pid, *call)),
+                Step::Call(pid, call) => {
+                    sentry.ingest(&ProcessEvent::api(t, *pid, *call));
+                }
                 Step::Burst(pid, n) => for i in 0..*n {
                     sentry.ingest(&ProcessEvent::api(
                         t, *pid, (usize::from(i) * 7 + *pid as usize) % VOCAB,
                     ));
                 },
-                Step::Exit(pid) => sentry.ingest(&ProcessEvent::exit(t, *pid)),
+                Step::Exit(pid) => {
+                    sentry.ingest(&ProcessEvent::exit(t, *pid));
+                }
                 Step::Poll => { sentry.poll(); }
             }
         }

@@ -153,3 +153,63 @@ fn malformed_frames_drop_one_connection_without_disturbing_peers() {
     assert_eq!(honest.calls_seen(), 8, "peer unaffected by the bad frame");
     drop(server);
 }
+
+#[test]
+fn panicking_reader_thread_is_counted_and_drops_only_its_connection() {
+    use std::sync::Arc;
+
+    let mut sentry = Sentry::new(engine(), config());
+    let bus = EventBus::new(1024);
+    let path = socket_path("panic");
+    // A hook that panics on one specific hostile frame — standing in
+    // for any bug a crafted frame might trip in per-connection
+    // processing. The panic must be caught at the thread boundary,
+    // counted, and must not take down the server or peer connections.
+    let hook: csd_sentry::bus::FrameHook = Arc::new(|e: &ProcessEvent| {
+        if e.pid == 666 {
+            panic!("hostile frame tripped a reader bug");
+        }
+    });
+    let server = SocketServer::bind_with_hook(&path, bus.producer(), Some(hook)).expect("bind");
+
+    // The hostile connection: a good frame, then the trigger, then
+    // frames that must never arrive (the reader died at the trigger).
+    {
+        let mut client = SocketClient::connect(&path).expect("connect");
+        client.send(&ProcessEvent::api(0, 55, 1)).expect("good");
+        client.send(&ProcessEvent::api(1, 666, 2)).expect("trigger");
+        let _ = client.send(&ProcessEvent::api(2, 55, 3));
+        let _ = client.send(&ProcessEvent::api(3, 55, 4));
+    }
+    // An honest connection afterwards: the server must still serve it.
+    let mut client = SocketClient::connect(&path).expect("connect");
+    for (i, &c) in trace(7, 8).iter().enumerate() {
+        client
+            .send(&ProcessEvent::api(i as u64, 77, c))
+            .expect("api frame");
+    }
+
+    // 1 pre-trigger frame + 8 honest frames; the trigger frame and the
+    // hostile connection's tail are gone with its reader.
+    pump(&bus, &mut sentry, 9, 500);
+    sentry.drain();
+
+    // The panicking reader's thread increments the counter as it dies;
+    // give it a moment to unwind.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.reader_panics() == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.reader_panics(), 1, "the panic was witnessed");
+    let honest = sentry
+        .sessions()
+        .sessions()
+        .find(|s| s.pid() == 77)
+        .expect("honest session exists");
+    assert_eq!(honest.calls_seen(), 8, "peer unaffected by the panic");
+    assert!(
+        sentry.sessions().sessions().all(|s| s.pid() != 666),
+        "the trigger frame never reached the bus"
+    );
+    drop(server);
+}
